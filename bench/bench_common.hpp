@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared scaffolding for the reproduction benches: every bench prints a
+// banner, the measured series/table, and the paper's published values or
+// qualitative claims next to it, so `for b in build/bench/*; do $b; done`
+// produces a self-contained paper-vs-measured report.
+//
+// Runtime knob: SDCM_RUNS sets the number of simulation runs per
+// (system, lambda) point (default 30, like the paper's 30 event logs).
+
+#include <cstdio>
+#include <iostream>
+#include <string_view>
+
+#include "sdcm/experiment/report.hpp"
+#include "sdcm/experiment/sweep.hpp"
+
+namespace sdcm::bench {
+
+inline void banner(std::string_view id, std::string_view title) {
+  std::printf(
+      "\n==============================================================\n");
+  std::printf("%.*s - %.*s\n", static_cast<int>(id.size()), id.data(),
+              static_cast<int>(title.size()), title.data());
+  std::printf(
+      "==============================================================\n");
+}
+
+inline void note(std::string_view text) {
+  std::printf("%.*s\n", static_cast<int>(text.size()), text.data());
+}
+
+inline void check(bool ok, std::string_view claim) {
+  std::printf("  [%s] %.*s\n", ok ? "PASS" : "DIFF",
+              static_cast<int>(claim.size()), claim.data());
+}
+
+/// Runs the paper's full sweep (5 systems x 19 lambdas x SDCM_RUNS runs)
+/// with an optional per-run customization.
+inline std::vector<experiment::SweepPoint> paper_sweep(
+    std::function<void(experiment::ExperimentConfig&)> customize = {},
+    std::vector<experiment::SystemModel> models = {
+        experiment::kAllModels, experiment::kAllModels + 5}) {
+  experiment::SweepConfig config;
+  config.models = std::move(models);
+  config.runs = experiment::runs_from_env(30);
+  config.customize = std::move(customize);
+  std::printf("runs per point: %d (override with SDCM_RUNS)\n", config.runs);
+  return experiment::run_sweep(config);
+}
+
+/// Mean of a metric over every lambda for one model (Table 5 style).
+inline double average(const std::vector<experiment::SweepPoint>& points,
+                      experiment::SystemModel model,
+                      experiment::Metric metric) {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& p : points) {
+    if (p.model != model) continue;
+    sum += experiment::value_of(p.metrics, metric);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+/// Metric value at one (model, lambda) point.
+inline double at(const std::vector<experiment::SweepPoint>& points,
+                 experiment::SystemModel model, double lambda,
+                 experiment::Metric metric) {
+  for (const auto& p : points) {
+    if (p.model == model && p.lambda == lambda) {
+      return experiment::value_of(p.metrics, metric);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace sdcm::bench

@@ -1,0 +1,73 @@
+// Regenerates Figure 5: "Median Responsiveness" - Update Responsiveness
+// R(lambda) for the five simulated systems.
+//
+// Paper's reading (Section 6.1): FRODO with 2-party subscription has the
+// overall shortest delay (direct peer-to-peer UDP + SRN2 + PR1/PR4);
+// Jini gains at low failure rates from PR2 (query-after-rediscovery) but
+// has the lowest responsiveness overall; TCP-based protocols pay
+// handshake latency everywhere.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sdcm;
+  using experiment::Metric;
+  using experiment::SystemModel;
+
+  bench::banner("Figure 5",
+                "Median Update Responsiveness vs interface failure");
+  const auto points = bench::paper_sweep();
+  experiment::write_series_table(std::cout, points, Metric::kResponsiveness);
+
+  bench::note("\npaper Table 5 averages: UPnP 0.553, Jini-1R 0.474, "
+              "Jini-2R 0.476, FRODO-3p 0.580, FRODO-2p 0.666");
+  std::printf(
+      "measured averages:      UPnP %.3f, Jini-1R %.3f, Jini-2R %.3f, "
+      "FRODO-3p %.3f, FRODO-2p %.3f\n",
+      bench::average(points, SystemModel::kUpnp, Metric::kResponsiveness),
+      bench::average(points, SystemModel::kJiniOneRegistry,
+                     Metric::kResponsiveness),
+      bench::average(points, SystemModel::kJiniTwoRegistries,
+                     Metric::kResponsiveness),
+      bench::average(points, SystemModel::kFrodoThreeParty,
+                     Metric::kResponsiveness),
+      bench::average(points, SystemModel::kFrodoTwoParty,
+                     Metric::kResponsiveness));
+
+  bench::note("\nshape checks:");
+  const double f2p = bench::average(points, SystemModel::kFrodoTwoParty,
+                                    Metric::kResponsiveness);
+  bool f2p_best = true;
+  for (const auto model :
+       {SystemModel::kUpnp, SystemModel::kJiniOneRegistry,
+        SystemModel::kJiniTwoRegistries, SystemModel::kFrodoThreeParty}) {
+    f2p_best = f2p_best &&
+               f2p >= bench::average(points, model, Metric::kResponsiveness);
+  }
+  bench::check(f2p_best,
+               "(iii) FRODO-2party is the most responsive system overall "
+               "(UDP + direct notification + SRN2/PR1/PR4)");
+
+  const double jini1 = bench::average(points, SystemModel::kJiniOneRegistry,
+                                      Metric::kResponsiveness);
+  bool jini1_lowest = true;
+  for (const auto model :
+       {SystemModel::kUpnp, SystemModel::kFrodoThreeParty,
+        SystemModel::kFrodoTwoParty}) {
+    jini1_lowest =
+        jini1_lowest &&
+        jini1 <= bench::average(points, model, Metric::kResponsiveness);
+  }
+  bench::check(jini1_lowest,
+               "Jini with 1 Registry has the lowest responsiveness");
+
+  bool collapses = true;
+  for (const auto model : experiment::kAllModels) {
+    collapses = collapses &&
+                bench::at(points, model, 0.9, Metric::kResponsiveness) < 0.2;
+  }
+  bench::check(collapses,
+               "responsiveness collapses toward 0 at 90% failure for all "
+               "systems (as in the figure's right edge)");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Regenerates Figure 6: "Efficiency Degradation" - G(lambda) = mean of
+// m' / y(i), each system against its own zero-failure message count
+// (m' = 7 for Jini-1R and both FRODOs, 14 for Jini-2R, 15 for UPnP).
+//
+// Paper's reading (Section 6.1): all systems start at 1.0 at 0% failure;
+// FRODO gives the best (least) degradation; Jini with a single Registry,
+// "although as efficient as FRODO [at 0%], degrades faster than the
+// other two protocols when failure rate increases". The Update
+// Efficiency E(lambda) against the global m = 7 is printed as well,
+// including the paper's observation that E penalises UPnP and Jini-2R
+// for their higher zero-failure message counts.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sdcm;
+  using experiment::Metric;
+  using experiment::SystemModel;
+
+  bench::banner("Figure 6", "Efficiency Degradation vs interface failure");
+  bench::note("m' = 7 (Jini-1R, FRODO-3p, FRODO-2p), 14 (Jini-2R), 15 (UPnP)");
+  const auto points = bench::paper_sweep();
+  experiment::write_series_table(std::cout, points, Metric::kDegradation);
+
+  bench::note("\nUpdate Efficiency E(lambda) against the global m = 7 "
+              "(Section 4.5's original metric):");
+  experiment::write_series_table(std::cout, points, Metric::kEfficiency);
+
+  bench::note("\npaper Table 5 averages (G): UPnP 0.385, Jini-1R 0.311, "
+              "Jini-2R 0.361, FRODO-3p 0.428, FRODO-2p 0.429");
+  std::printf(
+      "measured averages (G):      UPnP %.3f, Jini-1R %.3f, Jini-2R %.3f, "
+      "FRODO-3p %.3f, FRODO-2p %.3f\n",
+      bench::average(points, SystemModel::kUpnp, Metric::kDegradation),
+      bench::average(points, SystemModel::kJiniOneRegistry,
+                     Metric::kDegradation),
+      bench::average(points, SystemModel::kJiniTwoRegistries,
+                     Metric::kDegradation),
+      bench::average(points, SystemModel::kFrodoThreeParty,
+                     Metric::kDegradation),
+      bench::average(points, SystemModel::kFrodoTwoParty,
+                     Metric::kDegradation));
+
+  bench::note("\nshape checks:");
+  bool all_start_at_one = true;
+  for (const auto model : experiment::kAllModels) {
+    all_start_at_one =
+        all_start_at_one &&
+        bench::at(points, model, 0.0, Metric::kDegradation) > 0.99;
+  }
+  bench::check(all_start_at_one, "G(0) = 1 for every system (y(0) = m')");
+
+  const double f2p = bench::average(points, SystemModel::kFrodoTwoParty,
+                                    Metric::kDegradation);
+  bool frodo_best = true;
+  for (const auto model :
+       {SystemModel::kUpnp, SystemModel::kJiniOneRegistry,
+        SystemModel::kJiniTwoRegistries}) {
+    frodo_best = frodo_best &&
+                 f2p >= bench::average(points, model, Metric::kDegradation);
+  }
+  bench::check(frodo_best,
+               "FRODO (2-party) shows the best overall Efficiency "
+               "Degradation");
+
+  const double e_frodo_at_zero =
+      bench::at(points, SystemModel::kFrodoTwoParty, 0.0,
+                Metric::kEfficiency);
+  const double e_upnp_at_zero =
+      bench::at(points, SystemModel::kUpnp, 0.0, Metric::kEfficiency);
+  bench::check(e_frodo_at_zero > 0.99 && e_upnp_at_zero < 0.5,
+               "E(0): FRODO owns the global minimum m = 7 (E = 1.0) while "
+               "UPnP's invalidation costs 15 messages (E = 7/15)");
+  return 0;
+}

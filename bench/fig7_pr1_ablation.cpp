@@ -1,0 +1,56 @@
+// Regenerates Figure 7: "PR1 Impact on FRODO" - the control experiment
+// running FRODO with 2-party and 3-party subscription with and without
+// the PR1 recovery technique (the Registry notifying interested Users of
+// new and existing registrations).
+//
+// Paper's reading (Section 6.2, PR1): disabling PR1 visibly lowers the
+// Update Effectiveness of both FRODO variants; FRODO's PR1 is stronger
+// than Jini's because it also covers registrations that existed before
+// the interest was filed.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sdcm;
+  using experiment::Metric;
+  using experiment::SystemModel;
+
+  bench::banner("Figure 7",
+                "Impact of PR1 on FRODO's Update Effectiveness");
+  const std::vector<SystemModel> frodo_models = {
+      SystemModel::kFrodoThreeParty, SystemModel::kFrodoTwoParty};
+
+  bench::note("--- with PR1 (the paper's default model) ---");
+  const auto with_pr1 = bench::paper_sweep({}, frodo_models);
+  experiment::write_series_table(std::cout, with_pr1,
+                                 Metric::kEffectiveness);
+
+  bench::note("\n--- without PR1 (control) ---");
+  const auto without_pr1 = bench::paper_sweep(
+      [](experiment::ExperimentConfig& run) { run.frodo.enable_pr1 = false; },
+      frodo_models);
+  experiment::write_series_table(std::cout, without_pr1,
+                                 Metric::kEffectiveness);
+
+  bench::note("\nshape checks:");
+  for (const auto model : frodo_models) {
+    const double gain =
+        bench::average(with_pr1, model, Metric::kEffectiveness) -
+        bench::average(without_pr1, model, Metric::kEffectiveness);
+    std::printf("  %-14s average effectiveness gain from PR1: %+.3f\n",
+                std::string(experiment::to_string(model)).c_str(), gain);
+  }
+  const bool both_gain =
+      bench::average(with_pr1, SystemModel::kFrodoThreeParty,
+                     Metric::kEffectiveness) >=
+          bench::average(without_pr1, SystemModel::kFrodoThreeParty,
+                         Metric::kEffectiveness) &&
+      bench::average(with_pr1, SystemModel::kFrodoTwoParty,
+                     Metric::kEffectiveness) >=
+          bench::average(without_pr1, SystemModel::kFrodoTwoParty,
+                         Metric::kEffectiveness);
+  bench::check(both_gain,
+               "PR1 improves (or preserves) the effectiveness of both "
+               "FRODO subscription modes");
+  return 0;
+}

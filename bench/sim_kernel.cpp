@@ -1,0 +1,76 @@
+// Google-benchmark microbenchmarks of the simulation substrate: event
+// queue throughput, RNG, message delivery, and whole-run cost per system
+// model. These are the numbers behind the experiment harness's capacity
+// planning (a full paper sweep is 5 systems x 19 rates x 30 runs = 2850
+// simulations; at ~1 ms per run the whole evaluation takes seconds).
+
+#include <benchmark/benchmark.h>
+
+#include "sdcm/experiment/scenario.hpp"
+#include "sdcm/net/network.hpp"
+#include "sdcm/sim/simulator.hpp"
+
+namespace {
+
+using namespace sdcm;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule(i, [&fired] { ++fired; });
+    }
+    while (!queue.empty()) queue.pop().cb();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_RandomUniformInt(benchmark::State& state) {
+  sim::Random rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_int(0, 1000000));
+  }
+}
+BENCHMARK(BM_RandomUniformInt);
+
+void BM_UdpUnicastDelivery(benchmark::State& state) {
+  sim::Simulator simulator(1);
+  simulator.trace().set_recording(false);
+  net::Network network(simulator);
+  network.attach(1, [](const net::Message&) {});
+  std::uint64_t received = 0;
+  network.attach(2, [&](const net::Message&) { ++received; });
+  net::Message msg;
+  msg.src = 1;
+  msg.dst = 2;
+  msg.type = "bench";
+  for (auto _ : state) {
+    network.send(msg);
+    simulator.run_until(simulator.now() + sim::milliseconds(1));
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(static_cast<std::int64_t>(received));
+}
+BENCHMARK(BM_UdpUnicastDelivery);
+
+void BM_FullRun(benchmark::State& state) {
+  const auto model =
+      static_cast<experiment::SystemModel>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    experiment::ExperimentConfig config;
+    config.model = model;
+    config.lambda = 0.45;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(experiment::run_experiment(config));
+  }
+  state.SetLabel(std::string(experiment::to_string(model)));
+}
+BENCHMARK(BM_FullRun)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Extension bench: SLP, the other hybrid architecture of Section 1.
+// Two demonstrations:
+//  (1) poll-only consistency (Section 4.2 lists SLP's consistency
+//      maintenance as periodic querying): update latency is bounded by
+//      the poll period, far above FRODO's notification latency;
+//  (2) hybrid resilience: with the Directory Agent dead across the
+//      change, SLP degrades to multicast peer-to-peer operation and the
+//      update still arrives - "more resilient against failure on the
+//      Registry".
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sdcm/net/failure_model.hpp"
+#include "sdcm/slp/slp.hpp"
+
+namespace {
+
+using namespace sdcm;
+
+struct Outcome {
+  double mean_latency_s = -1;
+  int reached = 0;
+};
+
+Outcome run_slp(bool kill_da, sim::SimDuration poll_period,
+                std::uint64_t seed) {
+  sim::Simulator simulator(seed);
+  simulator.trace().set_recording(false);
+  net::Network network(simulator);
+  discovery::ConsistencyObserver observer;
+  slp::SlpConfig config;
+  config.poll_period = poll_period;
+
+  slp::DirectoryAgent da(simulator, network, 1, config);
+  slp::ServiceAgent sa(simulator, network, 10, config, &observer);
+  discovery::ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  sa.add_service(sd);
+  std::vector<std::unique_ptr<slp::UserAgent>> uas;
+  for (int i = 0; i < 5; ++i) {
+    uas.push_back(std::make_unique<slp::UserAgent>(
+        simulator, network, static_cast<sim::NodeId>(11 + i), "ColorPrinter",
+        config, &observer));
+  }
+  da.start();
+  sa.start();
+  for (auto& ua : uas) ua->start();
+
+  if (kill_da) {
+    net::FailureEpisode ep;
+    ep.node = 1;
+    ep.mode = net::FailureMode::kBoth;
+    ep.start = sim::seconds(150);
+    ep.duration = sim::seconds(5250);
+    net::apply_failures(simulator, network, std::array{ep});
+  }
+  auto change_rng = simulator.rng().fork("experiment.change");
+  const auto change_at =
+      change_rng.uniform_time(sim::seconds(2600), sim::seconds(2700));
+  simulator.schedule_at(change_at, [&sa] { sa.change_service(1); });
+  simulator.run_until(sim::seconds(5400));
+
+  Outcome outcome;
+  double total = 0;
+  for (const auto& ua : uas) {
+    const auto t = observer.reach_time(ua->id(), 2);
+    if (t.has_value()) {
+      total += sim::to_seconds(*t - change_at);
+      ++outcome.reached;
+    }
+  }
+  if (outcome.reached > 0) outcome.mean_latency_s = total / outcome.reached;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("SLP hybrid",
+                "Poll-only consistency + Registry-failure resilience");
+
+  std::printf("\n(1) poll-only latency, healthy network, 5 UAs, 10 seeds:\n");
+  std::printf("  %-14s %-20s %s\n", "poll period", "mean latency (s)",
+              "consistent users");
+  for (const long period : {120L, 300L, 600L}) {
+    double total = 0;
+    int reached = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto outcome =
+          run_slp(false, sim::seconds(period), seed);
+      total += outcome.mean_latency_s * outcome.reached;
+      reached += outcome.reached;
+    }
+    std::printf("  %-14ld %-20.1f %d/50\n", period, total / reached, reached);
+  }
+  bench::note("  (FRODO's notification delivers in ~0.0003 s: Section 4.2's"
+              "\n   'polling is a slower mechanism' on SLP itself; expected"
+              "\n   mean ~= period / 2)");
+
+  std::printf("\n(2) Directory Agent dead across the change (10 seeds):\n");
+  int reached = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    reached += run_slp(true, sim::seconds(300), seed).reached;
+  }
+  std::printf("  consistent users: %d/50 despite the dead Registry\n",
+              reached);
+  bench::check(reached == 50,
+               "hybrid failover: multicast peer-to-peer polling recovers "
+               "every user with the Registry down (Section 1's resilience "
+               "argument for SLP and FRODO)");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Regenerates the descriptive tables: Table 1 (classification of
+// recovery techniques), the taxonomy rows of Table 2 (which techniques
+// each protocol implements), and Table 4 (how each model implements
+// them). Printed from the code's own capability declarations so the
+// document cannot drift from the implementation.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sdcm/discovery/recovery.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/jini/registry.hpp"
+#include "sdcm/upnp/manager.hpp"
+
+int main() {
+  using namespace sdcm;
+  using discovery::RecoveryTechnique;
+
+  bench::banner("Table 1", "Classification of recovery techniques");
+  for (const auto t :
+       {RecoveryTechnique::kSRC1, RecoveryTechnique::kSRC2,
+        RecoveryTechnique::kSRN1, RecoveryTechnique::kSRN2,
+        RecoveryTechnique::kPR1, RecoveryTechnique::kPR2,
+        RecoveryTechnique::kPR3, RecoveryTechnique::kPR4,
+        RecoveryTechnique::kPR5}) {
+    std::printf("  %-5s %s\n", std::string(to_string(t)).c_str(),
+                std::string(describe(t)).c_str());
+  }
+
+  bench::banner("Table 2 (taxonomy rows)",
+                "Techniques implemented per protocol model");
+  struct Row {
+    const char* name;
+    discovery::TechniqueSet set;
+    const char* notes;
+  };
+  const Row rows[] = {
+      {"UPnP", upnp::UpnpManager::techniques(),
+       "2-party; SRC1/SRN1 TCP-dependent; no SRN2; resubscription (PR4) "
+       "does not replay state"},
+      {"Jini", jini::JiniRegistry::techniques(),
+       "3-party; SRC1/SRN1 TCP-dependent; PR1 future-registrations only; "
+       "PR2 query-after-notification-request; PR3 bare error"},
+      {"FRODO", frodo::FrodoRegistryNode::techniques(),
+       "2-party (300D) + 3-party (3C/3D); protocol-level SRN1; SRN2 at "
+       "2-party Managers; PR1 covers existing registrations; PR3/PR4 "
+       "responses carry the updated SD; PR5 Registry-query-then-multicast"},
+  };
+  std::printf("  %-7s", "");
+  for (const auto t :
+       {RecoveryTechnique::kSRC1, RecoveryTechnique::kSRC2,
+        RecoveryTechnique::kSRN1, RecoveryTechnique::kSRN2,
+        RecoveryTechnique::kPR1, RecoveryTechnique::kPR2,
+        RecoveryTechnique::kPR3, RecoveryTechnique::kPR4,
+        RecoveryTechnique::kPR5}) {
+    std::printf("%-6s", std::string(to_string(t)).c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("  %-7s", row.name);
+    for (const auto t :
+         {RecoveryTechnique::kSRC1, RecoveryTechnique::kSRC2,
+          RecoveryTechnique::kSRN1, RecoveryTechnique::kSRN2,
+          RecoveryTechnique::kPR1, RecoveryTechnique::kPR2,
+          RecoveryTechnique::kPR3, RecoveryTechnique::kPR4,
+          RecoveryTechnique::kPR5}) {
+      std::printf("%-6s", row.set.contains(t) ? "x" : "-");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("  %-7s %s\n", row.name, row.notes);
+  }
+
+  bench::note("\nexpected per Table 2:");
+  bench::note("  UPnP : SRC1 SRN1 PR4 PR5");
+  bench::note("  Jini : SRN1 SRC1 SRC2 PR1 PR2 PR3");
+  bench::note("  FRODO: SRN1 SRN2 SRC1 SRC2 PR1 PR3 PR4 PR5");
+  const bool upnp_ok =
+      upnp::UpnpManager::techniques() ==
+      discovery::TechniqueSet{RecoveryTechnique::kSRC1,
+                              RecoveryTechnique::kSRN1,
+                              RecoveryTechnique::kPR4,
+                              RecoveryTechnique::kPR5};
+  const bool jini_ok =
+      jini::JiniRegistry::techniques() ==
+      discovery::TechniqueSet{RecoveryTechnique::kSRN1,
+                              RecoveryTechnique::kSRC1,
+                              RecoveryTechnique::kSRC2,
+                              RecoveryTechnique::kPR1,
+                              RecoveryTechnique::kPR2,
+                              RecoveryTechnique::kPR3};
+  const bool frodo_ok =
+      frodo::FrodoRegistryNode::techniques() ==
+      discovery::TechniqueSet{
+          RecoveryTechnique::kSRN1, RecoveryTechnique::kSRN2,
+          RecoveryTechnique::kSRC1, RecoveryTechnique::kSRC2,
+          RecoveryTechnique::kPR1,  RecoveryTechnique::kPR3,
+          RecoveryTechnique::kPR4,  RecoveryTechnique::kPR5};
+  bench::check(upnp_ok && jini_ok && frodo_ok,
+               "implemented technique sets match Table 2");
+  return 0;
+}

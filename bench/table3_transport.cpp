@@ -1,0 +1,125 @@
+// Validates Table 3, "Network characteristics", by exercising the
+// transport substrate directly:
+//
+//   - transmission delay 10 us - 100 us;
+//   - UDP: message discarded on loss, no retransmission; UPnP/Jini
+//     multicast redundantly transmitted 6 times; FRODO 1 time;
+//   - TCP connection setup: initial SYN + 4 retransmissions with gaps
+//     6 s, 24 s, 24 s, 24 s, then REX;
+//   - TCP data transfer: retransmit until success, timeout +25% per retry.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sdcm/net/tcp.hpp"
+
+int main() {
+  using namespace sdcm;
+  bench::banner("Table 3", "Transport model validation");
+
+  // --- delay bounds ---------------------------------------------------
+  {
+    sim::Simulator simulator(1);
+    net::Network network(simulator);
+    network.attach(1, [](const net::Message&) {});
+    sim::SimTime min_delay = sim::seconds(1), max_delay = 0;
+    network.attach(2, [&](const net::Message&) {
+      min_delay = std::min(min_delay, simulator.now() % sim::seconds(1));
+    });
+    std::vector<sim::SimTime> sent;
+    for (int i = 0; i < 1000; ++i) {
+      const auto d = network.draw_delay();
+      min_delay = std::min(min_delay, d);
+      max_delay = std::max(max_delay, d);
+    }
+    std::printf("transmission delay: observed [%lld us, %lld us]\n",
+                static_cast<long long>(min_delay),
+                static_cast<long long>(max_delay));
+    bench::check(min_delay >= 10 && max_delay <= 100,
+                 "delay within Table 3's 10-100 us");
+  }
+
+  // --- TCP connection setup schedule -----------------------------------
+  {
+    sim::Simulator simulator(2);
+    net::Network network(simulator);
+    network.attach(1, [](const net::Message&) {});
+    network.attach(2, [](const net::Message&) {});
+    network.interface(2).set_rx(false);
+    sim::SimTime rex_at = -1;
+    net::TcpConnection::open(
+        network, 1, 2, [](const auto&) {}, [&] { rex_at = simulator.now(); });
+    simulator.run_until(sim::seconds(200));
+    std::printf("TCP setup: %llu SYNs on the wire, REX at %s\n",
+                static_cast<unsigned long long>(
+                    network.counters().of_type("tcp.syn")),
+                sim::format_time(rex_at).c_str());
+    bench::check(network.counters().of_type("tcp.syn") == 5,
+                 "initial SYN + 4 retransmissions (delays 6/24/24/24 s)");
+    bench::check(rex_at == sim::seconds(102),
+                 "REX raised to the discovery layer after the retry budget");
+  }
+
+  // --- TCP data retransmit-until-success with 25% backoff --------------
+  {
+    sim::Simulator simulator(3);
+    net::Network network(simulator);
+    network.attach(1, [](const net::Message&) {});
+    int delivered = 0;
+    network.attach(2, [&](const net::Message&) { ++delivered; });
+    std::shared_ptr<net::TcpConnection> conn;
+    net::TcpConnection::open(
+        network, 1, 2, [&](const auto& c) { conn = c; }, [] {});
+    simulator.run_until(sim::seconds(1));
+    network.interface(2).set_rx(false);
+    simulator.schedule_in(sim::seconds(30),
+                          [&] { network.interface(2).set_rx(true); });
+    net::Message msg;
+    msg.src = 1;
+    msg.dst = 2;
+    msg.type = "payload";
+    msg.klass = net::MessageClass::kControl;
+    bool acked = false;
+    conn->send(msg, [&] { acked = true; });
+    simulator.run_until(sim::seconds(120));
+    std::printf("TCP data through a 30 s outage: delivered=%d acked=%s "
+                "retransmissions=%llu\n",
+                delivered, acked ? "yes" : "no",
+                static_cast<unsigned long long>(
+                    network.counters().of_type("payload.retx")));
+    bench::check(delivered == 1 && acked,
+                 "data transfer retransmits until success (and delivers "
+                 "exactly once)");
+  }
+
+  // --- UDP loss + multicast redundancy ----------------------------------
+  {
+    sim::Simulator simulator(4);
+    net::Network network(simulator);
+    network.attach(1, [](const net::Message&) {});
+    int received = 0;
+    network.attach(2, [&](const net::Message&) { ++received; });
+    network.interface(2).set_rx(false);
+    net::Message msg;
+    msg.src = 1;
+    msg.dst = 2;
+    msg.type = "udp";
+    network.send(msg);
+    simulator.run_until(sim::seconds(1));
+    const bool dropped_silently = received == 0;
+    network.interface(2).set_rx(true);
+    net::Message mc;
+    mc.src = 1;
+    mc.type = "announce";
+    network.multicast(mc, 6);  // UPnP/Jini redundancy
+    network.multicast(mc, 1);  // FRODO
+    simulator.run_until(sim::seconds(2));
+    std::printf("UDP: unicast into dead receiver delivered %d; multicast "
+                "copies received 6+1=%d\n",
+                1 - (dropped_silently ? 1 : 0), received);
+    bench::check(dropped_silently, "UDP loss is silent (no retransmission)");
+    bench::check(received == 7,
+                 "multicast redundancy: UPnP/Jini 6 copies, FRODO 1");
+  }
+  return 0;
+}

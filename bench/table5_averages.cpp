@@ -1,0 +1,76 @@
+// Regenerates Table 5: "Average metrics results across failure rates
+// from 0% to 90%" - the paper's summary row of the whole evaluation.
+//
+// Paper values:
+//                         UPnP   Jini-1R  Jini-2R  FRODO-3p  FRODO-2p
+//   Update Responsiveness 0.553  0.474    0.476    0.580     0.666
+//   Update Effectiveness  0.922  0.802    0.825    0.878     0.861
+//   Efficiency Degrad. G  0.385  0.311    0.361    0.428     0.429
+//
+// Headline conclusion reproduced: "although FRODO is a single Registry
+// architecture with unreliable transmissions, FRODO has the highest
+// responsiveness, with the least degradation in efficiency compared to
+// Jini (even Jini with two Registries) and UPnP, while maintaining a
+// high degree of effectiveness."
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sdcm;
+  using experiment::Metric;
+  using experiment::SystemModel;
+
+  bench::banner("Table 5", "Average metrics across failure rates 0-90%");
+  const auto points = bench::paper_sweep();
+  experiment::write_averages_table(std::cout, points);
+
+  bench::note("\npaper Table 5:");
+  bench::note("Update Metric                 UPnP          Jini-1R       "
+              "Jini-2R       FRODO-3party  FRODO-2party");
+  bench::note("Update Responsiveness R       0.553         0.474         "
+              "0.476         0.580         0.666");
+  bench::note("Update Effectiveness F        0.922         0.802         "
+              "0.825         0.878         0.861");
+  bench::note("Efficiency Degradation G      0.385         0.311         "
+              "0.361         0.428         0.429");
+
+  bench::note("\nheadline checks:");
+  const double r_f2p = bench::average(points, SystemModel::kFrodoTwoParty,
+                                      Metric::kResponsiveness);
+  bool highest_r = true;
+  for (const auto model :
+       {SystemModel::kUpnp, SystemModel::kJiniOneRegistry,
+        SystemModel::kJiniTwoRegistries, SystemModel::kFrodoThreeParty}) {
+    highest_r = highest_r && r_f2p >= bench::average(
+                                          points, model,
+                                          Metric::kResponsiveness);
+  }
+  bench::check(highest_r, "FRODO has the highest responsiveness");
+
+  const double g_f2p = bench::average(points, SystemModel::kFrodoTwoParty,
+                                      Metric::kDegradation);
+  bool least_degradation = true;
+  for (const auto model :
+       {SystemModel::kUpnp, SystemModel::kJiniOneRegistry,
+        SystemModel::kJiniTwoRegistries}) {
+    least_degradation =
+        least_degradation &&
+        g_f2p >= bench::average(points, model, Metric::kDegradation);
+  }
+  bench::check(least_degradation,
+               "FRODO has the least efficiency degradation (vs Jini, even "
+               "with 2 Registries, and UPnP)");
+
+  bool high_f = true;
+  for (const auto model :
+       {SystemModel::kFrodoThreeParty, SystemModel::kFrodoTwoParty}) {
+    high_f = high_f &&
+             bench::average(points, model, Metric::kEffectiveness) > 0.8;
+  }
+  bench::check(high_f,
+               "FRODO maintains a high degree of effectiveness (> 0.8)");
+
+  bench::note("\ncsv dump (for plotting):");
+  experiment::write_csv(std::cout, points);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Reproduces the paper's Section 6.2 event-log excerpt verbatim: the
+// UPnP run at 15% interface failure where
+//
+//     Manager Tx down at 381, up at 1191
+//     User Tx and Rx down at 2023, up at 2833
+//     service changes at 2507
+//
+// and "the update notification fails, and the User never regains
+// consistency! This is a failure to satisfy the Configuration Update
+// Principles." Then runs the identical failure schedule against FRODO
+// with 2-party subscription, whose SRN2 resends the update when the
+// User's lease renewal arrives.
+//
+//   $ ./paper_trace
+
+#include <array>
+#include <iostream>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+#include "sdcm/net/failure_model.hpp"
+#include "sdcm/upnp/manager.hpp"
+#include "sdcm/upnp/user.hpp"
+
+namespace {
+
+using namespace sdcm;
+
+discovery::ServiceDescription printer_sd() {
+  discovery::ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  sd.attributes = {{"PaperSize", "A4"}};
+  return sd;
+}
+
+void inject_paper_failures(sim::Simulator& simulator, net::Network& network,
+                           net::NodeId manager, net::NodeId user) {
+  net::FailureEpisode mgr;
+  mgr.node = manager;
+  mgr.mode = net::FailureMode::kTransmitter;
+  mgr.start = sim::seconds(381);
+  mgr.duration = sim::seconds(810);  // up at 1191
+  net::FailureEpisode usr;
+  usr.node = user;
+  usr.mode = net::FailureMode::kBoth;
+  usr.start = sim::seconds(2023);
+  usr.duration = sim::seconds(810);  // up at 2833
+  net::apply_failures(simulator, network, std::array{mgr, usr});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Section 6.2 example, failure rate 15%:\n"
+            << "  Manager Tx down at 381, up at 1191\n"
+            << "  User Tx and Rx down at 2023, up at 2833\n"
+            << "  service changes at 2507, deadline 5400\n\n";
+
+  // ---------------- UPnP: the paper's failing run -----------------
+  {
+    sim::Simulator simulator(65);
+    simulator.trace().set_recording(false);
+    net::Network network(simulator);
+    discovery::ConsistencyObserver observer;
+    upnp::UpnpManager manager(simulator, network, 1, upnp::UpnpConfig{},
+                              &observer);
+    manager.add_service(printer_sd());
+    upnp::UpnpUser user(simulator, network, 2,
+                        upnp::Requirement{"Printer", "ColorPrinter"},
+                        upnp::UpnpConfig{}, &observer);
+    manager.start();
+    user.start();
+    inject_paper_failures(simulator, network, 1, 2);
+    simulator.schedule_at(sim::seconds(2507),
+                          [&] { manager.change_service(1); });
+    simulator.run_until(sim::seconds(5400));
+
+    const auto reached = observer.reach_time(2, 2);
+    std::cout << "UPnP:  NOTIFY at 2507 REXes (User offline), the Manager "
+                 "purges the\n       subscription; the later PR4 "
+                 "resubscription replays no state.\n";
+    std::cout << "       User consistent by 5400s: "
+              << (reached ? sim::format_time(*reached) : "NEVER")
+              << "   (paper: \"the User never regains consistency!\")\n";
+    std::cout << "       User still cached version "
+              << user.cached()->version << ", subscribed again: "
+              << std::boolalpha << user.is_subscribed() << "\n\n";
+  }
+
+  // ---------------- FRODO 2-party under the same schedule ----------
+  {
+    sim::Simulator simulator(65);
+    simulator.trace().set_recording(false);
+    net::Network network(simulator);
+    discovery::ConsistencyObserver observer;
+    frodo::FrodoRegistryNode registry(simulator, network, 3, 100);
+    frodo::FrodoManager manager(simulator, network, 1,
+                                frodo::DeviceClass::k300D,
+                                frodo::FrodoConfig{}, &observer);
+    manager.add_service(printer_sd());
+    frodo::FrodoUser user(simulator, network, 2, frodo::DeviceClass::k300D,
+                          frodo::Matching{"Printer", "ColorPrinter"},
+                          frodo::FrodoConfig{}, &observer);
+    registry.start();
+    manager.start();
+    user.start();
+    inject_paper_failures(simulator, network, 1, 2);
+    simulator.schedule_at(sim::seconds(2507),
+                          [&] { manager.change_service(1); });
+    simulator.run_until(sim::seconds(5400));
+
+    const auto reached = observer.reach_time(2, 2);
+    std::cout << "FRODO: the direct update's SRN1 retries fail the same "
+                 "way, but the\n       Manager marks the User inconsistent "
+                 "(SRN2) and resends when its\n       next lease renewal "
+                 "arrives after recovery.\n";
+    std::cout << "       User consistent by 5400s: "
+              << (reached ? sim::format_time(*reached) : "NEVER") << '\n';
+    std::cout << "       User's cached version: " << user.cached()->version
+              << '\n';
+    return reached.has_value() ? 0 : 1;
+  }
+}

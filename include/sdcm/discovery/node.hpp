@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "sdcm/net/network.hpp"
+#include "sdcm/sim/simulator.hpp"
+
+namespace sdcm::discovery {
+
+using sim::NodeId;
+
+/// Base class for every protocol entity (User, Manager, Registry across
+/// all three protocols). Wires the node into the Network, forks a
+/// per-node random stream, and provides trace sugar. Subclasses implement
+/// `on_message` and start their timers in `start()` (called by the
+/// scenario once all nodes are attached, so startup multicasts have an
+/// audience).
+class Node {
+ public:
+  Node(sim::Simulator& simulator, net::Network& network, NodeId id,
+       std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Kicks off the node's initial behaviour (announcements, discovery).
+  virtual void start() = 0;
+
+ protected:
+  virtual void on_message(const net::Message& msg) = 0;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return net_; }
+  [[nodiscard]] sim::Random& rng() noexcept { return rng_; }
+  [[nodiscard]] sim::SimTime now() const noexcept { return sim_.now(); }
+
+  void trace(sim::TraceCategory category, std::string event,
+             std::string detail = {}) {
+    sim_.trace().record(sim_.now(), id_, category, std::move(event),
+                        std::move(detail));
+  }
+
+ private:
+  sim::Simulator& sim_;
+  net::Network& net_;
+  NodeId id_;
+  std::string name_;
+  sim::Random rng_;
+};
+
+}  // namespace sdcm::discovery

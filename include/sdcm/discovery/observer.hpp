@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sdcm/discovery/service.hpp"
+
+namespace sdcm::discovery {
+
+/// Records the ground-truth consistency timeline of one monitored service
+/// across a run: when the Manager changed it (C(i) in the Update Metrics)
+/// and when each User first held the new version (U(i, j)).
+///
+/// Protocol models call `service_changed` / `user_reached` at the moment
+/// the state transition happens; the metrics layer never inspects
+/// protocol internals.
+class ConsistencyObserver {
+ public:
+  /// Declares a User whose consistency is being tracked. Users that never
+  /// reach the new version simply have no `user_reached` record.
+  void track_user(NodeId user);
+
+  /// The Manager changed the monitored service to `version` at `at`.
+  void service_changed(ServiceVersion version, sim::SimTime at);
+
+  /// `user` first obtained `version` at time `at`. Calls for versions or
+  /// users not being tracked, or repeat calls for the same (user, version),
+  /// are ignored, so protocol code can report unconditionally.
+  void user_reached(NodeId user, ServiceVersion version, sim::SimTime at);
+
+  [[nodiscard]] const std::vector<NodeId>& users() const noexcept {
+    return users_;
+  }
+
+  /// Time of the change to `version`, if it happened.
+  [[nodiscard]] std::optional<sim::SimTime> change_time(
+      ServiceVersion version) const;
+
+  /// Time `user` first reached `version`, if it did.
+  [[nodiscard]] std::optional<sim::SimTime> reach_time(
+      NodeId user, ServiceVersion version) const;
+
+  /// True iff every tracked user reached `version` by `deadline`
+  /// (strictly before, matching the metric's U < D).
+  [[nodiscard]] bool all_consistent_by(ServiceVersion version,
+                                       sim::SimTime deadline) const;
+
+  /// Invoked on every *first* reach of a (user, version) pair - the
+  /// experiment harness uses it to snapshot message counters at the
+  /// moment consistency is attained (the Update Efficiency window).
+  std::function<void(NodeId, ServiceVersion, sim::SimTime)> on_user_reached;
+
+ private:
+  std::vector<NodeId> users_;
+  std::map<ServiceVersion, sim::SimTime> changes_;
+  std::map<std::pair<NodeId, ServiceVersion>, sim::SimTime> reached_;
+};
+
+}  // namespace sdcm::discovery

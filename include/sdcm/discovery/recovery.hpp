@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+
+namespace sdcm::discovery {
+
+/// The paper's classification of consistency-maintenance recovery
+/// techniques (Table 1).
+///
+/// Subscription-recovery (subscription still valid):
+///   SRC1  critical:     acknowledged notifications, unlimited retransmission
+///   SRC2  critical:     User/Registry monitor update sequence numbers and
+///                       request missed updates; Manager keeps history
+///   SRN1  non-critical: acknowledged notifications, bounded retransmission
+///   SRN2  non-critical: Manager retries a failed notification when it next
+///                       hears from the inconsistent User (lease renewal)
+///
+/// Purge-rediscovery (subscription expired):
+///   PR1  Manager and Registry rediscover each other; re-registration makes
+///        the Registry notify interested Users
+///   PR2  User rediscovers the Registry and queries for the service
+///   PR3  Registry purged the User; the User's next renewal triggers
+///        resubscription
+///   PR4  Manager purged the User; the User's next message triggers
+///        resubscription
+///   PR5  User purges the Manager and rediscovers it (multicast query,
+///        Manager announcements, or a Registry query)
+enum class RecoveryTechnique : std::uint8_t {
+  kSRC1,
+  kSRC2,
+  kSRN1,
+  kSRN2,
+  kPR1,
+  kPR2,
+  kPR3,
+  kPR4,
+  kPR5,
+};
+
+std::string_view to_string(RecoveryTechnique t) noexcept;
+std::string_view describe(RecoveryTechnique t) noexcept;
+
+/// Small value-type set of techniques; used to publish each protocol
+/// model's capabilities (Table 2 taxonomy) and to toggle techniques in
+/// ablation experiments (Figure 7 runs FRODO with and without PR1).
+class TechniqueSet {
+ public:
+  constexpr TechniqueSet() = default;
+  constexpr TechniqueSet(std::initializer_list<RecoveryTechnique> ts) {
+    for (const auto t : ts) insert(t);
+  }
+
+  constexpr void insert(RecoveryTechnique t) noexcept { bits_ |= bit(t); }
+  constexpr void erase(RecoveryTechnique t) noexcept { bits_ &= ~bit(t); }
+  [[nodiscard]] constexpr bool contains(RecoveryTechnique t) const noexcept {
+    return (bits_ & bit(t)) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept { return bits_ == 0; }
+
+  friend constexpr bool operator==(TechniqueSet, TechniqueSet) = default;
+
+ private:
+  static constexpr std::uint32_t bit(RecoveryTechnique t) noexcept {
+    return 1U << static_cast<unsigned>(t);
+  }
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace sdcm::discovery

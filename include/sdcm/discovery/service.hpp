@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sdcm/sim/time.hpp"
+#include "sdcm/sim/trace.hpp"
+
+namespace sdcm::discovery {
+
+using sim::NodeId;
+
+/// Identifies a service within the system. The experiments monitor a
+/// single service, but the library supports Managers with several.
+using ServiceId = std::uint32_t;
+
+/// Monotone version counter for a service description; bumped on every
+/// change. A User is *consistent* with the Manager when its cached
+/// version equals the Manager's current one.
+using ServiceVersion = std::uint32_t;
+
+/// Attribute list of a service description, e.g.
+/// {PaperSize: A4, Location: Study} for the paper's printer example.
+using AttributeList = std::map<std::string, std::string, std::less<>>;
+
+/// Service Description (SD) per Section 1: device type (e.g. printer),
+/// service type (e.g. color printing) and an attribute list.
+struct ServiceDescription {
+  ServiceId id = 0;
+  NodeId manager = sim::kNoNode;
+  std::string device_type;
+  std::string service_type;
+  AttributeList attributes;
+  ServiceVersion version = 1;
+
+  friend bool operator==(const ServiceDescription&,
+                         const ServiceDescription&) = default;
+
+  /// One-line rendering for traces and examples, mirroring the paper's
+  /// "SD = {DeviceType=Printer, ...}" notation.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Approximate wire size of a description-carrying message: header plus
+/// the type strings and attribute list (used for byte-level efficiency
+/// accounting, e.g. the invalidation-vs-data study of Section 4.2).
+std::size_t wire_size(const ServiceDescription& sd) noexcept;
+
+/// A time-bounded grant (registration lease, subscription lease, ...).
+/// Originates from Gray & Cheriton; all three modelled protocols use
+/// 1800 s leases for registration and subscription (Section 5 Step 4).
+struct Lease {
+  sim::SimTime granted_at = 0;
+  sim::SimDuration duration = 0;
+
+  [[nodiscard]] sim::SimTime expires_at() const noexcept {
+    return granted_at + duration;
+  }
+  [[nodiscard]] bool valid_at(sim::SimTime now) const noexcept {
+    return now < expires_at();
+  }
+  /// Extends the lease from `now` for another full duration.
+  void renew(sim::SimTime now) noexcept { granted_at = now; }
+};
+
+/// A User's (or Registry's) cached copy of a discovered service.
+struct CachedService {
+  ServiceDescription sd;
+  Lease lease;
+};
+
+}  // namespace sdcm::discovery

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdcm/experiment/sweep.hpp"
+
+namespace sdcm::experiment::cli {
+
+/// Parsed command line of the `sdcm_sweep` tool.
+struct Options {
+  SweepConfig sweep;
+  /// Where to write the CSV ("-" = stdout only).
+  std::string output = "-";
+  /// Ablation toggles applied to every run.
+  bool frodo_pr1 = true;
+  bool frodo_srn2 = true;
+  bool frodo_pr3 = true;
+  bool frodo_pr4 = true;
+  bool frodo_pr5 = true;
+  bool upnp_pr4 = true;
+  bool upnp_pr5 = true;
+  net::FailurePlacement placement = net::FailurePlacement::kFitInside;
+  int episodes = 1;
+  bool help = false;
+};
+
+/// Parses argv. Returns std::nullopt (with a message on `error`) when the
+/// arguments are malformed. Accepted flags:
+///   --models=UPnP,Jini-1R,Jini-2R,FRODO-3party,FRODO-2party
+///   --lambdas=0.0:0.9:0.05  (min:max:step)  or  --lambdas=0.1,0.5
+///   --runs=N  --users=N  --threads=N  --seed=N
+///   --output=FILE
+///   --no-frodo-pr1 --no-frodo-srn2 --no-frodo-pr3 --no-frodo-pr4
+///   --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5
+///   --placement=fit|truncated  --episodes=N
+///   --help
+std::optional<Options> parse(int argc, const char* const* argv,
+                             std::string& error);
+
+/// Usage text for --help / errors.
+std::string usage();
+
+/// Resolves a model name ("UPnP", "Jini-1R", ...) case-sensitively.
+std::optional<SystemModel> model_from_name(std::string_view name);
+
+/// Builds the customize hook encoding the ablation toggles.
+std::function<void(ExperimentConfig&)> make_customize(const Options& options);
+
+}  // namespace sdcm::experiment::cli

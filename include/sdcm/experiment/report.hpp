@@ -1,0 +1,42 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "sdcm/experiment/sweep.hpp"
+
+namespace sdcm::experiment {
+
+/// Which of the four metrics a figure plots.
+enum class Metric : std::uint8_t {
+  kResponsiveness,
+  kEffectiveness,
+  kEfficiency,
+  kDegradation,
+};
+
+std::string_view to_string(Metric metric) noexcept;
+double value_of(const metrics::MetricsSummary& summary,
+                Metric metric) noexcept;
+
+/// Emits one figure's data as a column-per-model table: a header row,
+/// then one row per failure rate - the exact series the paper plots in
+/// Figures 4-7. Pure text, consumable by gnuplot/pandas.
+void write_series_table(std::ostream& os, std::span<const SweepPoint> points,
+                        Metric metric);
+
+/// Same data as CSV ("model,lambda,responsiveness,effectiveness,
+/// efficiency,degradation").
+void write_csv(std::ostream& os, std::span<const SweepPoint> points);
+
+/// Table 5 of the paper: per-model averages of the metric across all
+/// failure rates.
+void write_averages_table(std::ostream& os,
+                          std::span<const SweepPoint> points);
+
+/// Parses the SDCM_RUNS environment variable (bench runtime knob);
+/// returns `fallback` when unset or invalid.
+int runs_from_env(int fallback);
+
+}  // namespace sdcm::experiment

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sdcm/frodo/config.hpp"
+#include "sdcm/jini/config.hpp"
+#include "sdcm/metrics/update_metrics.hpp"
+#include "sdcm/net/failure_model.hpp"
+#include "sdcm/upnp/config.hpp"
+
+namespace sdcm::experiment {
+
+/// The five simulated systems of Section 5.
+enum class SystemModel : std::uint8_t {
+  kUpnp,
+  kJiniOneRegistry,
+  kJiniTwoRegistries,
+  kFrodoThreeParty,
+  kFrodoTwoParty,
+};
+
+inline constexpr SystemModel kAllModels[] = {
+    SystemModel::kUpnp, SystemModel::kJiniOneRegistry,
+    SystemModel::kJiniTwoRegistries, SystemModel::kFrodoThreeParty,
+    SystemModel::kFrodoTwoParty};
+
+std::string_view to_string(SystemModel model) noexcept;
+
+/// The system's own zero-failure update-message count m' (Figure 6's
+/// legend: Jini-1R 7, Jini-2R 14, UPnP 15, FRODO 7/7), computed for the
+/// given user count.
+std::uint64_t minimum_update_messages(SystemModel model, int users) noexcept;
+
+/// Configuration of one simulation run, defaulted to the paper's
+/// experiment design (Section 5 Step 5): 5400 s run, 5 Users, discovery
+/// in the first 100 s (failure-free), one change at U(100 s, 2700 s),
+/// interface failures at rate lambda.
+struct ExperimentConfig {
+  SystemModel model = SystemModel::kFrodoThreeParty;
+  double lambda = 0.0;
+  std::uint64_t seed = 1;
+  int users = 5;
+  sim::SimTime duration = sim::seconds(5400);
+  sim::SimTime change_min = sim::seconds(100);
+  sim::SimTime change_max = sim::seconds(2700);
+  /// Keep the structured trace (event log) - off for metric sweeps.
+  bool record_trace = false;
+  /// Episode placement; see net::FailurePlacement and DESIGN.md decision 1.
+  net::FailurePlacement failure_placement = net::FailurePlacement::kFitInside;
+  /// Outage episodes per node (total downtime stays lambda * duration).
+  int failure_episodes = 1;
+  /// Horizon the failure plan is drawn over; 0 means `duration`. Setting
+  /// it shorter than `duration` guarantees restored connectivity before
+  /// the deadline - used by the eventual-consistency property tests.
+  sim::SimTime failure_horizon = 0;
+  /// Independent per-delivery message-loss probability - the companion
+  /// study's communication-failure model [25]; 0 in the paper's
+  /// interface-failure experiments.
+  double message_loss_rate = 0.0;
+
+  /// Per-protocol model parameters; edit for ablation experiments
+  /// (e.g. frodo.enable_pr1 = false reproduces Figure 7's control).
+  upnp::UpnpConfig upnp{};
+  jini::JiniConfig jini{};
+  frodo::FrodoConfig frodo{};
+};
+
+/// Builds the topology for `config.model`, injects the failure plan,
+/// schedules the change, runs to the horizon and extracts the RunRecord
+/// the Update Metrics consume. Node ids: registries 1-2, manager 10,
+/// users 11..10+N.
+metrics::RunRecord run_experiment(const ExperimentConfig& config);
+
+}  // namespace sdcm::experiment

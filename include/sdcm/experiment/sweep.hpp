@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sdcm/experiment/scenario.hpp"
+#include "sdcm/metrics/update_metrics.hpp"
+
+namespace sdcm::experiment {
+
+/// A full Section 5 experiment: every selected system model simulated at
+/// every failure rate, X runs per point.
+struct SweepConfig {
+  std::vector<SystemModel> models{kAllModels, kAllModels + 5};
+  /// Failure rates; default 0.00 .. 0.90 in 0.05 steps (19 points).
+  std::vector<double> lambdas = paper_lambda_grid();
+  /// Runs per (model, lambda) point. The paper simulates 30 logs per
+  /// point; override with the SDCM_RUNS environment variable in benches.
+  int runs = 30;
+  int users = 5;
+  std::uint64_t master_seed = 20060425;  // IPDPS 2006
+  /// 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Applied to each run's config before execution - the ablation hook
+  /// (e.g. flip frodo.enable_pr1 for Figure 7).
+  std::function<void(ExperimentConfig&)> customize;
+
+  static std::vector<double> paper_lambda_grid();
+};
+
+struct SweepPoint {
+  SystemModel model{};
+  double lambda = 0.0;
+  int runs = 0;
+  metrics::MetricsSummary metrics;
+  /// Raw per-run records (for percentile analysis and tests).
+  std::vector<metrics::RunRecord> records;
+};
+
+/// Deterministic: the run seed depends only on (master_seed, model,
+/// lambda index, run index), so results are stable across thread counts.
+std::uint64_t run_seed(std::uint64_t master_seed, SystemModel model,
+                       std::size_t lambda_index, int run_index);
+
+/// Executes the sweep on a thread pool and aggregates the Update Metrics
+/// per point. Points are ordered by (model, lambda).
+std::vector<SweepPoint> run_sweep(const SweepConfig& config);
+
+}  // namespace sdcm::experiment

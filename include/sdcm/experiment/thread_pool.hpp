@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sdcm::experiment {
+
+/// Minimal fixed-size worker pool for embarrassingly parallel Monte Carlo
+/// sweeps. Simulation runs are fully independent (each owns its
+/// Simulator, Network and RNG streams), so the only shared state during a
+/// sweep is the result buffer, which callers index disjointly.
+class ThreadPool {
+ public:
+  /// `threads` = 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (simulation errors are bugs;
+  /// the pool std::terminates on escape, which is what we want in a
+  /// reproducibility harness).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Runs `body(i)` for i in [0, n) across the pool and waits.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sdcm::experiment

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "sdcm/frodo/messages.hpp"
+#include "sdcm/net/network.hpp"
+
+namespace sdcm::frodo {
+
+/// Protocol-level reliability over plain UDP: the SRN1 (bounded
+/// retransmission) and SRC1 (unlimited retransmission for critical
+/// updates) recovery techniques of Section 4.3.
+///
+/// The sender transmits the message, arms a retransmission timer, and
+/// keeps resending the identical message on the configured spacing until
+/// the matching ack token arrives, the retry limit is reached (SRN1), or
+/// the exchange is cancelled (lease expiry / newer change). FRODO's
+/// retransmissions are discovery-layer messages, so every copy keeps the
+/// original accounting class - unlike TCP retransmissions, which the
+/// paper's metrics ignore.
+class AckedChannel {
+ public:
+  struct Options {
+    /// < 0 means unlimited (SRC1).
+    int max_retries = 3;
+    sim::SimDuration spacing = sim::seconds(2);
+  };
+
+  AckedChannel(sim::Simulator& simulator, net::Network& network);
+  ~AckedChannel();
+  AckedChannel(const AckedChannel&) = delete;
+  AckedChannel& operator=(const AckedChannel&) = delete;
+
+  /// Reserves a token the caller embeds in the message payload before
+  /// calling send().
+  [[nodiscard]] Token allocate_token() noexcept { return next_token_++; }
+
+  /// Sends `message` and retransmits per `options` until acknowledge(token)
+  /// is called. on_failed fires when the retry limit is exhausted
+  /// (never for unlimited SRC1 sends).
+  void send(Token token, net::Message message, Options options,
+            std::function<void()> on_acked = {},
+            std::function<void()> on_failed = {});
+
+  /// Settles a pending exchange; returns false for unknown/expired tokens
+  /// (late duplicate acks are normal under retransmission).
+  bool acknowledge(Token token);
+
+  /// Cancels a pending exchange without callbacks (e.g. the service
+  /// changed again, resetting the notification process).
+  void cancel(Token token);
+
+  [[nodiscard]] bool pending(Token token) const {
+    return pending_.contains(token);
+  }
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  struct Pending {
+    net::Message message;
+    Options options;
+    int sent = 0;
+    std::function<void()> on_acked;
+    std::function<void()> on_failed;
+    sim::EventId timer = sim::kInvalidEventId;
+  };
+
+  void transmit(Token token);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  Token next_token_ = 1;
+  std::unordered_map<Token, Pending> pending_;
+};
+
+}  // namespace sdcm::frodo

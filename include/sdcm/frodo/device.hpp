@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdcm::frodo {
+
+/// FRODO's resource-aware device classification (Section 3):
+///  - 3C  (Cent):   simple devices with restricted resources; Manager only.
+///  - 3D  (Dollar): medium devices; Manager and User with limited behaviour.
+///  - 300D:         powerful devices; Manager, User and Registry-capable.
+///
+/// The device class determines the subscription mode: Users subscribe via
+/// the Central for 3C/3D Managers (3-party) and directly to 300D Managers
+/// (2-party). The User detects which mode to use from the class carried
+/// in the service discovery reply.
+enum class DeviceClass : std::uint8_t {
+  k3C,
+  k3D,
+  k300D,
+};
+
+std::string_view to_string(DeviceClass c) noexcept;
+
+/// True when a Manager of this class maintains its own subscriptions
+/// (2-party); 3C/3D Managers delegate subscription handling to the
+/// Central (3-party).
+constexpr bool uses_two_party_subscription(DeviceClass c) noexcept {
+  return c == DeviceClass::k300D;
+}
+
+/// Capability score used in leader election: the 300D nodes elect the
+/// most powerful node as the Central (ties broken by node id).
+using Capability = std::uint32_t;
+
+}  // namespace sdcm::frodo

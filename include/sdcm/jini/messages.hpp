@@ -1,0 +1,128 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdcm/discovery/service.hpp"
+#include "sdcm/sim/time.hpp"
+
+/// Message payloads of the Jini model (3-party subscription). Structure
+/// follows the NIST model the paper reproduces: multicast announcement +
+/// request discovery protocols, lookup-service registration with leases,
+/// template-based lookup, and remote-event notification. All unicast
+/// rides the TCP model (Table 3).
+///
+/// Jini notification carries the updated data (Section 4.2 mechanism (2)),
+/// unlike UPnP's invalidation.
+namespace sdcm::jini {
+
+using discovery::NodeId;
+using discovery::ServiceId;
+
+namespace msg {
+/// Multicast announcement from the lookup service, 6 copies every 120 s.
+inline constexpr const char* kAnnounce = "jini.announce";
+/// Multicast discovery request from a joining Manager or User.
+inline constexpr const char* kDiscoveryRequest = "jini.discovery_request";
+/// Unicast response from a lookup service to a discovery request.
+inline constexpr const char* kDiscoveryResponse = "jini.discovery_response";
+/// Service registration / re-registration (carries the full SD - a
+/// re-registration with a bumped version IS the update propagation).
+inline constexpr const char* kRegister = "jini.register";
+inline constexpr const char* kRegisterResponse = "jini.register_response";
+inline constexpr const char* kRenewRegistration = "jini.renew_registration";
+inline constexpr const char* kRenewRegistrationResponse =
+    "jini.renew_registration_response";
+/// Template-based query for matching services.
+inline constexpr const char* kLookup = "jini.lookup";
+inline constexpr const char* kLookupResponse = "jini.lookup_response";
+/// Notification request (Jini event registration).
+inline constexpr const char* kEventRegister = "jini.event_register";
+inline constexpr const char* kEventRegisterResponse =
+    "jini.event_register_response";
+inline constexpr const char* kRenewEvent = "jini.renew_event";
+inline constexpr const char* kRenewEventResponse = "jini.renew_event_response";
+/// Remote event delivering the (re)registered service description.
+inline constexpr const char* kRemoteEvent = "jini.remote_event";
+}  // namespace msg
+
+/// Matching template for lookups and event registrations.
+struct Template {
+  std::string device_type;
+  std::string service_type;
+
+  [[nodiscard]] bool matches(const discovery::ServiceDescription& sd) const {
+    return device_type == sd.device_type && service_type == sd.service_type;
+  }
+};
+
+struct Announce {
+  NodeId registry = sim::kNoNode;
+};
+
+struct DiscoveryRequest {
+  NodeId node = sim::kNoNode;
+};
+
+struct DiscoveryResponse {
+  NodeId registry = sim::kNoNode;
+};
+
+struct Register {
+  NodeId manager = sim::kNoNode;
+  discovery::ServiceDescription sd;
+};
+
+struct RegisterResponse {
+  ServiceId service = 0;
+  bool ok = false;
+  sim::SimDuration lease = 0;
+};
+
+struct RenewRegistration {
+  NodeId manager = sim::kNoNode;
+  ServiceId service = 0;
+};
+
+struct RenewRegistrationResponse {
+  ServiceId service = 0;
+  /// false: the lookup service no longer holds the registration; the
+  /// Manager must re-register (which, with a changed SD, is PR1).
+  bool ok = false;
+};
+
+struct Lookup {
+  NodeId user = sim::kNoNode;
+  Template tmpl;
+};
+
+struct LookupResponse {
+  std::vector<discovery::ServiceDescription> matches;
+};
+
+struct EventRegister {
+  NodeId user = sim::kNoNode;
+  Template tmpl;
+};
+
+struct EventRegisterResponse {
+  bool ok = false;
+  sim::SimDuration lease = 0;
+};
+
+struct RenewEvent {
+  NodeId user = sim::kNoNode;
+};
+
+struct RenewEventResponse {
+  /// false: unknown event lease - the NIST-reported Jini behaviour is an
+  /// error reply that forces the User to redo discovery, notification
+  /// request and query (PR3 feeding PR1 + PR2).
+  bool ok = false;
+};
+
+struct RemoteEvent {
+  discovery::ServiceDescription sd;
+};
+
+}  // namespace sdcm::jini

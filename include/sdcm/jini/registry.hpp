@@ -1,0 +1,81 @@
+#pragma once
+
+#include <map>
+
+#include "sdcm/discovery/node.hpp"
+#include "sdcm/discovery/recovery.hpp"
+#include "sdcm/discovery/service.hpp"
+#include "sdcm/jini/config.hpp"
+#include "sdcm/jini/messages.hpp"
+
+namespace sdcm::jini {
+
+/// Jini lookup service (the paper's Registry).
+///
+/// Holds service registrations and event (notification) registrations,
+/// both leased. On a (re)registration that is new or carries a changed
+/// version, it fires a RemoteEvent carrying the SD at every matching
+/// event registration.
+///
+/// Faithfully reproduces the NIST-reported anomaly (Section 6.2, PR1):
+/// event registrations cover *future* registrations only - a User that
+/// requests notification after the Manager already registered is not told
+/// about the existing registration; Jini compensates by making Users
+/// always lookup after requesting notification (PR2).
+class JiniRegistry : public discovery::Node {
+ public:
+  JiniRegistry(sim::Simulator& simulator, net::Network& network, NodeId id,
+               JiniConfig config = {});
+
+  /// Techniques of the Jini model (Table 2): SRN1/SRC1 via TCP, SRC2 at
+  /// the protocol level, PR1 (future-only), PR2, PR3.
+  static discovery::TechniqueSet techniques() {
+    using discovery::RecoveryTechnique;
+    return {RecoveryTechnique::kSRN1, RecoveryTechnique::kSRC1,
+            RecoveryTechnique::kSRC2, RecoveryTechnique::kPR1,
+            RecoveryTechnique::kPR2, RecoveryTechnique::kPR3};
+  }
+
+  void start() override;
+
+  [[nodiscard]] bool has_registration(ServiceId service) const {
+    return registrations_.contains(service);
+  }
+  [[nodiscard]] std::size_t registration_count() const {
+    return registrations_.size();
+  }
+  [[nodiscard]] std::size_t event_registration_count() const {
+    return events_.size();
+  }
+
+ private:
+  void on_message(const net::Message& msg) override;
+  void announce();
+  void handle_discovery_request(const net::Message& msg);
+  void handle_register(const net::Message& msg);
+  void handle_renew_registration(const net::Message& msg);
+  void handle_lookup(const net::Message& msg);
+  void handle_event_register(const net::Message& msg);
+  void handle_renew_event(const net::Message& msg);
+  void purge_registration(ServiceId service);
+  void purge_event(NodeId user);
+  void fire_events(const discovery::ServiceDescription& sd);
+
+  struct Registration {
+    discovery::ServiceDescription sd;
+    discovery::Lease lease;
+    sim::EventId expiry = sim::kInvalidEventId;
+  };
+  struct EventRegistration {
+    Template tmpl;
+    discovery::Lease lease;
+    sim::EventId expiry = sim::kInvalidEventId;
+  };
+
+  JiniConfig config_;
+  std::map<ServiceId, Registration> registrations_;
+  std::map<NodeId, EventRegistration> events_;
+  sim::PeriodicTimer announce_timer_;
+};
+
+}  // namespace sdcm::jini

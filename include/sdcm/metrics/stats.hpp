@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace sdcm::metrics {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> values);
+
+/// Median (average of the two middle elements for even sizes); 0 for an
+/// empty range. The paper uses the median for Update Responsiveness
+/// because it "eliminates biasing from extreme scenarios ... (outliers),
+/// unlike mean calculation" (Section 4.5).
+double median(std::span<const double> values);
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation; 0 for empty.
+double percentile(std::span<const double> values, double p);
+
+/// Sample standard deviation; 0 for fewer than two values.
+double stddev(std::span<const double> values);
+
+}  // namespace sdcm::metrics

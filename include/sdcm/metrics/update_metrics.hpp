@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sdcm/sim/time.hpp"
+
+namespace sdcm::metrics {
+
+/// The measurements of one simulation run that the Update Metrics need:
+/// the change time C(i), the deadline D, each tracked User's first time
+/// at the new version U(i, j) (absent when it never got there), and the
+/// discovery-layer update-message count y(i).
+struct RunRecord {
+  sim::SimTime change_time = 0;
+  sim::SimTime deadline = 0;
+  std::vector<std::optional<sim::SimTime>> user_reach_times;
+  /// Update-class (notification / fetch / update-ack) messages of the
+  /// whole run; equals the Table 2 counts at lambda = 0.
+  std::uint64_t update_messages = 0;
+  /// y(i): every kUpdate + kDiscovery message between the change and the
+  /// moment the last User regained consistency (or the deadline if one
+  /// never did). Under failures this window includes announcement and
+  /// query chatter, which is exactly what makes announcement-heavy
+  /// protocols degrade in Figure 6. Control-plane and transport-layer
+  /// messages stay excluded (the latter matching the paper's caveat that
+  /// UPnP/Jini's TCP traffic is not counted).
+  std::uint64_t window_messages = 0;
+};
+
+/// Aggregate of the four metrics for one (system, lambda) point.
+struct MetricsSummary {
+  double responsiveness = 0.0;   // R(lambda)
+  double effectiveness = 0.0;    // F(lambda)
+  double efficiency = 0.0;       // E(lambda), against the global m
+  double degradation = 0.0;      // G(lambda), against the system's own m'
+};
+
+/// Dabrowski & Mills' Update Metrics plus the paper's Efficiency
+/// Degradation refinement (Section 4.5).
+namespace update_metrics {
+
+/// Relative change-propagation latency
+/// L(i, j) = (U - C) / (D - C), clamped to 1 when the User missed the
+/// deadline or never reached the version.
+double relative_latency(const RunRecord& run, std::size_t user);
+
+/// R(lambda): median over all (i, j) of 1 - L(i, j).
+double responsiveness(std::span<const RunRecord> runs);
+
+/// F(lambda): fraction of (i, j) with U(i, j) < D.
+double effectiveness(std::span<const RunRecord> runs);
+
+/// E(lambda): mean over runs of m / y(i), where m is the global minimum
+/// message count across all systems (m = 7 in the paper, from the Jini
+/// and FRODO models at N = 5). Runs where y < m are clamped to 1 (y = 0,
+/// meaning nothing was ever propagated, contributes 0) - the metric's
+/// intent is a [0, 1] efficiency ratio.
+double efficiency(std::span<const RunRecord> runs, std::uint64_t m);
+
+/// G(lambda): same as E but against the system's *own* zero-failure
+/// message count m' - the paper's refinement that removes the bias toward
+/// whichever protocol owns the global minimum.
+double degradation(std::span<const RunRecord> runs, std::uint64_t m_prime);
+
+/// All four at once.
+MetricsSummary summarize(std::span<const RunRecord> runs, std::uint64_t m,
+                         std::uint64_t m_prime);
+
+/// The paper's constants: m = 7 and the per-system m' values of Figure 6.
+inline constexpr std::uint64_t kPaperGlobalMinimumMessages = 7;
+
+}  // namespace update_metrics
+
+}  // namespace sdcm::metrics

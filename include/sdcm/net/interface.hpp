@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sdcm/sim/trace.hpp"
+
+namespace sdcm::net {
+
+/// Transmitter/receiver state of one node's network interface.
+///
+/// The paper models communication and node failure as *interface failure*
+/// (Section 5 Step 2): a node's transmitter and/or receiver go down for a
+/// stretch of the run. Transmitter-down means messages it sends never
+/// reach the wire; receiver-down means arriving messages are discarded.
+/// Both down simultaneously models a node (crash) failure: the node's
+/// timers keep running (its software is alive) but it is cut off, exactly
+/// like the NIST interface-failure treatment.
+class InterfaceState {
+ public:
+  [[nodiscard]] bool tx_up() const noexcept { return tx_up_; }
+  [[nodiscard]] bool rx_up() const noexcept { return rx_up_; }
+
+  void set_tx(bool up) noexcept { tx_up_ = up; }
+  void set_rx(bool up) noexcept { rx_up_ = up; }
+
+ private:
+  bool tx_up_ = true;
+  bool rx_up_ = true;
+};
+
+}  // namespace sdcm::net

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sdcm/sim/trace.hpp"
+
+namespace sdcm::net {
+
+using sim::NodeId;
+
+/// Accounting class of a message. The paper's Update Efficiency metrics
+/// count only the messages that are part of propagating a service change
+/// (Table 2 / Figure 6: "the Efficiency Degradation metric of the UPnP and
+/// Jini models do not take into account the messages used by the
+/// transmission layers"), so every message is tagged at creation:
+///
+///  - kUpdate     counts toward y(i, lambda): notifications, invalidation
+///                messages, update fetch requests/responses, the
+///                Manager<->Registry update and its ack, re-registrations
+///                that carry the new service description.
+///  - kControl    leases, renewals, subscriptions, acks from Users
+///                (see DESIGN.md interpretation decision 2).
+///  - kDiscovery  announcements, queries, registration chatter.
+///  - kTransport  TCP segments (SYN/SYN-ACK/ack, retransmissions).
+enum class MessageClass : std::uint8_t {
+  kUpdate = 0,
+  kControl = 1,
+  kDiscovery = 2,
+  kTransport = 3,
+};
+inline constexpr std::size_t kMessageClassCount = 4;
+
+/// Nominal wire size per class when Message::bytes is 0: a full
+/// description push, a small control/ack datagram, a query/announcement,
+/// and a bare TCP segment.
+constexpr std::size_t default_bytes(MessageClass c) noexcept {
+  switch (c) {
+    case MessageClass::kUpdate: return 320;
+    case MessageClass::kControl: return 48;
+    case MessageClass::kDiscovery: return 96;
+    case MessageClass::kTransport: return 40;
+  }
+  return 64;
+}
+
+std::string_view to_string(MessageClass c) noexcept;
+
+class TcpConnection;  // defined in tcp.hpp
+
+/// Protocol message envelope. Payloads are protocol-defined structs
+/// carried by value in a std::any; the `type` tag names the operation
+/// (e.g. "frodo.ServiceUpdate") and is what traces, counters and tests
+/// key on.
+struct Message {
+  NodeId src = sim::kNoNode;
+  NodeId dst = sim::kNoNode;
+  std::string type;
+  MessageClass klass = MessageClass::kControl;
+  std::any payload;
+  bool via_multicast = false;
+  /// Approximate wire size. 0 = use the class default (kDefaultBytes);
+  /// protocols set it explicitly where the distinction carries meaning -
+  /// e.g. a 64-byte invalidation vs a full description push (the Alex
+  /// adaptive-propagation study in bench/adaptive_push).
+  std::size_t bytes = 0;
+  /// Set on delivery when the message arrived over a TCP connection, so
+  /// the receiver can reply on the same connection (request/response).
+  std::shared_ptr<TcpConnection> conn;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return std::any_cast<const T&>(payload);
+  }
+};
+
+/// Per-run message counters, keyed by accounting class and by type tag.
+/// `by_type` is an ordered map so printed reports are deterministic.
+class MessageCounters {
+ public:
+  void count(const Message& m);
+
+  [[nodiscard]] std::uint64_t of_class(MessageClass c) const noexcept {
+    return by_class_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t of_type(std::string_view type) const;
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  /// Discovery-layer total: everything except TCP segments.
+  [[nodiscard]] std::uint64_t discovery_layer_total() const noexcept;
+
+  /// Wire bytes (Message::bytes, or the class default when unset).
+  [[nodiscard]] std::uint64_t bytes_of_class(MessageClass c) const noexcept {
+    return bytes_by_class_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] std::uint64_t bytes_total() const noexcept;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
+  by_type() const noexcept {
+    return by_type_;
+  }
+
+  void reset();
+
+ private:
+  std::uint64_t by_class_[kMessageClassCount] = {};
+  std::uint64_t bytes_by_class_[kMessageClassCount] = {};
+  std::map<std::string, std::uint64_t, std::less<>> by_type_;
+};
+
+}  // namespace sdcm::net

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sdcm/net/interface.hpp"
+#include "sdcm/net/message.hpp"
+#include "sdcm/sim/simulator.hpp"
+
+namespace sdcm::net {
+
+/// Abstract local-area network: every attached node can unicast or
+/// multicast to every other with a uniform 10-100 us transmission delay
+/// (Table 3). There is no topology and no routing; the paper's LAN is a
+/// single broadcast domain.
+///
+/// Semantics (matching the NIST interface-failure model):
+///  - A message leaves the node only if its transmitter is up at send
+///    time; otherwise it is silently lost (the sender does not learn of
+///    the loss - that is UDP).
+///  - A message is accepted only if the receiver's rx interface is up at
+///    the *arrival* time.
+///  - Counters tally messages that actually reached the wire (tx up),
+///    once per wire copy: a multicast is one wire message per redundant
+///    copy regardless of the number of receivers.
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(sim::Simulator& simulator, sim::SimDuration min_delay,
+          sim::SimDuration max_delay);
+
+  /// Default delays per Table 3: U(10 us, 100 us).
+  explicit Network(sim::Simulator& simulator);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node and its message handler. Must be called before the
+  /// node sends or receives. Ids must be unique and non-zero.
+  void attach(NodeId id, Handler handler);
+
+  [[nodiscard]] InterfaceState& interface(NodeId id);
+  [[nodiscard]] const InterfaceState& interface(NodeId id) const;
+
+  /// All attached node ids, in attach order (used for broadcast domains
+  /// and by the failure planner).
+  [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept {
+    return order_;
+  }
+
+  /// UDP unicast: fire and forget.
+  void send(const Message& msg);
+
+  /// UDP multicast to every attached node except the source.
+  /// `redundant_copies` models the "redundant 6 times transmission"
+  /// UPnP and Jini use for multicast (Table 3); FRODO uses 1.
+  void multicast(const Message& msg, int redundant_copies = 1);
+
+  /// Low-level single wire transmission used by the TCP model: counts the
+  /// segment iff the transmitter is up, draws a delay, and invokes
+  /// `on_result(delivered)` at the arrival time. If `deliver` is true and
+  /// the segment was accepted, the destination handler also runs (before
+  /// on_result).
+  /// Returns whether the segment reached the wire (source transmitter was
+  /// up) - for accounting only, not something a real sender could observe.
+  bool transmit(Message msg, bool deliver,
+                std::function<void(bool delivered)> on_result);
+
+  /// Hands a message straight to the destination handler at the current
+  /// time, bypassing interfaces and counters. Used by the TCP model for
+  /// the application payload once its own segment exchange has succeeded.
+  void deliver_local(const Message& msg);
+
+  [[nodiscard]] MessageCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const MessageCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// Independent per-delivery loss probability, the communication-failure
+  /// model of the paper's companion message-loss study [25] (as opposed
+  /// to Section 5's interface failures). Applied at the receiver for
+  /// every unicast/multicast delivery and for TCP segments; 0 = off.
+  void set_message_loss_rate(double rate);
+  [[nodiscard]] double message_loss_rate() const noexcept {
+    return loss_rate_;
+  }
+
+  /// One-way delay sample; exposed so the TCP model can base its first
+  /// retransmission timeout on the configured round-trip time.
+  [[nodiscard]] sim::SimDuration draw_delay();
+  [[nodiscard]] sim::SimDuration max_delay() const noexcept {
+    return max_delay_;
+  }
+
+ private:
+  struct Port {
+    Handler handler;
+    InterfaceState iface;
+  };
+
+  Port& port(NodeId id);
+  [[nodiscard]] bool lost_in_transit();
+
+  sim::Simulator& sim_;
+  sim::SimDuration min_delay_;
+  sim::SimDuration max_delay_;
+  double loss_rate_ = 0.0;
+  sim::Random rng_;
+  sim::Random loss_rng_;
+  std::unordered_map<NodeId, Port> ports_;
+  std::vector<NodeId> order_;
+  MessageCounters counters_;
+};
+
+}  // namespace sdcm::net

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sdcm/net/network.hpp"
+
+namespace sdcm::net {
+
+/// Behavioural TCP model, exactly as the paper parameterises it in
+/// Table 3 (UPnP and Jini use it for all unicast; FRODO never does):
+///
+///  - Connection setup: an initial SYN plus 4 retransmission attempts
+///    spaced 6 s, 24 s, 24 s, 24 s apart; if none completes a
+///    SYN / SYN-ACK exchange, a Remote Exception (REX) is raised to the
+///    service discovery layer ~78 s after the first attempt.
+///  - Data transfer: retransmit until success, first timeout is the
+///    round-trip time, each retry increases the timeout by 25 %.
+///
+/// This is a model, not a byte-stream implementation: we simulate the
+/// segment exchanges (so their cost appears in the message counters and
+/// their latency in the clock) and both connection endpoints live inside
+/// one object. Application messages arrive at the peer's normal Network
+/// handler with `Message::conn` set, so request/response protocols can
+/// reply on the same connection.
+struct TcpConfig {
+  /// Gaps between successive connection-setup attempts. REX fires after
+  /// the last gap elapses without a completed handshake.
+  std::vector<sim::SimDuration> setup_retry_delays{
+      sim::seconds(6), sim::seconds(24), sim::seconds(24), sim::seconds(24)};
+  /// First data-retransmission timeout. Table 3 says "round trip time";
+  /// with one-way delays <= 100 us the worst-case RTT is 200 us, so the
+  /// default 400 us guarantees no spurious retransmission on a healthy
+  /// network (which keeps the lambda = 0 message counts exact).
+  sim::SimDuration initial_rto = sim::microseconds(400);
+  double rto_backoff = 1.25;
+};
+
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  using Config = TcpConfig;
+
+  using OpenCallback = std::function<void(std::shared_ptr<TcpConnection>)>;
+  using RexCallback = std::function<void()>;
+  using AckCallback = std::function<void()>;
+
+  /// Starts a connection attempt from `initiator` to `responder`.
+  /// Exactly one of on_open / on_rex will eventually fire (unless the run
+  /// ends first). The connection keeps itself alive through its pending
+  /// events; callers keep the shared_ptr only if they want to send later.
+  static void open(Network& network, NodeId initiator, NodeId responder,
+                   OpenCallback on_open, RexCallback on_rex,
+                   TcpConfig config = {});
+
+  /// Convenience: open a connection and, once open, send one message;
+  /// on_rex fires if the handshake fails. Mirrors the one-shot
+  /// notify/renew exchanges UPnP and Jini perform.
+  static void open_and_send(Network& network, Message msg, AckCallback on_acked,
+                            RexCallback on_rex, TcpConfig config = {});
+
+  ~TcpConnection() = default;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Sends an application message between the endpoints (msg.src must be
+  /// one of them, msg.dst the other). Retransmits until delivered and
+  /// acknowledged; `on_acked` fires at the sender when the ack arrives.
+  /// Requires the connection to be open and not closed.
+  void send(Message msg, AckCallback on_acked = {});
+
+  /// Tears the connection down; pending retransmissions stop and no
+  /// further callbacks fire.
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return opened_ && !closed_; }
+  [[nodiscard]] NodeId initiator() const noexcept { return initiator_; }
+  [[nodiscard]] NodeId responder() const noexcept { return responder_; }
+  [[nodiscard]] NodeId peer_of(NodeId n) const noexcept {
+    return n == initiator_ ? responder_ : initiator_;
+  }
+
+ private:
+  TcpConnection(Network& network, NodeId initiator, NodeId responder,
+                Config config);
+
+  void attempt_handshake(std::size_t attempt);
+  void handshake_succeeded();
+
+  struct Transfer {
+    Message msg;
+    AckCallback on_acked;
+    sim::SimDuration rto = 0;
+    bool counted_as_app = false;   // first wire copy carries the app class
+    bool delivered_to_app = false; // receiver-side duplicate suppression
+    bool acked = false;
+    sim::EventId retransmit_timer = sim::kInvalidEventId;
+  };
+
+  void transfer_attempt(const std::shared_ptr<Transfer>& t);
+
+  Network& net_;
+  NodeId initiator_;
+  NodeId responder_;
+  Config config_;
+  OpenCallback on_open_;
+  RexCallback on_rex_;
+  bool opened_ = false;
+  bool rexed_ = false;
+  bool closed_ = false;
+  sim::EventId next_attempt_timer_ = sim::kInvalidEventId;
+  sim::EventId rex_timer_ = sim::kInvalidEventId;
+};
+
+}  // namespace sdcm::net

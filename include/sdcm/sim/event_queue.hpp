@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sdcm/sim/time.hpp"
+
+namespace sdcm::sim {
+
+/// Identifies a scheduled event; used to cancel timers.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of timestamped callbacks with stable FIFO ordering among
+/// events scheduled for the same instant (sequence numbers break ties,
+/// which keeps runs deterministic regardless of heap internals).
+///
+/// Cancellation is lazy: cancelled ids go into a set and the entry is
+/// dropped when popped. Protocol models cancel timers constantly (every
+/// renewed lease cancels its expiry timer), so O(1) cancel beats heap
+/// surgery.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. Returns an id for cancel().
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id
+  /// is a no-op (protocol code often races a timer with the message that
+  /// makes it moot).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Time of the earliest live event; requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  struct Fired {
+    SimTime at;
+    EventId id;
+    Callback cb;
+  };
+  Fired pop();
+
+  /// Number of live (non-cancelled) events still queued.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    EventId id;  // doubles as the tie-break sequence number
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sdcm::sim

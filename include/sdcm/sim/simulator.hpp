@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <utility>
+
+#include "sdcm/sim/event_queue.hpp"
+#include "sdcm/sim/random.hpp"
+#include "sdcm/sim/time.hpp"
+#include "sdcm/sim/trace.hpp"
+
+namespace sdcm::sim {
+
+/// The discrete-event simulation engine: a clock, an event queue, the
+/// run's master random stream, and the trace log. One Simulator instance
+/// is one simulation run; runs are completely independent, which is what
+/// lets the experiment harness execute them on a thread pool.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` after `delay` (>= 0) from now. Returns a cancellable id.
+  EventId schedule_in(SimDuration delay, EventQueue::Callback cb) {
+    assert(delay >= 0);
+    return queue_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at an absolute time (>= now).
+  EventId schedule_at(SimTime at, EventQueue::Callback cb) {
+    assert(at >= now_);
+    return queue_.schedule(at, std::move(cb));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events up to and including time `until`, then stops. The clock
+  /// finishes at exactly `until` even if the queue drains early, so that
+  /// end-of-run bookkeeping sees the full horizon.
+  void run_until(SimTime until);
+
+  /// Runs until the event queue drains completely.
+  void run_all();
+
+  /// Stops the event loop after the current callback returns.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t executed_events() const noexcept {
+    return executed_;
+  }
+
+  /// Master random stream. Components should `fork` their own child
+  /// stream once at construction rather than drawing from this directly,
+  /// so their draw sequences stay independent.
+  Random& rng() noexcept { return rng_; }
+
+  TraceLog& trace() noexcept { return trace_; }
+  const TraceLog& trace() const noexcept { return trace_; }
+
+ private:
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+  EventQueue queue_;
+  Random rng_;
+  TraceLog trace_;
+};
+
+/// RAII helper for periodic behaviour (announcements, lease renewals).
+/// Reschedules itself every `period` until destroyed or stop()ped; the
+/// first firing is after `initial_delay`. Periods may be jittered by the
+/// caller via the callback returning the next period.
+class PeriodicTimer {
+ public:
+  /// `next_period` is called after each firing and returns the delay to
+  /// the next one; returning a negative value stops the timer.
+  using PeriodFn = std::function<SimDuration()>;
+  using TickFn = std::function<void()>;
+
+  PeriodicTimer() = default;
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  ~PeriodicTimer() { stop(); }
+
+  void start(Simulator& simulator, SimDuration initial_delay, TickFn on_tick,
+             PeriodFn next_period);
+
+  /// Fixed-period convenience overload.
+  void start(Simulator& simulator, SimDuration initial_delay,
+             SimDuration period, TickFn on_tick);
+
+  void stop() noexcept;
+  [[nodiscard]] bool running() const noexcept { return sim_ != nullptr; }
+
+ private:
+  void arm(SimDuration delay);
+
+  Simulator* sim_ = nullptr;
+  EventId pending_ = kInvalidEventId;
+  TickFn on_tick_;
+  PeriodFn next_period_;
+};
+
+}  // namespace sdcm::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sdcm::sim {
+
+/// Simulation time in microseconds since the start of the run.
+///
+/// A signed 64-bit microsecond clock covers ~292k years, far beyond the
+/// 5400 s runs the experiments use, while keeping every arithmetic
+/// operation exact (the paper's transmission delays are 10-100 us and its
+/// protocol timers are seconds to half-hours; a floating-point clock would
+/// accumulate rounding error across the ~1e5 events of a run).
+using SimTime = std::int64_t;
+
+/// A duration between two simulation times, also in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * 1000;
+
+/// Convenience constructors so protocol code reads like the paper
+/// ("announce every 1800 s", "delay 10-100 us").
+constexpr SimDuration microseconds(std::int64_t n) noexcept { return n; }
+constexpr SimDuration milliseconds(std::int64_t n) noexcept { return n * kMillisecond; }
+constexpr SimDuration seconds(std::int64_t n) noexcept { return n * kSecond; }
+
+/// Converts a (possibly fractional) number of seconds to a SimDuration,
+/// rounding to the nearest microsecond. Used for durations derived from
+/// the failure rate lambda (e.g. lambda * 5400 s).
+constexpr SimDuration seconds_f(double s) noexcept {
+  const double us = s * static_cast<double>(kSecond);
+  return static_cast<SimDuration>(us >= 0 ? us + 0.5 : us - 0.5);
+}
+
+/// Converts a SimTime/SimDuration to fractional seconds (for metrics and
+/// human-readable output only; never for simulation arithmetic).
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Formats a time as "1234.567890s" for traces and logs.
+std::string format_time(SimTime t);
+
+}  // namespace sdcm::sim

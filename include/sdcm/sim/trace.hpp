@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sdcm/sim/time.hpp"
+
+namespace sdcm::sim {
+
+/// Node identifier used throughout the stack. 0 is reserved (broadcast /
+/// unknown); real nodes are numbered from 1 in scenario order.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0;
+
+/// Category of a trace record. The paper's methodology analyses "event
+/// logs" per run; these categories let tests and the analysis tooling
+/// filter the same way.
+enum class TraceCategory : std::uint8_t {
+  kFailure,       // interface down / up
+  kTransport,     // TCP setup, retransmission, REX
+  kDiscovery,     // announcements, queries, registration
+  kSubscription,  // subscribe / renew / purge
+  kUpdate,        // service change, notifications, acks
+  kElection,      // FRODO leader election / backup takeover
+  kLease,         // lease grants and expiries
+  kInfo,          // everything else
+};
+
+std::string_view to_string(TraceCategory c) noexcept;
+
+struct TraceRecord {
+  SimTime at = 0;
+  NodeId node = kNoNode;
+  TraceCategory category = TraceCategory::kInfo;
+  std::string event;   // short machine-matchable tag, e.g. "ServiceUpdate.tx"
+  std::string detail;  // free-form context, e.g. "to=3 version=2 try=1"
+};
+
+/// In-memory structured event log for one simulation run.
+///
+/// Recording can be disabled wholesale (metric sweeps run thousands of
+/// simulations and only need counters), in which case `record` is a cheap
+/// early-out; counting stays on either way because the Update Efficiency
+/// metrics are derived from counters, not records.
+class TraceLog {
+ public:
+  void set_recording(bool on) noexcept { recording_ = on; }
+  [[nodiscard]] bool recording() const noexcept { return recording_; }
+
+  void record(SimTime at, NodeId node, TraceCategory category,
+              std::string event, std::string detail = {});
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+  /// All records whose event tag equals `event` (exact match).
+  [[nodiscard]] std::vector<TraceRecord> with_event(
+      std::string_view event) const;
+
+  /// Number of records matching a predicate.
+  [[nodiscard]] std::size_t count_if(
+      const std::function<bool(const TraceRecord&)>& pred) const;
+
+  /// Human-readable dump, one line per record (quickstart example output).
+  void print(std::ostream& os) const;
+
+ private:
+  bool recording_ = true;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace sdcm::sim

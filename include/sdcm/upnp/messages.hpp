@@ -1,0 +1,111 @@
+#pragma once
+
+#include <string>
+
+#include "sdcm/discovery/service.hpp"
+#include "sdcm/sim/time.hpp"
+
+/// Message payloads of the UPnP model. The model follows the NIST
+/// structure the paper benchmarks against (Section 5): SSDP-style
+/// multicast discovery (alive announcements, M-SEARCH queries, unicast
+/// UDP search responses) and HTTP/GENA-style unicast over the TCP model
+/// (description fetch, subscription, renewal, event notification).
+///
+/// UPnP notification is an *invalidation*: the NOTIFY only says the
+/// service changed; the User must fetch the description afterwards
+/// (Section 4.2 mechanism (1)).
+namespace sdcm::upnp {
+
+using discovery::NodeId;
+using discovery::ServiceId;
+using discovery::ServiceVersion;
+
+namespace msg {
+/// ssdp:alive, multicast by the Manager every announce period.
+inline constexpr const char* kAlive = "upnp.alive";
+/// ssdp:byebye, multicast on graceful shutdown.
+inline constexpr const char* kByeBye = "upnp.byebye";
+/// M-SEARCH multicast query from a User.
+inline constexpr const char* kMSearch = "upnp.msearch";
+/// Unicast UDP response to a matching M-SEARCH.
+inline constexpr const char* kSearchResponse = "upnp.search_response";
+/// HTTP GET of the service description (TCP).
+inline constexpr const char* kGetDescription = "upnp.get";
+/// Response carrying the full service description (TCP).
+inline constexpr const char* kDescription = "upnp.get_response";
+/// GENA SUBSCRIBE (TCP).
+inline constexpr const char* kSubscribe = "upnp.subscribe";
+inline constexpr const char* kSubscribeResponse = "upnp.subscribe_response";
+/// GENA subscription renewal (TCP).
+inline constexpr const char* kRenew = "upnp.renew";
+inline constexpr const char* kRenewResponse = "upnp.renew_response";
+/// GENA NOTIFY: invalidation only - "the service changed" (TCP).
+inline constexpr const char* kNotify = "upnp.notify";
+}  // namespace msg
+
+struct Alive {
+  NodeId manager = sim::kNoNode;
+  ServiceId service = 0;
+  std::string device_type;
+  std::string service_type;
+};
+
+struct ByeBye {
+  NodeId manager = sim::kNoNode;
+  ServiceId service = 0;
+};
+
+struct MSearch {
+  NodeId user = sim::kNoNode;
+  std::string device_type;
+  std::string service_type;
+};
+
+struct SearchResponse {
+  NodeId manager = sim::kNoNode;
+  ServiceId service = 0;
+  std::string device_type;
+  std::string service_type;
+};
+
+struct GetDescription {
+  NodeId user = sim::kNoNode;
+  ServiceId service = 0;
+};
+
+struct Description {
+  discovery::ServiceDescription sd;
+};
+
+struct Subscribe {
+  NodeId user = sim::kNoNode;
+  ServiceId service = 0;
+};
+
+struct SubscribeResponse {
+  ServiceId service = 0;
+  bool ok = false;
+  sim::SimDuration lease = 0;
+};
+
+struct Renew {
+  NodeId user = sim::kNoNode;
+  ServiceId service = 0;
+};
+
+struct RenewResponse {
+  ServiceId service = 0;
+  /// false: the Manager does not know this subscription (it purged the
+  /// User); the User must resubscribe - recovery technique PR4.
+  bool ok = false;
+};
+
+struct Notify {
+  ServiceId service = 0;
+  /// Version the Manager moved to. The User does NOT become consistent on
+  /// receipt - this is an invalidation; consistency requires the follow-up
+  /// description fetch.
+  ServiceVersion version = 0;
+};
+
+}  // namespace sdcm::upnp

@@ -1,0 +1,18 @@
+#include "sdcm/discovery/node.hpp"
+
+#include <utility>
+
+namespace sdcm::discovery {
+
+Node::Node(sim::Simulator& simulator, net::Network& network, NodeId id,
+           std::string name)
+    : sim_(simulator),
+      net_(network),
+      id_(id),
+      name_(std::move(name)),
+      rng_(simulator.rng().fork(static_cast<std::uint64_t>(id) |
+                                (std::uint64_t{0xA110C8} << 32))) {
+  net_.attach(id_, [this](const net::Message& msg) { on_message(msg); });
+}
+
+}  // namespace sdcm::discovery

@@ -1,0 +1,48 @@
+#include "sdcm/discovery/observer.hpp"
+
+#include <algorithm>
+
+namespace sdcm::discovery {
+
+void ConsistencyObserver::track_user(NodeId user) {
+  if (std::find(users_.begin(), users_.end(), user) == users_.end()) {
+    users_.push_back(user);
+  }
+}
+
+void ConsistencyObserver::service_changed(ServiceVersion version,
+                                          sim::SimTime at) {
+  changes_.emplace(version, at);
+}
+
+void ConsistencyObserver::user_reached(NodeId user, ServiceVersion version,
+                                       sim::SimTime at) {
+  if (std::find(users_.begin(), users_.end(), user) == users_.end()) return;
+  const auto [it, inserted] =
+      reached_.emplace(std::make_pair(user, version), at);
+  if (inserted && on_user_reached) on_user_reached(user, version, at);
+}
+
+std::optional<sim::SimTime> ConsistencyObserver::change_time(
+    ServiceVersion version) const {
+  const auto it = changes_.find(version);
+  if (it == changes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<sim::SimTime> ConsistencyObserver::reach_time(
+    NodeId user, ServiceVersion version) const {
+  const auto it = reached_.find(std::make_pair(user, version));
+  if (it == reached_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ConsistencyObserver::all_consistent_by(ServiceVersion version,
+                                            sim::SimTime deadline) const {
+  return std::all_of(users_.begin(), users_.end(), [&](NodeId user) {
+    const auto t = reach_time(user, version);
+    return t.has_value() && *t < deadline;
+  });
+}
+
+}  // namespace sdcm::discovery

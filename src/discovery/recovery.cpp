@@ -1,0 +1,46 @@
+#include "sdcm/discovery/recovery.hpp"
+
+namespace sdcm::discovery {
+
+std::string_view to_string(RecoveryTechnique t) noexcept {
+  switch (t) {
+    case RecoveryTechnique::kSRC1: return "SRC1";
+    case RecoveryTechnique::kSRC2: return "SRC2";
+    case RecoveryTechnique::kSRN1: return "SRN1";
+    case RecoveryTechnique::kSRN2: return "SRN2";
+    case RecoveryTechnique::kPR1: return "PR1";
+    case RecoveryTechnique::kPR2: return "PR2";
+    case RecoveryTechnique::kPR3: return "PR3";
+    case RecoveryTechnique::kPR4: return "PR4";
+    case RecoveryTechnique::kPR5: return "PR5";
+  }
+  return "?";
+}
+
+std::string_view describe(RecoveryTechnique t) noexcept {
+  switch (t) {
+    case RecoveryTechnique::kSRC1:
+      return "critical: acknowledged notifications, no retransmission limit";
+    case RecoveryTechnique::kSRC2:
+      return "critical: User/Registry monitor updates, request missed ones";
+    case RecoveryTechnique::kSRN1:
+      return "non-critical: acknowledged notifications, bounded retransmission";
+    case RecoveryTechnique::kSRN2:
+      return "non-critical: retry notification when the inconsistent User "
+             "next renews";
+    case RecoveryTechnique::kPR1:
+      return "Manager and Registry rediscover each other; re-registration "
+             "notifies Users";
+    case RecoveryTechnique::kPR2:
+      return "User rediscovers the Registry and queries for the service";
+    case RecoveryTechnique::kPR3:
+      return "Registry purged the User; renewal triggers resubscription";
+    case RecoveryTechnique::kPR4:
+      return "Manager purged the User; next message triggers resubscription";
+    case RecoveryTechnique::kPR5:
+      return "User purges the Manager and rediscovers it";
+  }
+  return "?";
+}
+
+}  // namespace sdcm::discovery

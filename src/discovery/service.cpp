@@ -1,0 +1,30 @@
+#include "sdcm/discovery/service.hpp"
+
+#include <sstream>
+
+namespace sdcm::discovery {
+
+std::string ServiceDescription::describe() const {
+  std::ostringstream oss;
+  oss << "SD{DeviceType=" << device_type << ", ServiceType=" << service_type
+      << ", AttributeList{";
+  bool first = true;
+  for (const auto& [key, value] : attributes) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << key << '=' << value;
+  }
+  oss << "}, version=" << version << '}';
+  return oss.str();
+}
+
+std::size_t wire_size(const ServiceDescription& sd) noexcept {
+  std::size_t size = 64;  // header, ids, version
+  size += sd.device_type.size() + sd.service_type.size();
+  for (const auto& [key, value] : sd.attributes) {
+    size += key.size() + value.size() + 8;
+  }
+  return size;
+}
+
+}  // namespace sdcm::discovery

@@ -1,0 +1,202 @@
+#include "sdcm/experiment/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace sdcm::experiment::cli {
+
+namespace {
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const auto end = text.find(separator, begin);
+    if (end == std::string_view::npos) {
+      parts.emplace_back(text.substr(begin));
+      break;
+    }
+    parts.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  // std::from_chars for double is not universally available; use strtod
+  // through a bounded copy.
+  const std::string copy(text);
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+bool parse_int(std::string_view text, long& out) {
+  const auto* first = text.data();
+  const auto* last = text.data() + text.size();
+  const auto result = std::from_chars(first, last, out);
+  return result.ec == std::errc{} && result.ptr == last;
+}
+
+}  // namespace
+
+std::optional<SystemModel> model_from_name(std::string_view name) {
+  for (const auto model : kAllModels) {
+    if (to_string(model) == name) return model;
+  }
+  return std::nullopt;
+}
+
+std::string usage() {
+  std::ostringstream oss;
+  oss << "sdcm_sweep - run the paper's consistency-maintenance experiment\n"
+         "\n"
+         "usage: sdcm_sweep [flags]\n"
+         "  --models=A,B,...   systems to simulate (default: all five)\n"
+         "                     names: UPnP Jini-1R Jini-2R FRODO-3party "
+         "FRODO-2party\n"
+         "  --lambdas=lo:hi:step  failure-rate grid (default 0.0:0.9:0.05)\n"
+         "  --lambdas=a,b,c    explicit rates\n"
+         "  --runs=N           simulation runs per point (default 30)\n"
+         "  --users=N          Users per run (default 5)\n"
+         "  --threads=N        worker threads (default: hardware)\n"
+         "  --seed=N           master seed (default 20060425)\n"
+         "  --output=FILE      also write the CSV to FILE ('-' = stdout)\n"
+         "  --placement=fit|truncated   failure episode placement\n"
+         "  --episodes=N       outage episodes per node (default 1)\n"
+         "  --no-frodo-pr1 --no-frodo-srn2 --no-frodo-pr3 --no-frodo-pr4\n"
+         "  --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5   ablations\n"
+         "  --help\n";
+  return oss.str();
+}
+
+std::optional<Options> parse(int argc, const char* const* argv,
+                             std::string& error) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string_view key = arg.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{} : arg.substr(eq + 1);
+
+    if (key == "--help") {
+      options.help = true;
+      return options;
+    } else if (key == "--models") {
+      options.sweep.models.clear();
+      for (const auto& name : split(value, ',')) {
+        const auto model = model_from_name(name);
+        if (!model) {
+          error = "unknown model '" + name + "'";
+          return std::nullopt;
+        }
+        options.sweep.models.push_back(*model);
+      }
+      if (options.sweep.models.empty()) {
+        error = "--models needs at least one name";
+        return std::nullopt;
+      }
+    } else if (key == "--lambdas") {
+      options.sweep.lambdas.clear();
+      if (value.find(':') != std::string_view::npos) {
+        const auto parts = split(value, ':');
+        double lo = 0, hi = 0, step = 0;
+        if (parts.size() != 3 || !parse_double(parts[0], lo) ||
+            !parse_double(parts[1], hi) || !parse_double(parts[2], step) ||
+            step <= 0 || lo > hi || lo < 0 || hi > 1.0) {
+          error = "--lambdas=lo:hi:step malformed";
+          return std::nullopt;
+        }
+        for (double l = lo; l <= hi + 1e-9; l += step) {
+          options.sweep.lambdas.push_back(l);
+        }
+      } else {
+        for (const auto& part : split(value, ',')) {
+          double l = 0;
+          if (!parse_double(part, l) || l < 0 || l > 1.0) {
+            error = "bad lambda '" + part + "'";
+            return std::nullopt;
+          }
+          options.sweep.lambdas.push_back(l);
+        }
+      }
+    } else if (key == "--runs" || key == "--users" || key == "--threads" ||
+               key == "--seed" || key == "--episodes") {
+      long parsed = 0;
+      if (!parse_int(value, parsed) || parsed < 0) {
+        error = std::string(key) + " needs a non-negative integer";
+        return std::nullopt;
+      }
+      if (key == "--runs") {
+        if (parsed == 0) {
+          error = "--runs must be positive";
+          return std::nullopt;
+        }
+        options.sweep.runs = static_cast<int>(parsed);
+      } else if (key == "--users") {
+        if (parsed == 0) {
+          error = "--users must be positive";
+          return std::nullopt;
+        }
+        options.sweep.users = static_cast<int>(parsed);
+      } else if (key == "--threads") {
+        options.sweep.threads = static_cast<std::size_t>(parsed);
+      } else if (key == "--seed") {
+        options.sweep.master_seed = static_cast<std::uint64_t>(parsed);
+      } else {
+        if (parsed == 0) {
+          error = "--episodes must be positive";
+          return std::nullopt;
+        }
+        options.episodes = static_cast<int>(parsed);
+      }
+    } else if (key == "--output") {
+      options.output = std::string(value);
+    } else if (key == "--placement") {
+      if (value == "fit") {
+        options.placement = net::FailurePlacement::kFitInside;
+      } else if (value == "truncated") {
+        options.placement = net::FailurePlacement::kTruncated;
+      } else {
+        error = "--placement must be 'fit' or 'truncated'";
+        return std::nullopt;
+      }
+    } else if (key == "--no-frodo-pr1") {
+      options.frodo_pr1 = false;
+    } else if (key == "--no-frodo-srn2") {
+      options.frodo_srn2 = false;
+    } else if (key == "--no-frodo-pr3") {
+      options.frodo_pr3 = false;
+    } else if (key == "--no-frodo-pr4") {
+      options.frodo_pr4 = false;
+    } else if (key == "--no-frodo-pr5") {
+      options.frodo_pr5 = false;
+    } else if (key == "--no-upnp-pr4") {
+      options.upnp_pr4 = false;
+    } else if (key == "--no-upnp-pr5") {
+      options.upnp_pr5 = false;
+    } else {
+      error = "unknown flag '" + std::string(key) + "'";
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+std::function<void(ExperimentConfig&)> make_customize(
+    const Options& options) {
+  return [options](ExperimentConfig& run) {
+    run.frodo.enable_pr1 = options.frodo_pr1;
+    run.frodo.enable_srn2 = options.frodo_srn2;
+    run.frodo.enable_pr3 = options.frodo_pr3;
+    run.frodo.enable_pr4 = options.frodo_pr4;
+    run.frodo.enable_pr5 = options.frodo_pr5;
+    run.upnp.enable_pr4 = options.upnp_pr4;
+    run.upnp.enable_pr5 = options.upnp_pr5;
+    run.failure_placement = options.placement;
+    run.failure_episodes = options.episodes;
+  };
+}
+
+}  // namespace sdcm::experiment::cli

@@ -1,0 +1,247 @@
+// sdcm_logs: single-run event-log analysis - the paper's methodology in
+// a tool. Section 6: "The results we present ... is a product of a
+// detailed analysis on a random selection of 5 to 10 event logs (out of
+// 30 logs) for each simulated system, at every failure rate."
+//
+// Runs one experiment with trace recording on, then prints the run in
+// the paper's own log style (failure windows, the change, per-user
+// consistency outcomes), a recovery-technique attribution summary, and
+// optionally the full event log.
+//
+//   $ sdcm_logs UPnP 0.15 7          # system, lambda, seed
+//   $ sdcm_logs FRODO-2party 0.45 3 --full
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/experiment/cli.hpp"
+#include "sdcm/experiment/scenario.hpp"
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+#include "sdcm/jini/manager.hpp"
+#include "sdcm/jini/registry.hpp"
+#include "sdcm/jini/user.hpp"
+#include "sdcm/net/failure_model.hpp"
+#include "sdcm/upnp/manager.hpp"
+#include "sdcm/upnp/user.hpp"
+
+namespace {
+
+using namespace sdcm;
+
+struct TechniqueSummary {
+  const char* event;
+  const char* meaning;
+};
+
+// Trace tags attributed to recovery techniques, per protocol family.
+constexpr TechniqueSummary kAttribution[] = {
+    {"frodo.srn2.marked", "SRN1 exhausted; User marked inconsistent"},
+    {"frodo.srn2.retry", "SRN2: update re-sent on lease renewal"},
+    {"frodo.update.central_retry", "Manager re-synced a stale Central"},
+    {"frodo.resubscribe.request", "PR3/PR4: resubscription requested"},
+    {"frodo.notify.tx", "PR1: Registry notified an interest"},
+    {"frodo.manager.purged", "PR5: User purged the Manager"},
+    {"frodo.backup.takeover", "Backup promoted itself to Central"},
+    {"jini.event.rex", "remote event delivery failed (REX)"},
+    {"jini.registry.purged", "lookup service purged (rediscovery next)"},
+    {"jini.event.lapsed", "PR3: event lease error forced rediscovery"},
+    {"upnp.subscriber.purged", "failed NOTIFY cancelled a subscription"},
+    {"upnp.renew.rejected", "PR4: renewal rejected, resubscribing"},
+    {"upnp.manager.purged", "PR5: cache lease expired, rediscovering"},
+    {"upnp.get.rex", "description fetch failed (REX)"},
+    {"tcp.rex", "TCP connection setup gave up (REX)"},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: sdcm_logs <system> <lambda> <seed> [--full]\n"
+                 "  systems: UPnP Jini-1R Jini-2R FRODO-3party "
+                 "FRODO-2party\n");
+    return 2;
+  }
+  const auto model = experiment::cli::model_from_name(argv[1]);
+  if (!model) {
+    std::fprintf(stderr, "unknown system '%s'\n", argv[1]);
+    return 2;
+  }
+  const double lambda = std::atof(argv[2]);
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
+  const bool full = argc > 4 && std::string_view(argv[4]) == "--full";
+
+  // Re-run the scenario with tracing on, mirroring run_experiment but
+  // keeping the simulator alive for the log dump.
+  experiment::ExperimentConfig config;
+  config.model = *model;
+  config.lambda = lambda;
+  config.seed = seed;
+  config.record_trace = true;
+
+  // run_experiment owns its simulator; for log access we reproduce the
+  // failure plan separately (same forked streams => identical plan).
+  sim::Simulator planner(seed);
+  auto failure_rng = planner.rng().fork("experiment.failures");
+  std::vector<sim::NodeId> node_ids;
+  switch (*model) {
+    case experiment::SystemModel::kUpnp:
+      node_ids = {10, 11, 12, 13, 14, 15};
+      break;
+    case experiment::SystemModel::kJiniOneRegistry:
+    case experiment::SystemModel::kFrodoThreeParty:
+      node_ids = {1, 10, 11, 12, 13, 14, 15};
+      break;
+    case experiment::SystemModel::kJiniTwoRegistries:
+    case experiment::SystemModel::kFrodoTwoParty:
+      node_ids = {1, 2, 10, 11, 12, 13, 14, 15};
+      break;
+  }
+  net::FailurePlanConfig plan_config;
+  plan_config.lambda = lambda;
+  const auto plan = net::plan_failures(node_ids, plan_config, failure_rng);
+
+  std::printf("=== %s at %.0f%% interface failure, seed %llu ===\n",
+              argv[1], lambda * 100.0,
+              static_cast<unsigned long long>(seed));
+  std::printf("\nfailure schedule (the paper's log style):\n");
+  for (const auto& ep : plan) {
+    std::printf("  node%-3u %-5s down at %.0f, up at %.0f%s\n", ep.node,
+                std::string(to_string(ep.mode)).c_str(),
+                sim::to_seconds(ep.start), sim::to_seconds(ep.end()),
+                ep.end() > sim::seconds(5400) ? "  (past end of run)" : "");
+  }
+
+  const auto record = experiment::run_experiment(config);
+  std::printf("\nservice changes at %.0f, deadline 5400\n",
+              sim::to_seconds(record.change_time));
+  std::printf("\nper-user outcome:\n");
+  for (std::size_t j = 0; j < record.user_reach_times.size(); ++j) {
+    const auto& reach = record.user_reach_times[j];
+    if (reach.has_value()) {
+      std::printf("  user %zu consistent at %.1f (latency %.1f s)\n", j,
+                  sim::to_seconds(*reach),
+                  sim::to_seconds(*reach - record.change_time));
+    } else {
+      std::printf("  user %zu NEVER regained consistency "
+                  "(Configuration Update Principles violated)\n",
+                  j);
+    }
+  }
+  std::printf("\nupdate messages: %llu   window messages (y): %llu\n",
+              static_cast<unsigned long long>(record.update_messages),
+              static_cast<unsigned long long>(record.window_messages));
+
+  // Recovery attribution: rerun with tracing and count technique events.
+  // (run_experiment discards its simulator; rebuild a traced run here via
+  // the scenario config - simplest is to rely on the deterministic seed
+  // and run the simulation once more through run_experiment with traces
+  // surfaced. Since the public API does not expose the trace, we count
+  // on the protocol-level counters instead: re-run manually.)
+  std::printf("\nrecovery-technique attribution "
+              "(trace events across an identical traced re-run):\n");
+  {
+    sim::Simulator simulator(seed);
+    simulator.trace().set_recording(true);
+    // Minimal inline topology mirror for the traced run.
+    net::Network network(simulator);
+    discovery::ConsistencyObserver observer;
+    std::vector<std::unique_ptr<discovery::Node>> nodes;
+    discovery::ServiceDescription sd;
+    sd.id = 1;
+    sd.device_type = "Printer";
+    sd.service_type = "ColorPrinter";
+    sd.attributes = {{"PaperSize", "A4"}, {"Location", "Study"}};
+    std::function<void()> change;
+    switch (*model) {
+      case experiment::SystemModel::kUpnp: {
+        auto manager = std::make_unique<upnp::UpnpManager>(
+            simulator, network, 10, upnp::UpnpConfig{}, &observer);
+        manager->add_service(sd);
+        change = [m = manager.get()] { m->change_service(1); };
+        nodes.push_back(std::move(manager));
+        for (int i = 0; i < 5; ++i) {
+          nodes.push_back(std::make_unique<upnp::UpnpUser>(
+              simulator, network, static_cast<sim::NodeId>(11 + i),
+              upnp::Requirement{"Printer", "ColorPrinter"},
+              upnp::UpnpConfig{}, &observer));
+        }
+        break;
+      }
+      case experiment::SystemModel::kJiniOneRegistry:
+      case experiment::SystemModel::kJiniTwoRegistries: {
+        nodes.push_back(std::make_unique<jini::JiniRegistry>(
+            simulator, network, 1, jini::JiniConfig{}));
+        if (*model == experiment::SystemModel::kJiniTwoRegistries) {
+          nodes.push_back(std::make_unique<jini::JiniRegistry>(
+              simulator, network, 2, jini::JiniConfig{}));
+        }
+        auto manager = std::make_unique<jini::JiniManager>(
+            simulator, network, 10, jini::JiniConfig{}, &observer);
+        manager->add_service(sd);
+        change = [m = manager.get()] { m->change_service(1); };
+        nodes.push_back(std::move(manager));
+        for (int i = 0; i < 5; ++i) {
+          nodes.push_back(std::make_unique<jini::JiniUser>(
+              simulator, network, static_cast<sim::NodeId>(11 + i),
+              jini::Template{"Printer", "ColorPrinter"}, jini::JiniConfig{},
+              &observer));
+        }
+        break;
+      }
+      case experiment::SystemModel::kFrodoThreeParty:
+      case experiment::SystemModel::kFrodoTwoParty: {
+        const bool two_party =
+            *model == experiment::SystemModel::kFrodoTwoParty;
+        nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
+            simulator, network, 1, 100, frodo::FrodoConfig{}));
+        if (two_party) {
+          nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
+              simulator, network, 2, 90, frodo::FrodoConfig{}));
+        }
+        const auto klass =
+            two_party ? frodo::DeviceClass::k300D : frodo::DeviceClass::k3D;
+        auto manager = std::make_unique<frodo::FrodoManager>(
+            simulator, network, 10, klass, frodo::FrodoConfig{}, &observer);
+        manager->add_service(sd);
+        change = [m = manager.get()] { m->change_service(1); };
+        nodes.push_back(std::move(manager));
+        for (int i = 0; i < 5; ++i) {
+          nodes.push_back(std::make_unique<frodo::FrodoUser>(
+              simulator, network, static_cast<sim::NodeId>(11 + i), klass,
+              frodo::Matching{"Printer", "ColorPrinter"},
+              frodo::FrodoConfig{}, &observer));
+        }
+        break;
+      }
+    }
+    for (auto& node : nodes) node->start();
+    auto rng2 = simulator.rng().fork("experiment.failures");
+    const auto plan2 = net::plan_failures(network.nodes(),
+                                          plan_config, rng2);
+    net::apply_failures(simulator, network, plan2);
+    auto change_rng = simulator.rng().fork("experiment.change");
+    const auto change_at =
+        change_rng.uniform_time(sim::seconds(100), sim::seconds(2700));
+    simulator.schedule_at(change_at, change);
+    simulator.run_until(sim::seconds(5400));
+
+    for (const auto& entry : kAttribution) {
+      const auto count = simulator.trace().with_event(entry.event).size();
+      if (count > 0) {
+        std::printf("  %4zu x %-28s %s\n", count, entry.event,
+                    entry.meaning);
+      }
+    }
+    if (full) {
+      std::printf("\n=== full event log ===\n");
+      simulator.trace().print(std::cout);
+    }
+  }
+  return 0;
+}

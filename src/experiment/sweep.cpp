@@ -1,0 +1,72 @@
+#include "sdcm/experiment/sweep.hpp"
+
+#include "sdcm/experiment/thread_pool.hpp"
+#include "sdcm/sim/random.hpp"
+
+namespace sdcm::experiment {
+
+std::vector<double> SweepConfig::paper_lambda_grid() {
+  std::vector<double> grid;
+  for (int i = 0; i <= 18; ++i) grid.push_back(0.05 * i);
+  return grid;
+}
+
+std::uint64_t run_seed(std::uint64_t master_seed, SystemModel model,
+                       std::size_t lambda_index, int run_index) {
+  std::uint64_t state = master_seed;
+  state ^= sim::fnv1a64(to_string(model));
+  state ^= (static_cast<std::uint64_t>(lambda_index) + 1) * 0x9E3779B97F4A7C15ULL;
+  state ^= (static_cast<std::uint64_t>(run_index) + 1) * 0xD1B54A32D192ED03ULL;
+  return sim::splitmix64(state);
+}
+
+std::vector<SweepPoint> run_sweep(const SweepConfig& config) {
+  std::vector<SweepPoint> points;
+  for (const SystemModel model : config.models) {
+    for (std::size_t li = 0; li < config.lambdas.size(); ++li) {
+      SweepPoint point;
+      point.model = model;
+      point.lambda = config.lambdas[li];
+      point.runs = config.runs;
+      point.records.resize(static_cast<std::size_t>(config.runs));
+      points.push_back(std::move(point));
+    }
+  }
+
+  // Flatten (point, run) into one task list; every run is independent.
+  struct Job {
+    std::size_t point;
+    int run;
+    std::size_t lambda_index;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(points.size() * static_cast<std::size_t>(config.runs));
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const std::size_t li = p % config.lambdas.size();
+    for (int r = 0; r < config.runs; ++r) jobs.push_back(Job{p, r, li});
+  }
+
+  ThreadPool pool(config.threads);
+  pool.parallel_for(jobs.size(), [&](std::size_t j) {
+    const Job& job = jobs[j];
+    SweepPoint& point = points[job.point];
+    ExperimentConfig run_config;
+    run_config.model = point.model;
+    run_config.lambda = point.lambda;
+    run_config.users = config.users;
+    run_config.seed =
+        run_seed(config.master_seed, point.model, job.lambda_index, job.run);
+    if (config.customize) config.customize(run_config);
+    point.records[static_cast<std::size_t>(job.run)] =
+        run_experiment(run_config);
+  });
+
+  for (SweepPoint& point : points) {
+    point.metrics = metrics::update_metrics::summarize(
+        point.records, metrics::update_metrics::kPaperGlobalMinimumMessages,
+        minimum_update_messages(point.model, config.users));
+  }
+  return points;
+}
+
+}  // namespace sdcm::experiment

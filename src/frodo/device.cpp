@@ -1,0 +1,14 @@
+#include "sdcm/frodo/device.hpp"
+
+namespace sdcm::frodo {
+
+std::string_view to_string(DeviceClass c) noexcept {
+  switch (c) {
+    case DeviceClass::k3C: return "3C";
+    case DeviceClass::k3D: return "3D";
+    case DeviceClass::k300D: return "300D";
+  }
+  return "?";
+}
+
+}  // namespace sdcm::frodo

@@ -1,0 +1,216 @@
+#include "sdcm/jini/manager.hpp"
+
+#include <stdexcept>
+
+#include "sdcm/net/tcp.hpp"
+
+namespace sdcm::jini {
+
+using discovery::ServiceDescription;
+using discovery::ServiceId;
+using net::Message;
+using net::MessageClass;
+
+JiniManager::JiniManager(sim::Simulator& simulator, net::Network& network,
+                         NodeId id, JiniConfig config,
+                         discovery::ConsistencyObserver* observer)
+    : Node(simulator, network, id, "jini-manager"),
+      config_(config),
+      observer_(observer) {}
+
+void JiniManager::add_service(ServiceDescription sd) {
+  sd.manager = this->id();
+  const auto service = sd.id;
+  services_.insert_or_assign(service, std::move(sd));
+}
+
+const ServiceDescription& JiniManager::service(ServiceId service) const {
+  const auto it = services_.find(service);
+  if (it == services_.end()) throw std::out_of_range("unknown service");
+  return it->second;
+}
+
+void JiniManager::start() {
+  send_discovery_request();
+  request_timer_.start(simulator(), config_.discovery_request_period,
+                       config_.discovery_request_period, [this] {
+                         if (requests_sent_ >= config_.max_discovery_requests ||
+                             !registries_.empty()) {
+                           request_timer_.stop();
+                           return;
+                         }
+                         send_discovery_request();
+                       });
+}
+
+void JiniManager::send_discovery_request() {
+  ++requests_sent_;
+  Message m;
+  m.src = id();
+  m.type = msg::kDiscoveryRequest;
+  m.klass = MessageClass::kDiscovery;
+  m.payload = DiscoveryRequest{id()};
+  network().multicast(m, config_.multicast_redundancy);
+}
+
+void JiniManager::on_message(const Message& m) {
+  if (m.type == msg::kAnnounce) {
+    registry_heard(m.as<Announce>().registry);
+  } else if (m.type == msg::kDiscoveryResponse) {
+    registry_heard(m.as<DiscoveryResponse>().registry);
+  } else if (m.type == msg::kRegisterResponse) {
+    handle_register_response(m);
+  } else if (m.type == msg::kRenewRegistrationResponse) {
+    handle_renew_response(m);
+  }
+}
+
+void JiniManager::registry_heard(NodeId registry) {
+  auto [it, inserted] = registries_.try_emplace(registry);
+  RegistryState& state = it->second;
+  state.last_heard = now();
+  if (state.silence_timer != sim::kInvalidEventId) {
+    simulator().cancel(state.silence_timer);
+  }
+  state.silence_timer =
+      simulator().schedule_in(config_.announce_timeout, [this, registry] {
+        purge_registry(registry, "silent");
+      });
+
+  if (inserted) {
+    trace(sim::TraceCategory::kDiscovery, "jini.registry.discovered",
+          "registry=" + std::to_string(registry));
+    // Register everything with the newly discovered lookup service. If a
+    // service changed while we were out of touch, this re-registration
+    // carries the new version - PR1 in action.
+    for (const auto& [service, sd] : services_) {
+      register_service(registry, service);
+    }
+  }
+}
+
+void JiniManager::purge_registry(NodeId registry, const char* reason) {
+  const auto it = registries_.find(registry);
+  if (it == registries_.end()) return;
+  if (it->second.silence_timer != sim::kInvalidEventId) {
+    simulator().cancel(it->second.silence_timer);
+  }
+  for (auto& [service, per] : it->second.services) {
+    if (per.renew_timer != sim::kInvalidEventId) {
+      simulator().cancel(per.renew_timer);
+    }
+  }
+  registries_.erase(it);
+  trace(sim::TraceCategory::kDiscovery, "jini.registry.purged",
+        std::string("registry=") + std::to_string(registry) +
+            " reason=" + reason);
+  // Rediscovery relies on the lookup service's periodic announcements.
+}
+
+void JiniManager::register_service(NodeId registry, ServiceId service) {
+  const auto svc_it = services_.find(service);
+  if (svc_it == services_.end()) return;
+  Message m;
+  m.src = id();
+  m.dst = registry;
+  m.type = msg::kRegister;
+  m.klass = svc_it->second.version > 1 ? MessageClass::kUpdate
+                                       : MessageClass::kDiscovery;
+  m.bytes = 48 + discovery::wire_size(svc_it->second);
+  m.payload = Register{id(), svc_it->second};
+  trace(sim::TraceCategory::kUpdate, "jini.register.tx",
+        "registry=" + std::to_string(registry) +
+            " version=" + std::to_string(svc_it->second.version));
+  net::TcpConnection::open_and_send(
+      network(), std::move(m), {},
+      [this, registry] { purge_registry(registry, "register-rex"); },
+      config_.tcp);
+}
+
+void JiniManager::handle_register_response(const Message& m) {
+  const auto& resp = m.as<RegisterResponse>();
+  const auto it = registries_.find(m.src);
+  if (it == registries_.end() || !resp.ok) return;
+  auto& per = it->second.services[resp.service];
+  per.registered = true;
+  if (per.renew_timer != sim::kInvalidEventId) {
+    simulator().cancel(per.renew_timer);
+  }
+  const auto renew_after = static_cast<sim::SimDuration>(
+      static_cast<double>(resp.lease) * config_.renew_fraction);
+  const NodeId registry = m.src;
+  const ServiceId service = resp.service;
+  per.renew_timer =
+      simulator().schedule_in(renew_after, [this, registry, service] {
+        renew_registration(registry, service);
+      });
+}
+
+void JiniManager::renew_registration(NodeId registry, ServiceId service) {
+  const auto it = registries_.find(registry);
+  if (it == registries_.end()) return;
+  Message m;
+  m.src = id();
+  m.dst = registry;
+  m.type = msg::kRenewRegistration;
+  m.klass = MessageClass::kControl;
+  m.payload = RenewRegistration{id(), service};
+  net::TcpConnection::open_and_send(
+      network(), std::move(m), {},
+      [this, registry] { purge_registry(registry, "renew-rex"); },
+      config_.tcp);
+}
+
+void JiniManager::handle_renew_response(const Message& m) {
+  const auto& resp = m.as<RenewRegistrationResponse>();
+  const auto it = registries_.find(m.src);
+  if (it == registries_.end()) return;
+  const NodeId registry = m.src;
+  const ServiceId service = resp.service;
+  if (resp.ok) {
+    auto& per = it->second.services[service];
+    if (per.renew_timer != sim::kInvalidEventId) {
+      simulator().cancel(per.renew_timer);
+    }
+    const auto renew_after = static_cast<sim::SimDuration>(
+        static_cast<double>(config_.registration_lease) *
+        config_.renew_fraction);
+    per.renew_timer =
+        simulator().schedule_in(renew_after, [this, registry, service] {
+          renew_registration(registry, service);
+        });
+  } else {
+    // Registration expired at the lookup service: re-register with the
+    // current description (PR1 when the version moved meanwhile).
+    trace(sim::TraceCategory::kLease, "jini.renew.lapsed",
+          "registry=" + std::to_string(registry));
+    register_service(registry, service);
+  }
+}
+
+void JiniManager::change_service(ServiceId service) {
+  change_service(service, {});
+}
+
+void JiniManager::change_service(ServiceId service,
+                                 const discovery::AttributeList& updates) {
+  const auto it = services_.find(service);
+  if (it == services_.end()) throw std::out_of_range("unknown service");
+  for (const auto& [key, value] : updates) {
+    it->second.attributes[key] = value;
+  }
+  ++it->second.version;
+  trace(sim::TraceCategory::kUpdate, "jini.service_changed",
+        "service=" + std::to_string(service) +
+            " version=" + std::to_string(it->second.version));
+  if (observer_ != nullptr) {
+    observer_->service_changed(it->second.version, now());
+  }
+  // Propagate by re-registering the changed description at every known
+  // lookup service; each turns it into RemoteEvents for subscribed Users.
+  for (const auto& [registry, state] : registries_) {
+    register_service(registry, service);
+  }
+}
+
+}  // namespace sdcm::jini

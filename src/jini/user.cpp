@@ -1,0 +1,215 @@
+#include "sdcm/jini/user.hpp"
+
+#include <utility>
+
+#include "sdcm/net/tcp.hpp"
+
+namespace sdcm::jini {
+
+using discovery::ServiceDescription;
+using net::Message;
+using net::MessageClass;
+
+JiniUser::JiniUser(sim::Simulator& simulator, net::Network& network, NodeId id,
+                   Template requirement, JiniConfig config,
+                   discovery::ConsistencyObserver* observer)
+    : Node(simulator, network, id, "jini-user"),
+      requirement_(std::move(requirement)),
+      config_(config),
+      observer_(observer) {
+  if (observer_ != nullptr) observer_->track_user(id);
+}
+
+void JiniUser::start() {
+  send_discovery_request();
+  request_timer_.start(simulator(), config_.discovery_request_period,
+                       config_.discovery_request_period, [this] {
+                         if (requests_sent_ >= config_.max_discovery_requests ||
+                             !registries_.empty()) {
+                           request_timer_.stop();
+                           return;
+                         }
+                         send_discovery_request();
+                       });
+  if (config_.poll_period > 0) {
+    // CM2: periodic lookup against every known lookup service.
+    poll_timer_.start(simulator(), config_.poll_period, config_.poll_period,
+                      [this] {
+                        for (const auto& [registry, state] : registries_) {
+                          send_lookup(registry);
+                        }
+                      });
+  }
+}
+
+void JiniUser::send_discovery_request() {
+  ++requests_sent_;
+  Message m;
+  m.src = id();
+  m.type = msg::kDiscoveryRequest;
+  m.klass = MessageClass::kDiscovery;
+  m.payload = DiscoveryRequest{id()};
+  network().multicast(m, config_.multicast_redundancy);
+}
+
+void JiniUser::on_message(const Message& m) {
+  if (m.type == msg::kAnnounce) {
+    registry_heard(m.as<Announce>().registry);
+  } else if (m.type == msg::kDiscoveryResponse) {
+    registry_heard(m.as<DiscoveryResponse>().registry);
+  } else if (m.type == msg::kEventRegisterResponse) {
+    handle_event_response(m);
+  } else if (m.type == msg::kRenewEventResponse) {
+    handle_renew_event_response(m);
+  } else if (m.type == msg::kLookupResponse) {
+    handle_lookup_response(m);
+  } else if (m.type == msg::kRemoteEvent) {
+    handle_remote_event(m);
+  }
+}
+
+void JiniUser::registry_heard(NodeId registry) {
+  auto [it, inserted] = registries_.try_emplace(registry);
+  RegistryState& state = it->second;
+  if (state.silence_timer != sim::kInvalidEventId) {
+    simulator().cancel(state.silence_timer);
+  }
+  state.silence_timer =
+      simulator().schedule_in(config_.announce_timeout, [this, registry] {
+        purge_registry(registry, "silent");
+      });
+
+  if (inserted) {
+    trace(sim::TraceCategory::kDiscovery, "jini.registry.discovered",
+          "registry=" + std::to_string(registry));
+    // Notification request first, then always a lookup (PR2). The lookup
+    // is sent only once the event registration is confirmed: "Jini
+    // overcomes this problem by forcing Users to always send queries
+    // after the User requests for service notification" (Section 6.2) -
+    // the ordering guarantees that anything the lookup misses is covered
+    // by a future event.
+    register_event(registry);
+  }
+}
+
+void JiniUser::purge_registry(NodeId registry, const char* reason) {
+  const auto it = registries_.find(registry);
+  if (it == registries_.end()) return;
+  if (it->second.silence_timer != sim::kInvalidEventId) {
+    simulator().cancel(it->second.silence_timer);
+  }
+  if (it->second.renew_timer != sim::kInvalidEventId) {
+    simulator().cancel(it->second.renew_timer);
+  }
+  registries_.erase(it);
+  trace(sim::TraceCategory::kDiscovery, "jini.registry.purged",
+        std::string("registry=") + std::to_string(registry) +
+            " reason=" + reason);
+  // The cached service description is kept: Jini has no PR5.
+}
+
+void JiniUser::register_event(NodeId registry) {
+  Message m;
+  m.src = id();
+  m.dst = registry;
+  m.type = msg::kEventRegister;
+  m.klass = MessageClass::kControl;
+  m.payload = EventRegister{id(), requirement_};
+  net::TcpConnection::open_and_send(
+      network(), std::move(m), {},
+      [this, registry] { purge_registry(registry, "event-register-rex"); },
+      config_.tcp);
+}
+
+void JiniUser::send_lookup(NodeId registry) {
+  Message m;
+  m.src = id();
+  m.dst = registry;
+  m.type = msg::kLookup;
+  m.klass = MessageClass::kControl;
+  m.payload = Lookup{id(), requirement_};
+  trace(sim::TraceCategory::kDiscovery, "jini.lookup.tx",
+        "registry=" + std::to_string(registry));
+  net::TcpConnection::open_and_send(
+      network(), std::move(m), {},
+      [this, registry] { purge_registry(registry, "lookup-rex"); },
+      config_.tcp);
+}
+
+void JiniUser::handle_event_response(const Message& m) {
+  const auto& resp = m.as<EventRegisterResponse>();
+  const auto it = registries_.find(m.src);
+  if (it == registries_.end() || !resp.ok) return;
+  const bool first_confirmation = !it->second.event_registered;
+  it->second.event_registered = true;
+  if (first_confirmation) send_lookup(m.src);
+  if (it->second.renew_timer != sim::kInvalidEventId) {
+    simulator().cancel(it->second.renew_timer);
+  }
+  const auto renew_after = static_cast<sim::SimDuration>(
+      static_cast<double>(resp.lease) * config_.renew_fraction);
+  const NodeId registry = m.src;
+  it->second.renew_timer = simulator().schedule_in(
+      renew_after, [this, registry] { renew_event(registry); });
+}
+
+void JiniUser::renew_event(NodeId registry) {
+  const auto it = registries_.find(registry);
+  if (it == registries_.end()) return;
+  Message m;
+  m.src = id();
+  m.dst = registry;
+  m.type = msg::kRenewEvent;
+  m.klass = MessageClass::kControl;
+  m.payload = RenewEvent{id()};
+  net::TcpConnection::open_and_send(
+      network(), std::move(m), {},
+      [this, registry] { purge_registry(registry, "renew-event-rex"); },
+      config_.tcp);
+}
+
+void JiniUser::handle_renew_event_response(const Message& m) {
+  const auto& resp = m.as<RenewEventResponse>();
+  const auto it = registries_.find(m.src);
+  if (it == registries_.end()) return;
+  const NodeId registry = m.src;
+  if (resp.ok) {
+    if (it->second.renew_timer != sim::kInvalidEventId) {
+      simulator().cancel(it->second.renew_timer);
+    }
+    const auto renew_after = static_cast<sim::SimDuration>(
+        static_cast<double>(config_.event_lease) * config_.renew_fraction);
+    it->second.renew_timer = simulator().schedule_in(
+        renew_after, [this, registry] { renew_event(registry); });
+  } else {
+    // PR3, Jini-style: bare error; purge and redo discovery / event
+    // registration / lookup. Announcements (every 120 s) bring the
+    // registry back quickly, and the lookup then recovers the state.
+    trace(sim::TraceCategory::kSubscription, "jini.event.lapsed",
+          "registry=" + std::to_string(registry));
+    purge_registry(registry, "event-lapsed");
+  }
+}
+
+void JiniUser::handle_lookup_response(const Message& m) {
+  const auto& resp = m.as<LookupResponse>();
+  for (const auto& sd : resp.matches) store(sd);
+}
+
+void JiniUser::handle_remote_event(const Message& m) {
+  const auto& event = m.as<RemoteEvent>();
+  trace(sim::TraceCategory::kUpdate, "jini.event.rx",
+        "version=" + std::to_string(event.sd.version));
+  store(event.sd);
+}
+
+void JiniUser::store(const ServiceDescription& sd) {
+  if (!requirement_.matches(sd)) return;
+  if (sd_.has_value() && sd_->version >= sd.version) return;
+  sd_ = sd;
+  trace(sim::TraceCategory::kUpdate, "jini.description.stored",
+        "version=" + std::to_string(sd.version));
+  if (observer_ != nullptr) observer_->user_reached(id(), sd.version, now());
+}
+
+}  // namespace sdcm::jini

@@ -1,0 +1,74 @@
+#include "sdcm/metrics/update_metrics.hpp"
+
+#include <algorithm>
+
+#include "sdcm/metrics/stats.hpp"
+
+namespace sdcm::metrics::update_metrics {
+
+double relative_latency(const RunRecord& run, std::size_t user) {
+  const auto reach = run.user_reach_times.at(user);
+  const double window =
+      static_cast<double>(run.deadline - run.change_time);
+  if (window <= 0.0) return 1.0;
+  if (!reach.has_value() || *reach >= run.deadline) return 1.0;
+  const double latency = static_cast<double>(*reach - run.change_time);
+  return std::clamp(latency / window, 0.0, 1.0);
+}
+
+double responsiveness(std::span<const RunRecord> runs) {
+  std::vector<double> samples;
+  for (const RunRecord& run : runs) {
+    for (std::size_t j = 0; j < run.user_reach_times.size(); ++j) {
+      samples.push_back(1.0 - relative_latency(run, j));
+    }
+  }
+  return median(samples);
+}
+
+double effectiveness(std::span<const RunRecord> runs) {
+  std::uint64_t total = 0;
+  std::uint64_t reached = 0;
+  for (const RunRecord& run : runs) {
+    for (const auto& reach : run.user_reach_times) {
+      ++total;
+      if (reach.has_value() && *reach < run.deadline) ++reached;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(reached) /
+                          static_cast<double>(total);
+}
+
+namespace {
+double ratio_metric(std::span<const RunRecord> runs, std::uint64_t numerator) {
+  if (runs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RunRecord& run : runs) {
+    if (run.window_messages == 0) continue;  // nothing propagated: 0
+    sum += std::min(1.0, static_cast<double>(numerator) /
+                             static_cast<double>(run.window_messages));
+  }
+  return sum / static_cast<double>(runs.size());
+}
+}  // namespace
+
+double efficiency(std::span<const RunRecord> runs, std::uint64_t m) {
+  return ratio_metric(runs, m);
+}
+
+double degradation(std::span<const RunRecord> runs, std::uint64_t m_prime) {
+  return ratio_metric(runs, m_prime);
+}
+
+MetricsSummary summarize(std::span<const RunRecord> runs, std::uint64_t m,
+                         std::uint64_t m_prime) {
+  MetricsSummary summary;
+  summary.responsiveness = responsiveness(runs);
+  summary.effectiveness = effectiveness(runs);
+  summary.efficiency = efficiency(runs, m);
+  summary.degradation = degradation(runs, m_prime);
+  return summary;
+}
+
+}  // namespace sdcm::metrics::update_metrics

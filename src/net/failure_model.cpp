@@ -1,0 +1,82 @@
+#include "sdcm/net/failure_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdcm::net {
+
+std::string_view to_string(FailureMode m) noexcept {
+  switch (m) {
+    case FailureMode::kNone: return "none";
+    case FailureMode::kTransmitter: return "tx";
+    case FailureMode::kReceiver: return "rx";
+    case FailureMode::kBoth: return "tx+rx";
+  }
+  return "unknown";
+}
+
+std::vector<FailureEpisode> plan_failures(std::span<const NodeId> nodes,
+                                          const FailurePlanConfig& config,
+                                          sim::Random& rng) {
+  assert(config.lambda >= 0.0 && config.lambda <= 1.0);
+  std::vector<FailureEpisode> plan;
+  if (config.lambda <= 0.0) return plan;
+
+  const int episodes = std::max(1, config.episodes);
+  const double total_down = config.lambda * sim::to_seconds(config.horizon);
+  const sim::SimDuration duration = sim::seconds_f(total_down / episodes);
+  const sim::SimTime window =
+      (config.horizon - config.min_start) / episodes;
+
+  plan.reserve(nodes.size() * static_cast<std::size_t>(episodes));
+  for (const NodeId node : nodes) {
+    for (int e = 0; e < episodes; ++e) {
+      const sim::SimTime window_start = config.min_start + e * window;
+      sim::SimTime latest_start;
+      if (config.placement == FailurePlacement::kFitInside) {
+        latest_start =
+            std::max(window_start, window_start + window - duration);
+      } else {
+        latest_start = window_start + window;
+      }
+      FailureEpisode ep;
+      ep.node = node;
+      ep.mode = static_cast<FailureMode>(rng.uniform_int(
+          static_cast<std::int64_t>(FailureMode::kTransmitter),
+          static_cast<std::int64_t>(FailureMode::kBoth)));
+      ep.start = rng.uniform_time(window_start, latest_start);
+      ep.duration = duration;
+      plan.push_back(ep);
+    }
+  }
+  return plan;
+}
+
+void apply_failures(sim::Simulator& simulator, Network& network,
+                    std::span<const FailureEpisode> plan) {
+  for (const FailureEpisode& ep : plan) {
+    if (ep.mode == FailureMode::kNone || ep.duration <= 0) continue;
+    const bool tx = ep.mode == FailureMode::kTransmitter ||
+                    ep.mode == FailureMode::kBoth;
+    const bool rx =
+        ep.mode == FailureMode::kReceiver || ep.mode == FailureMode::kBoth;
+    simulator.schedule_at(ep.start, [&simulator, &network, ep, tx, rx]() {
+      auto& iface = network.interface(ep.node);
+      if (tx) iface.set_tx(false);
+      if (rx) iface.set_rx(false);
+      simulator.trace().record(
+          simulator.now(), ep.node, sim::TraceCategory::kFailure,
+          "interface.down", std::string(to_string(ep.mode)));
+    });
+    simulator.schedule_at(ep.end(), [&simulator, &network, ep, tx, rx]() {
+      auto& iface = network.interface(ep.node);
+      if (tx) iface.set_tx(true);
+      if (rx) iface.set_rx(true);
+      simulator.trace().record(
+          simulator.now(), ep.node, sim::TraceCategory::kFailure,
+          "interface.up", std::string(to_string(ep.mode)));
+    });
+  }
+}
+
+}  // namespace sdcm::net

@@ -1,0 +1,165 @@
+#include "sdcm/net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace sdcm::net {
+
+std::string_view to_string(MessageClass c) noexcept {
+  switch (c) {
+    case MessageClass::kUpdate: return "update";
+    case MessageClass::kControl: return "control";
+    case MessageClass::kDiscovery: return "discovery";
+    case MessageClass::kTransport: return "transport";
+  }
+  return "unknown";
+}
+
+void MessageCounters::count(const Message& m) {
+  ++by_class_[static_cast<std::size_t>(m.klass)];
+  bytes_by_class_[static_cast<std::size_t>(m.klass)] +=
+      m.bytes > 0 ? m.bytes : default_bytes(m.klass);
+  ++by_type_[m.type];
+}
+
+std::uint64_t MessageCounters::of_type(std::string_view type) const {
+  const auto it = by_type_.find(type);
+  return it == by_type_.end() ? 0 : it->second;
+}
+
+std::uint64_t MessageCounters::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto n : by_class_) sum += n;
+  return sum;
+}
+
+std::uint64_t MessageCounters::discovery_layer_total() const noexcept {
+  return total() - of_class(MessageClass::kTransport);
+}
+
+std::uint64_t MessageCounters::bytes_total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto n : bytes_by_class_) sum += n;
+  return sum;
+}
+
+void MessageCounters::reset() {
+  for (auto& n : by_class_) n = 0;
+  for (auto& n : bytes_by_class_) n = 0;
+  by_type_.clear();
+}
+
+Network::Network(sim::Simulator& simulator, sim::SimDuration min_delay,
+                 sim::SimDuration max_delay)
+    : sim_(simulator),
+      min_delay_(min_delay),
+      max_delay_(max_delay),
+      rng_(simulator.rng().fork("network.delays")),
+      loss_rng_(simulator.rng().fork("network.loss")) {
+  assert(min_delay_ >= 0 && min_delay_ <= max_delay_);
+}
+
+Network::Network(sim::Simulator& simulator)
+    : Network(simulator, sim::microseconds(10), sim::microseconds(100)) {}
+
+void Network::attach(NodeId id, Handler handler) {
+  if (id == sim::kNoNode) throw std::invalid_argument("node id 0 is reserved");
+  const auto [it, inserted] = ports_.try_emplace(id);
+  if (!inserted) throw std::invalid_argument("duplicate node id");
+  it->second.handler = std::move(handler);
+  order_.push_back(id);
+}
+
+Network::Port& Network::port(NodeId id) {
+  const auto it = ports_.find(id);
+  if (it == ports_.end()) throw std::out_of_range("unknown node id");
+  return it->second;
+}
+
+InterfaceState& Network::interface(NodeId id) { return port(id).iface; }
+
+const InterfaceState& Network::interface(NodeId id) const {
+  return const_cast<Network*>(this)->port(id).iface;
+}
+
+sim::SimDuration Network::draw_delay() {
+  return rng_.uniform_int(min_delay_, max_delay_);
+}
+
+void Network::set_message_loss_rate(double rate) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  loss_rate_ = rate;
+}
+
+bool Network::lost_in_transit() {
+  return loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_);
+}
+
+void Network::send(const Message& msg) {
+  transmit(msg, /*deliver=*/true, nullptr);
+}
+
+void Network::multicast(const Message& msg, int redundant_copies) {
+  assert(redundant_copies >= 1);
+  Port& src = port(msg.src);
+  for (int copy = 0; copy < redundant_copies; ++copy) {
+    if (!src.iface.tx_up()) {
+      sim_.trace().record(sim_.now(), msg.src, sim::TraceCategory::kTransport,
+                          "net.drop.tx", msg.type);
+      continue;
+    }
+    counters_.count(msg);
+    for (const NodeId dst : order_) {
+      if (dst == msg.src) continue;
+      Message delivered = msg;
+      delivered.dst = dst;
+      delivered.via_multicast = true;
+      const auto delay = draw_delay();
+      const bool lost = lost_in_transit();
+      sim_.schedule_in(delay, [this, lost, m = std::move(delivered)]() {
+        Port& dport = port(m.dst);
+        if (!dport.iface.rx_up() || lost) {
+          sim_.trace().record(sim_.now(), m.dst,
+                              sim::TraceCategory::kTransport, "net.drop.rx",
+                              m.type);
+          return;
+        }
+        dport.handler(m);
+      });
+    }
+  }
+}
+
+bool Network::transmit(Message msg, bool deliver,
+                       std::function<void(bool)> on_result) {
+  Port& src = port(msg.src);
+  const auto delay = draw_delay();
+  if (!src.iface.tx_up()) {
+    sim_.trace().record(sim_.now(), msg.src, sim::TraceCategory::kTransport,
+                        "net.drop.tx", msg.type);
+    if (on_result) {
+      sim_.schedule_in(delay, [cb = std::move(on_result)]() { cb(false); });
+    }
+    return false;
+  }
+  counters_.count(msg);
+  const bool lost = lost_in_transit();
+  sim_.schedule_in(delay, [this, m = std::move(msg), deliver, lost,
+                           cb = std::move(on_result)]() {
+    Port& dport = port(m.dst);
+    const bool ok = dport.iface.rx_up() && !lost;
+    if (!ok) {
+      sim_.trace().record(sim_.now(), m.dst, sim::TraceCategory::kTransport,
+                          "net.drop.rx", m.type);
+    } else if (deliver) {
+      dport.handler(m);
+    }
+    if (cb) cb(ok);
+  });
+  return true;
+}
+
+void Network::deliver_local(const Message& msg) { port(msg.dst).handler(msg); }
+
+}  // namespace sdcm::net

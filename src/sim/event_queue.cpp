@@ -1,0 +1,53 @@
+#include "sdcm/sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sdcm::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (callbacks_.erase(id) > 0) {
+    cancelled_.insert(id);
+    --live_;
+  }
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept { return live_ == 0; }
+
+SimTime EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Fired fired{top.at, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_;
+  return fired;
+}
+
+}  // namespace sdcm::sim

@@ -1,0 +1,103 @@
+#include "sdcm/sim/random.hpp"
+
+#include <cassert>
+
+namespace sdcm::sim {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Random::Random(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Random::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Random::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (range == 0) {
+    // Full 64-bit range requested: every value is fair game.
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling over the largest multiple of `range` that fits.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      std::numeric_limits<std::uint64_t>::max() % range;
+  std::uint64_t draw = next_u64();
+  while (draw >= limit) draw = next_u64();
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   draw % range);
+}
+
+double Random::uniform01() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Random::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Random::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+SimTime Random::uniform_time(SimTime lo, SimTime hi) noexcept {
+  return uniform_int(lo, hi);
+}
+
+std::size_t Random::index(std::size_t n) noexcept {
+  assert(n > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Random Random::fork(std::uint64_t tag) const noexcept {
+  // Mix the parent state with the tag through SplitMix64. The parent is
+  // not advanced: forking is a read-only operation so that the order in
+  // which children are created does not perturb the parent's sequence.
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 29) ^ (tag * 0x9E3779B97F4A7C15ULL);
+  return Random(splitmix64(mix));
+}
+
+Random Random::fork(std::string_view label) const noexcept {
+  return fork(fnv1a64(label));
+}
+
+}  // namespace sdcm::sim

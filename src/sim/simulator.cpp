@@ -1,0 +1,65 @@
+#include "sdcm/sim/simulator.hpp"
+
+namespace sdcm::sim {
+
+void Simulator::run_until(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
+    auto fired = queue_.pop();
+    now_ = fired.at;
+    ++executed_;
+    fired.cb();
+  }
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    auto fired = queue_.pop();
+    now_ = fired.at;
+    ++executed_;
+    fired.cb();
+  }
+}
+
+void PeriodicTimer::start(Simulator& simulator, SimDuration initial_delay,
+                          TickFn on_tick, PeriodFn next_period) {
+  stop();
+  sim_ = &simulator;
+  on_tick_ = std::move(on_tick);
+  next_period_ = std::move(next_period);
+  arm(initial_delay);
+}
+
+void PeriodicTimer::start(Simulator& simulator, SimDuration initial_delay,
+                          SimDuration period, TickFn on_tick) {
+  start(simulator, initial_delay, std::move(on_tick),
+        [period]() { return period; });
+}
+
+void PeriodicTimer::stop() noexcept {
+  if (sim_ != nullptr && pending_ != kInvalidEventId) {
+    sim_->cancel(pending_);
+  }
+  pending_ = kInvalidEventId;
+  sim_ = nullptr;
+}
+
+void PeriodicTimer::arm(SimDuration delay) {
+  if (delay < 0) {
+    stop();
+    return;
+  }
+  pending_ = sim_->schedule_in(delay, [this]() {
+    pending_ = kInvalidEventId;
+    // Compute the next period before ticking: the tick may call stop().
+    const SimDuration next = next_period_();
+    on_tick_();
+    // The tick may have stopped or restarted the timer; only continue the
+    // chain if it did neither.
+    if (sim_ != nullptr && pending_ == kInvalidEventId) arm(next);
+  });
+}
+
+}  // namespace sdcm::sim

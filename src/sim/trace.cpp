@@ -1,0 +1,60 @@
+#include "sdcm/sim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sdcm::sim {
+
+std::string format_time(SimTime t) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(6) << to_seconds(t) << 's';
+  return oss.str();
+}
+
+std::string_view to_string(TraceCategory c) noexcept {
+  switch (c) {
+    case TraceCategory::kFailure: return "failure";
+    case TraceCategory::kTransport: return "transport";
+    case TraceCategory::kDiscovery: return "discovery";
+    case TraceCategory::kSubscription: return "subscription";
+    case TraceCategory::kUpdate: return "update";
+    case TraceCategory::kElection: return "election";
+    case TraceCategory::kLease: return "lease";
+    case TraceCategory::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+void TraceLog::record(SimTime at, NodeId node, TraceCategory category,
+                      std::string event, std::string detail) {
+  if (!recording_) return;
+  records_.push_back(
+      TraceRecord{at, node, category, std::move(event), std::move(detail)});
+}
+
+std::vector<TraceRecord> TraceLog::with_event(std::string_view event) const {
+  std::vector<TraceRecord> out;
+  std::copy_if(records_.begin(), records_.end(), std::back_inserter(out),
+               [&](const TraceRecord& r) { return r.event == event; });
+  return out;
+}
+
+std::size_t TraceLog::count_if(
+    const std::function<bool(const TraceRecord&)>& pred) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(), pred));
+}
+
+void TraceLog::print(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << std::setw(14) << format_time(r.at) << "  node" << std::setw(2)
+       << r.node << "  " << std::setw(12) << to_string(r.category) << "  "
+       << r.event;
+    if (!r.detail.empty()) os << "  [" << r.detail << ']';
+    os << '\n';
+  }
+}
+
+}  // namespace sdcm::sim

@@ -1,0 +1,262 @@
+#include "sdcm/upnp/manager.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sdcm/net/tcp.hpp"
+
+namespace sdcm::upnp {
+
+using discovery::ServiceDescription;
+using discovery::ServiceId;
+using net::Message;
+using net::MessageClass;
+
+UpnpManager::UpnpManager(sim::Simulator& simulator, net::Network& network,
+                         NodeId id, UpnpConfig config,
+                         discovery::ConsistencyObserver* observer)
+    : Node(simulator, network, id, "upnp-manager"),
+      config_(config),
+      observer_(observer) {}
+
+void UpnpManager::add_service(ServiceDescription sd) {
+  sd.manager = this->id();
+  const auto service = sd.id;
+  services_.insert_or_assign(service, std::move(sd));
+}
+
+void UpnpManager::start() {
+  running_ = true;
+  announce_all();
+  announce_timer_.start(simulator(), config_.announce_period,
+                        config_.announce_period, [this] { announce_all(); });
+}
+
+void UpnpManager::shutdown() {
+  running_ = false;
+  announce_timer_.stop();
+  for (const auto& [service, sd] : services_) {
+    Message m;
+    m.src = id();
+    m.type = msg::kByeBye;
+    m.klass = MessageClass::kDiscovery;
+    m.payload = ByeBye{id(), service};
+    network().multicast(m, config_.multicast_redundancy);
+  }
+  subs_.clear();
+  trace(sim::TraceCategory::kDiscovery, "upnp.shutdown");
+}
+
+void UpnpManager::announce_all() {
+  for (const auto& [service, sd] : services_) {
+    Message m;
+    m.src = id();
+    m.type = msg::kAlive;
+    m.klass = MessageClass::kDiscovery;
+    m.payload = Alive{id(), service, sd.device_type, sd.service_type};
+    network().multicast(m, config_.multicast_redundancy);
+  }
+  trace(sim::TraceCategory::kDiscovery, "upnp.announce");
+}
+
+const ServiceDescription& UpnpManager::service(ServiceId service) const {
+  const auto it = services_.find(service);
+  if (it == services_.end()) throw std::out_of_range("unknown service");
+  return it->second;
+}
+
+std::size_t UpnpManager::subscriber_count(ServiceId service) const {
+  const auto it = subs_.find(service);
+  return it == subs_.end() ? 0 : it->second.size();
+}
+
+bool UpnpManager::has_subscriber(ServiceId service, NodeId user) const {
+  const auto it = subs_.find(service);
+  return it != subs_.end() && it->second.contains(user);
+}
+
+void UpnpManager::change_service(ServiceId service) {
+  change_service(service, {});
+}
+
+void UpnpManager::change_service(ServiceId service,
+                                 const discovery::AttributeList& updates) {
+  const auto it = services_.find(service);
+  if (it == services_.end()) throw std::out_of_range("unknown service");
+  for (const auto& [key, value] : updates) {
+    it->second.attributes[key] = value;
+  }
+  bumped(it->second);
+}
+
+void UpnpManager::bumped(ServiceDescription& sd) {
+  ++sd.version;
+  trace(sim::TraceCategory::kUpdate, "upnp.service_changed",
+        "service=" + std::to_string(sd.id) +
+            " version=" + std::to_string(sd.version));
+  if (observer_ != nullptr) observer_->service_changed(sd.version, now());
+
+  if (!config_.enable_notification) return;  // CM2-only study
+  const auto subs_it = subs_.find(sd.id);
+  if (subs_it == subs_.end()) return;
+  // Snapshot the subscriber list: a REX purges entries while we iterate.
+  std::vector<NodeId> users;
+  users.reserve(subs_it->second.size());
+  for (const auto& [user, sub] : subs_it->second) users.push_back(user);
+  for (const NodeId user : users) notify_subscriber(sd.id, user);
+}
+
+void UpnpManager::notify_subscriber(ServiceId service, NodeId user) {
+  const auto& sd = services_.at(service);
+  Message m;
+  m.src = id();
+  m.dst = user;
+  m.type = msg::kNotify;
+  m.klass = MessageClass::kUpdate;
+  m.bytes = 64;  // invalidation only: "a change has occurred"
+  m.payload = Notify{service, sd.version};
+  trace(sim::TraceCategory::kUpdate, "upnp.notify.tx",
+        "user=" + std::to_string(user));
+  // GENA rule: an event that cannot be delivered cancels the subscription.
+  net::TcpConnection::open_and_send(
+      network(), std::move(m), /*on_acked=*/{},
+      /*on_rex=*/
+      [this, service, user] {
+        purge_subscriber(service, user, "notify-rex");
+      },
+      config_.tcp);
+}
+
+void UpnpManager::purge_subscriber(ServiceId service, NodeId user,
+                                   const char* reason) {
+  const auto it = subs_.find(service);
+  if (it == subs_.end()) return;
+  const auto sub = it->second.find(user);
+  if (sub == it->second.end()) return;
+  if (sub->second.expiry != sim::kInvalidEventId) {
+    simulator().cancel(sub->second.expiry);
+  }
+  it->second.erase(sub);
+  trace(sim::TraceCategory::kSubscription, "upnp.subscriber.purged",
+        "user=" + std::to_string(user) + " reason=" + reason);
+}
+
+void UpnpManager::on_message(const Message& m) {
+  if (!running_) return;
+  if (m.type == msg::kMSearch) {
+    handle_msearch(m);
+  } else if (m.type == msg::kGetDescription) {
+    handle_get(m);
+  } else if (m.type == msg::kSubscribe) {
+    handle_subscribe(m);
+  } else if (m.type == msg::kRenew) {
+    handle_renew(m);
+  }
+}
+
+void UpnpManager::handle_msearch(const Message& m) {
+  const auto& search = m.as<MSearch>();
+  for (const auto& [service, sd] : services_) {
+    if (sd.device_type != search.device_type ||
+        sd.service_type != search.service_type) {
+      continue;
+    }
+    // SSDP search responses are unicast UDP (the HTTP exchanges below use
+    // the TCP model).
+    Message reply;
+    reply.src = id();
+    reply.dst = search.user;
+    reply.type = msg::kSearchResponse;
+    reply.klass = MessageClass::kDiscovery;
+    reply.payload =
+        SearchResponse{id(), service, sd.device_type, sd.service_type};
+    network().send(reply);
+  }
+}
+
+void UpnpManager::handle_get(const Message& m) {
+  const auto& get = m.as<GetDescription>();
+  const auto it = services_.find(get.service);
+  if (it == services_.end()) return;
+  assert(m.conn != nullptr);
+  Message reply;
+  reply.src = id();
+  reply.dst = get.user;
+  reply.type = msg::kDescription;
+  // A description carrying a changed version is update propagation; the
+  // initial (version 1) fetch is discovery traffic.
+  reply.klass = it->second.version > 1 ? MessageClass::kUpdate
+                                       : MessageClass::kDiscovery;
+  reply.bytes = 48 + discovery::wire_size(it->second);
+  reply.payload = Description{it->second};
+  m.conn->send(std::move(reply));
+}
+
+void UpnpManager::handle_subscribe(const Message& m) {
+  const auto& sub = m.as<Subscribe>();
+  const auto it = services_.find(sub.service);
+  assert(m.conn != nullptr);
+  Message reply;
+  reply.src = id();
+  reply.dst = sub.user;
+  reply.type = msg::kSubscribeResponse;
+  reply.klass = MessageClass::kControl;
+  if (it == services_.end()) {
+    reply.payload = SubscribeResponse{sub.service, false, 0};
+    m.conn->send(std::move(reply));
+    return;
+  }
+
+  auto& entry = subs_[sub.service][sub.user];
+  entry.lease =
+      discovery::Lease{now(), config_.subscription_lease};
+  if (entry.expiry != sim::kInvalidEventId) simulator().cancel(entry.expiry);
+  const NodeId user = sub.user;
+  const ServiceId service = sub.service;
+  entry.expiry = simulator().schedule_at(
+      entry.lease.expires_at(),
+      [this, service, user] { purge_subscriber(service, user, "expired"); });
+  trace(sim::TraceCategory::kSubscription, "upnp.subscribed",
+        "user=" + std::to_string(user));
+
+  reply.payload =
+      SubscribeResponse{sub.service, true, config_.subscription_lease};
+  m.conn->send(std::move(reply));
+}
+
+void UpnpManager::handle_renew(const Message& m) {
+  const auto& renew = m.as<Renew>();
+  assert(m.conn != nullptr);
+  Message reply;
+  reply.src = id();
+  reply.dst = renew.user;
+  reply.type = msg::kRenewResponse;
+  reply.klass = MessageClass::kControl;
+
+  const auto it = subs_.find(renew.service);
+  const bool known =
+      it != subs_.end() && it->second.contains(renew.user);
+  if (known) {
+    auto& entry = it->second.at(renew.user);
+    entry.lease.renew(now());
+    if (entry.expiry != sim::kInvalidEventId) {
+      simulator().cancel(entry.expiry);
+    }
+    const NodeId user = renew.user;
+    const ServiceId service = renew.service;
+    entry.expiry = simulator().schedule_at(
+        entry.lease.expires_at(),
+        [this, service, user] { purge_subscriber(service, user, "expired"); });
+    reply.payload = RenewResponse{renew.service, true};
+  } else {
+    // PR4: tell the purged User to resubscribe (if enabled; the ablation
+    // variant silently ignores unknown renewals).
+    if (!config_.enable_pr4) return;
+    trace(sim::TraceCategory::kSubscription, "upnp.renew.unknown",
+          "user=" + std::to_string(renew.user));
+    reply.payload = RenewResponse{renew.service, false};
+  }
+  m.conn->send(std::move(reply));
+}
+
+}  // namespace sdcm::upnp

@@ -1,0 +1,51 @@
+#include "sdcm/discovery/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcm::discovery {
+namespace {
+
+TEST(Recovery, Names) {
+  EXPECT_EQ(to_string(RecoveryTechnique::kSRC1), "SRC1");
+  EXPECT_EQ(to_string(RecoveryTechnique::kSRN2), "SRN2");
+  EXPECT_EQ(to_string(RecoveryTechnique::kPR5), "PR5");
+}
+
+TEST(Recovery, DescriptionsNonEmpty) {
+  for (const auto t :
+       {RecoveryTechnique::kSRC1, RecoveryTechnique::kSRC2,
+        RecoveryTechnique::kSRN1, RecoveryTechnique::kSRN2,
+        RecoveryTechnique::kPR1, RecoveryTechnique::kPR2,
+        RecoveryTechnique::kPR3, RecoveryTechnique::kPR4,
+        RecoveryTechnique::kPR5}) {
+    EXPECT_FALSE(describe(t).empty());
+  }
+}
+
+TEST(TechniqueSet, InsertEraseContains) {
+  TechniqueSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(RecoveryTechnique::kPR1);
+  s.insert(RecoveryTechnique::kSRN2);
+  EXPECT_TRUE(s.contains(RecoveryTechnique::kPR1));
+  EXPECT_TRUE(s.contains(RecoveryTechnique::kSRN2));
+  EXPECT_FALSE(s.contains(RecoveryTechnique::kPR2));
+  s.erase(RecoveryTechnique::kPR1);
+  EXPECT_FALSE(s.contains(RecoveryTechnique::kPR1));
+}
+
+TEST(TechniqueSet, InitializerListAndEquality) {
+  constexpr TechniqueSet upnp{RecoveryTechnique::kSRC1,
+                              RecoveryTechnique::kSRN1,
+                              RecoveryTechnique::kPR4,
+                              RecoveryTechnique::kPR5};
+  static_assert(upnp.contains(RecoveryTechnique::kPR4));
+  static_assert(!upnp.contains(RecoveryTechnique::kPR1));
+  const TechniqueSet copy{RecoveryTechnique::kSRC1, RecoveryTechnique::kSRN1,
+                          RecoveryTechnique::kPR4, RecoveryTechnique::kPR5};
+  EXPECT_EQ(upnp, copy);
+  EXPECT_NE(upnp, TechniqueSet{});
+}
+
+}  // namespace
+}  // namespace sdcm::discovery

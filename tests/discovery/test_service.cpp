@@ -1,0 +1,86 @@
+#include "sdcm/discovery/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcm::discovery {
+namespace {
+
+using sim::seconds;
+
+ServiceDescription printer() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.manager = 7;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  sd.attributes = {{"PaperSize", "A4"}, {"Location", "Study"}};
+  return sd;
+}
+
+TEST(ServiceDescription, EqualityIsStructural) {
+  const auto a = printer();
+  auto b = printer();
+  EXPECT_EQ(a, b);
+  b.attributes["Location"] = "Kitchen";
+  EXPECT_NE(a, b);
+}
+
+TEST(ServiceDescription, VersionChangeBreaksEquality) {
+  const auto a = printer();
+  auto b = printer();
+  b.version = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(ServiceDescription, DescribeMatchesPaperNotation) {
+  // Section 4's example rendering.
+  const auto text = printer().describe();
+  EXPECT_EQ(text,
+            "SD{DeviceType=Printer, ServiceType=ColorPrinter, "
+            "AttributeList{Location=Study, PaperSize=A4}, version=1}");
+}
+
+TEST(ServiceDescription, DescribeEmptyAttributes) {
+  ServiceDescription sd;
+  sd.device_type = "Sensor";
+  sd.service_type = "Temp";
+  EXPECT_EQ(sd.describe(),
+            "SD{DeviceType=Sensor, ServiceType=Temp, AttributeList{}, "
+            "version=1}");
+}
+
+TEST(ServiceDescription, WireSizeGrowsWithContent) {
+  ServiceDescription small;
+  small.device_type = std::string("A");
+  small.service_type = std::string("B");
+  const auto base = wire_size(small);
+  EXPECT_GE(base, 64u);
+  ServiceDescription big = small;
+  const std::string key("Key");
+  const std::string value("a-much-longer-attribute-value");
+  big.attributes.emplace(key, value);
+  EXPECT_GT(wire_size(big), base);
+  // key + value + per-pair overhead
+  EXPECT_EQ(wire_size(big) - base, key.size() + value.size() + 8);
+}
+
+TEST(Lease, ValidityWindow) {
+  Lease lease;
+  lease.granted_at = seconds(100);
+  lease.duration = seconds(1800);
+  EXPECT_EQ(lease.expires_at(), seconds(1900));
+  EXPECT_TRUE(lease.valid_at(seconds(100)));
+  EXPECT_TRUE(lease.valid_at(seconds(1899)));
+  EXPECT_FALSE(lease.valid_at(seconds(1900)));
+}
+
+TEST(Lease, RenewExtendsFromNow) {
+  Lease lease;
+  lease.granted_at = seconds(100);
+  lease.duration = seconds(1800);
+  lease.renew(seconds(1000));
+  EXPECT_EQ(lease.expires_at(), seconds(2800));
+}
+
+}  // namespace
+}  // namespace sdcm::discovery

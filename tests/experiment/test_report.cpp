@@ -1,0 +1,88 @@
+#include "sdcm/experiment/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sdcm::experiment {
+namespace {
+
+std::vector<SweepPoint> sample_points() {
+  std::vector<SweepPoint> points;
+  for (const auto model :
+       {SystemModel::kUpnp, SystemModel::kFrodoTwoParty}) {
+    for (const double lambda : {0.0, 0.5}) {
+      SweepPoint p;
+      p.model = model;
+      p.lambda = lambda;
+      p.runs = 3;
+      p.metrics.responsiveness = lambda == 0.0 ? 0.9 : 0.5;
+      p.metrics.effectiveness = lambda == 0.0 ? 1.0 : 0.7;
+      p.metrics.efficiency = 0.6;
+      p.metrics.degradation = lambda == 0.0 ? 1.0 : 0.4;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+TEST(Report, SeriesTableHasHeaderAndRowPerLambda) {
+  std::ostringstream oss;
+  const auto points = sample_points();
+  write_series_table(oss, points, Metric::kEffectiveness);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("UPnP"), std::string::npos);
+  EXPECT_NE(out.find("FRODO-2party"), std::string::npos);
+  // Header + 2 lambda rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("0.700"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTripsValues) {
+  std::ostringstream oss;
+  write_csv(oss, sample_points());
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("model,lambda,"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);  // header + 4
+  EXPECT_NE(out.find("UPnP,0.000000,0.900000"), std::string::npos);
+}
+
+TEST(Report, AveragesTableMatchesTable5Shape) {
+  std::ostringstream oss;
+  write_averages_table(oss, sample_points());
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("Update Responsiveness R"), std::string::npos);
+  EXPECT_NE(out.find("Update Effectiveness F"), std::string::npos);
+  EXPECT_NE(out.find("Efficiency Degradation G"), std::string::npos);
+  // Mean of 0.9 / 0.5 = 0.7 must appear for responsiveness.
+  EXPECT_NE(out.find("0.700"), std::string::npos);
+}
+
+TEST(Report, MetricAccessors) {
+  metrics::MetricsSummary s;
+  s.responsiveness = 1;
+  s.effectiveness = 2;
+  s.efficiency = 3;
+  s.degradation = 4;
+  EXPECT_DOUBLE_EQ(value_of(s, Metric::kResponsiveness), 1);
+  EXPECT_DOUBLE_EQ(value_of(s, Metric::kEffectiveness), 2);
+  EXPECT_DOUBLE_EQ(value_of(s, Metric::kEfficiency), 3);
+  EXPECT_DOUBLE_EQ(value_of(s, Metric::kDegradation), 4);
+  EXPECT_EQ(to_string(Metric::kDegradation), "Efficiency Degradation G");
+}
+
+TEST(Report, RunsFromEnv) {
+  unsetenv("SDCM_RUNS");
+  EXPECT_EQ(runs_from_env(30), 30);
+  setenv("SDCM_RUNS", "12", 1);
+  EXPECT_EQ(runs_from_env(30), 12);
+  setenv("SDCM_RUNS", "garbage", 1);
+  EXPECT_EQ(runs_from_env(30), 30);
+  setenv("SDCM_RUNS", "-3", 1);
+  EXPECT_EQ(runs_from_env(30), 30);
+  unsetenv("SDCM_RUNS");
+}
+
+}  // namespace
+}  // namespace sdcm::experiment

@@ -1,0 +1,86 @@
+#include "sdcm/experiment/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcm::experiment {
+namespace {
+
+TEST(Sweep, PaperLambdaGridIs19Points) {
+  const auto grid = SweepConfig::paper_lambda_grid();
+  ASSERT_EQ(grid.size(), 19u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.9);
+  EXPECT_DOUBLE_EQ(grid[1], 0.05);
+}
+
+TEST(Sweep, RunSeedsAreDeterministicAndDistinct) {
+  const auto a = run_seed(1, SystemModel::kUpnp, 0, 0);
+  EXPECT_EQ(a, run_seed(1, SystemModel::kUpnp, 0, 0));
+  EXPECT_NE(a, run_seed(1, SystemModel::kUpnp, 0, 1));
+  EXPECT_NE(a, run_seed(1, SystemModel::kUpnp, 1, 0));
+  EXPECT_NE(a, run_seed(1, SystemModel::kJiniOneRegistry, 0, 0));
+  EXPECT_NE(a, run_seed(2, SystemModel::kUpnp, 0, 0));
+}
+
+TEST(Sweep, SmallSweepProducesOrderedPerfectZeroFailurePoints) {
+  SweepConfig config;
+  config.models = {SystemModel::kFrodoTwoParty, SystemModel::kUpnp};
+  config.lambdas = {0.0};
+  config.runs = 3;
+  config.threads = 2;
+  const auto points = run_sweep(config);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].model, SystemModel::kFrodoTwoParty);
+  EXPECT_EQ(points[1].model, SystemModel::kUpnp);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.records.size(), 3u);
+    EXPECT_DOUBLE_EQ(p.metrics.effectiveness, 1.0);
+    EXPECT_DOUBLE_EQ(p.metrics.degradation, 1.0);
+    EXPECT_GT(p.metrics.responsiveness, 0.4);
+  }
+  // E(0): FRODO owns m = 7 -> 1.0; UPnP spends 15 -> 7/15.
+  EXPECT_DOUBLE_EQ(points[0].metrics.efficiency, 1.0);
+  EXPECT_NEAR(points[1].metrics.efficiency, 7.0 / 15.0, 1e-9);
+}
+
+TEST(Sweep, ResultsIndependentOfThreadCount) {
+  SweepConfig config;
+  config.models = {SystemModel::kJiniOneRegistry};
+  config.lambdas = {0.3};
+  config.runs = 4;
+
+  config.threads = 1;
+  const auto serial = run_sweep(config);
+  config.threads = 4;
+  const auto parallel = run_sweep(config);
+
+  ASSERT_EQ(serial.size(), 1u);
+  ASSERT_EQ(parallel.size(), 1u);
+  EXPECT_DOUBLE_EQ(serial[0].metrics.responsiveness,
+                   parallel[0].metrics.responsiveness);
+  EXPECT_DOUBLE_EQ(serial[0].metrics.effectiveness,
+                   parallel[0].metrics.effectiveness);
+  for (std::size_t r = 0; r < serial[0].records.size(); ++r) {
+    EXPECT_EQ(serial[0].records[r].update_messages,
+              parallel[0].records[r].update_messages);
+  }
+}
+
+TEST(Sweep, CustomizeHookAppliesAblation) {
+  SweepConfig config;
+  config.models = {SystemModel::kFrodoTwoParty};
+  config.lambdas = {0.0};
+  config.runs = 2;
+  bool hook_ran = false;
+  config.customize = [&hook_ran](ExperimentConfig& run) {
+    hook_ran = true;
+    run.frodo.enable_srn2 = false;
+  };
+  const auto points = run_sweep(config);
+  EXPECT_TRUE(hook_ran);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].metrics.effectiveness, 1.0);
+}
+
+}  // namespace
+}  // namespace sdcm::experiment

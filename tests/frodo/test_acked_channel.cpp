@@ -1,0 +1,138 @@
+#include "sdcm/frodo/acked_channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcm::frodo {
+namespace {
+
+using sim::seconds;
+
+struct AckedChannelFixture : ::testing::Test {
+  sim::Simulator simulator{42};
+  net::Network network{simulator};
+  AckedChannel channel{simulator, network};
+  int received = 0;
+
+  void SetUp() override {
+    network.attach(1, [](const net::Message&) {});
+    network.attach(2, [this](const net::Message&) { ++received; });
+  }
+
+  net::Message make(std::string type = "frodo.test") {
+    net::Message m;
+    m.src = 1;
+    m.dst = 2;
+    m.type = std::move(type);
+    m.klass = net::MessageClass::kUpdate;
+    return m;
+  }
+};
+
+TEST_F(AckedChannelFixture, TokensAreUnique) {
+  const auto a = channel.allocate_token();
+  const auto b = channel.allocate_token();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, 0u);
+}
+
+TEST_F(AckedChannelFixture, AckStopsRetransmission) {
+  const auto token = channel.allocate_token();
+  bool acked = false;
+  channel.send(token, make(), {3, seconds(2)}, [&] { acked = true; });
+  simulator.run_until(seconds(1));
+  EXPECT_EQ(received, 1);
+  EXPECT_TRUE(channel.acknowledge(token));
+  EXPECT_TRUE(acked);
+  simulator.run_until(seconds(30));
+  EXPECT_EQ(received, 1);  // no retransmissions after the ack
+}
+
+TEST_F(AckedChannelFixture, Srn1RetransmitsUpToLimitThenFails) {
+  network.interface(2).set_rx(false);
+  const auto token = channel.allocate_token();
+  bool failed = false;
+  sim::SimTime failed_at = -1;
+  channel.send(token, make(), {3, seconds(2)}, {}, [&] {
+    failed = true;
+    failed_at = simulator.now();
+  });
+  simulator.run_until(seconds(30));
+  EXPECT_TRUE(failed);
+  // Initial copy + 3 retries at 2 s spacing, fail one spacing later: 8 s.
+  EXPECT_EQ(failed_at, seconds(8));
+  EXPECT_EQ(network.counters().of_type("frodo.test"), 4u);
+  EXPECT_FALSE(channel.pending(token));
+}
+
+TEST_F(AckedChannelFixture, RetransmissionsKeepTheAccountingClass) {
+  // FRODO retransmissions are discovery-layer messages and count fully
+  // (unlike TCP's, which the paper's metrics ignore).
+  network.interface(2).set_rx(false);
+  const auto token = channel.allocate_token();
+  channel.send(token, make(), {3, seconds(2)});
+  simulator.run_until(seconds(30));
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kUpdate), 4u);
+}
+
+TEST_F(AckedChannelFixture, Src1UnlimitedKeepsRetrying) {
+  network.interface(2).set_rx(false);
+  const auto token = channel.allocate_token();
+  bool failed = false;
+  channel.send(token, make(), {-1, seconds(5)}, {}, [&] { failed = true; });
+  simulator.run_until(seconds(120));
+  EXPECT_FALSE(failed);
+  EXPECT_TRUE(channel.pending(token));
+  // 0, 5, 10, ..., 120 -> 25 copies.
+  EXPECT_EQ(network.counters().of_type("frodo.test"), 25u);
+  // Recovery: receiver comes back, next copy is delivered.
+  network.interface(2).set_rx(true);
+  simulator.run_until(seconds(130));
+  EXPECT_GE(received, 1);
+}
+
+TEST_F(AckedChannelFixture, CancelStopsWithoutCallbacks) {
+  network.interface(2).set_rx(false);
+  const auto token = channel.allocate_token();
+  bool failed = false;
+  channel.send(token, make(), {3, seconds(2)}, {}, [&] { failed = true; });
+  simulator.run_until(seconds(3));
+  channel.cancel(token);
+  simulator.run_until(seconds(30));
+  EXPECT_FALSE(failed);
+  EXPECT_LE(network.counters().of_type("frodo.test"), 2u);
+}
+
+TEST_F(AckedChannelFixture, LateAckIsIgnored) {
+  const auto token = channel.allocate_token();
+  channel.send(token, make(), {3, seconds(2)});
+  simulator.run_until(seconds(1));
+  EXPECT_TRUE(channel.acknowledge(token));
+  EXPECT_FALSE(channel.acknowledge(token));  // duplicate
+  EXPECT_FALSE(channel.acknowledge(9999));   // unknown
+}
+
+TEST_F(AckedChannelFixture, DeliveredCopyStillRetransmitsUntilAcked) {
+  // Delivery alone is not success - only the ack settles the exchange
+  // (the receiver's ack is a separate protocol message).
+  const auto token = channel.allocate_token();
+  channel.send(token, make(), {3, seconds(2)});
+  simulator.run_until(seconds(5));
+  EXPECT_GE(received, 2);  // retransmitted although delivered
+  EXPECT_TRUE(channel.pending(token));
+}
+
+TEST_F(AckedChannelFixture, PendingCountTracksExchanges) {
+  EXPECT_EQ(channel.pending_count(), 0u);
+  const auto t1 = channel.allocate_token();
+  const auto t2 = channel.allocate_token();
+  channel.send(t1, make(), {3, seconds(2)});
+  channel.send(t2, make(), {3, seconds(2)});
+  EXPECT_EQ(channel.pending_count(), 2u);
+  channel.acknowledge(t1);
+  EXPECT_EQ(channel.pending_count(), 1u);
+  channel.cancel(t2);
+  EXPECT_EQ(channel.pending_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sdcm::frodo

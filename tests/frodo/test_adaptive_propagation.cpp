@@ -1,0 +1,177 @@
+// Tests for the Alex-style adaptive update propagation extension
+// (Section 4.2: invalidation vs data push vs adaptive switching).
+
+#include <gtest/gtest.h>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+
+namespace sdcm::frodo {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+ServiceDescription printer_sd() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  sd.attributes = {{"PaperSize", "A4"}, {"Location", "Study"},
+                   {"Color", "CMYK"}, {"Duplex", "yes"}};
+  return sd;
+}
+
+struct AdaptiveFixture : ::testing::Test {
+  sim::Simulator simulator{2121};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+  std::unique_ptr<FrodoRegistryNode> registry;
+  std::unique_ptr<FrodoManager> manager;
+  std::unique_ptr<FrodoUser> user;
+
+  void build(FrodoConfig config) {
+    registry = std::make_unique<FrodoRegistryNode>(simulator, network, 1, 100,
+                                                   config);
+    manager = std::make_unique<FrodoManager>(simulator, network, 10,
+                                             DeviceClass::k300D, config,
+                                             &observer);
+    manager->add_service(printer_sd());
+    user = std::make_unique<FrodoUser>(simulator, network, 11,
+                                       DeviceClass::k300D,
+                                       Matching{"Printer", "ColorPrinter"},
+                                       config, &observer);
+    registry->start();
+    manager->start();
+    user->start();
+  }
+};
+
+TEST_F(AdaptiveFixture, InvalidationModeDelaysByTheFetchWindow) {
+  FrodoConfig config;
+  config.propagation = UpdatePropagation::kInvalidation;
+  config.invalidation_fetch_delay = seconds(120);
+  build(config);
+  simulator.run_until(seconds(100));
+  manager->change_service(1, {{"PaperSize", "Letter"}});
+  simulator.run_until(seconds(400));
+  ASSERT_TRUE(user->cached().has_value());
+  EXPECT_EQ(user->cached()->version, 2u);
+  EXPECT_EQ(user->cached()->attributes.at("PaperSize"), "Letter");
+  const auto reached = observer.reach_time(11, 2);
+  ASSERT_TRUE(reached.has_value());
+  // Consistency only after the deferred fetch (~120 s after the change).
+  EXPECT_GT(*reached - *observer.change_time(2), seconds(119));
+  EXPECT_LT(*reached - *observer.change_time(2), seconds(125));
+}
+
+TEST_F(AdaptiveFixture, InvalidationStubNeverCorruptsTheCache) {
+  FrodoConfig config;
+  config.propagation = UpdatePropagation::kInvalidation;
+  build(config);
+  simulator.run_until(seconds(100));
+  manager->change_service(1, {{"PaperSize", "Letter"}});
+  simulator.run_until(seconds(101));
+  // The invalidation arrived but the body was not fetched yet: the cache
+  // must still hold the complete version-1 description.
+  ASSERT_TRUE(user->cached().has_value());
+  EXPECT_EQ(user->cached()->version, 1u);
+  EXPECT_EQ(user->cached()->attributes.size(), 4u);
+}
+
+TEST_F(AdaptiveFixture, BurstsCoalesceIntoOneFetch) {
+  FrodoConfig config;
+  config.propagation = UpdatePropagation::kInvalidation;
+  config.invalidation_fetch_delay = seconds(120);
+  build(config);
+  simulator.run_until(seconds(100));
+  // Five changes within the fetch window: one fetch, final version only.
+  for (int i = 0; i < 5; ++i) {
+    simulator.schedule_at(seconds(200 + 10 * i),
+                          [&] { manager->change_service(1); });
+  }
+  simulator.run_until(seconds(1000));
+  EXPECT_EQ(user->cached()->version, 6u);
+  EXPECT_EQ(simulator.trace().with_event("frodo.invalidation.fetch").size(),
+            1u);
+}
+
+TEST_F(AdaptiveFixture, AdaptiveUsesDataForSettledServices) {
+  FrodoConfig config;
+  config.propagation = UpdatePropagation::kAdaptive;
+  config.adaptive_hot_threshold = seconds(600);
+  build(config);
+  simulator.run_until(seconds(100));
+  // First change: no previous gap -> data push, immediate consistency.
+  manager->change_service(1);
+  simulator.run_until(seconds(101));
+  EXPECT_EQ(user->cached()->version, 2u);
+  // Second change 1800 s later (cold): data again.
+  simulator.run_until(seconds(1900));
+  manager->change_service(1);
+  simulator.run_until(seconds(1901));
+  EXPECT_EQ(user->cached()->version, 3u);
+  EXPECT_EQ(simulator.trace().with_event("frodo.invalidation.fetch").size(),
+            0u);
+}
+
+TEST_F(AdaptiveFixture, AdaptiveSwitchesToInvalidationWhenHot) {
+  FrodoConfig config;
+  config.propagation = UpdatePropagation::kAdaptive;
+  config.adaptive_hot_threshold = seconds(600);
+  config.invalidation_fetch_delay = seconds(120);
+  build(config);
+  simulator.run_until(seconds(100));
+  manager->change_service(1);  // v2: cold -> data
+  simulator.run_until(seconds(150));
+  manager->change_service(1);  // v3: 50 s gap -> hot -> invalidation
+  simulator.run_until(seconds(151));
+  EXPECT_EQ(user->cached()->version, 2u);  // only the stub arrived so far
+  simulator.run_until(seconds(1000));
+  EXPECT_EQ(user->cached()->version, 3u);  // fetched after the delay
+  EXPECT_EQ(simulator.trace().with_event("frodo.invalidation.fetch").size(),
+            1u);
+}
+
+TEST_F(AdaptiveFixture, InvalidationSavesBytesOnHotServices) {
+  // The efficiency claim: under a burst of changes, invalidation moves
+  // fewer update-class bytes than pushing the full description each time.
+  const auto bytes_for = [&](UpdatePropagation mode) {
+    sim::Simulator s(77);
+    net::Network n(s);
+    discovery::ConsistencyObserver obs;
+    FrodoConfig config;
+    config.propagation = mode;
+    config.invalidation_fetch_delay = seconds(120);
+    FrodoRegistryNode reg(s, n, 1, 100, config);
+    FrodoManager mgr(s, n, 10, DeviceClass::k300D, config, &obs);
+    mgr.add_service(printer_sd());
+    std::vector<std::unique_ptr<FrodoUser>> users;
+    for (int i = 0; i < 5; ++i) {
+      users.push_back(std::make_unique<FrodoUser>(
+          s, n, static_cast<NodeId>(11 + i), DeviceClass::k300D,
+          Matching{"Printer", "ColorPrinter"}, config, &obs));
+    }
+    reg.start();
+    mgr.start();
+    for (auto& u : users) u->start();
+    s.run_until(seconds(100));
+    const auto before = n.counters().bytes_of_class(net::MessageClass::kUpdate);
+    for (int c = 0; c < 10; ++c) {
+      s.schedule_at(seconds(200 + 20 * c), [&] { mgr.change_service(1); });
+    }
+    s.run_until(seconds(2000));
+    for (auto& u : users) {
+      EXPECT_EQ(u->cached()->version, 11u);
+    }
+    return n.counters().bytes_of_class(net::MessageClass::kUpdate) - before;
+  };
+  const auto data_bytes = bytes_for(UpdatePropagation::kData);
+  const auto invalidation_bytes = bytes_for(UpdatePropagation::kInvalidation);
+  EXPECT_LT(invalidation_bytes, data_bytes);
+}
+
+}  // namespace
+}  // namespace sdcm::frodo

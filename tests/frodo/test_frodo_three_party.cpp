@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+
+namespace sdcm::frodo {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+ServiceDescription printer_sd() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  sd.attributes = {{"PaperSize", "A4"}};
+  return sd;
+}
+
+Matching printer_req() { return Matching{"Printer", "ColorPrinter"}; }
+
+/// The paper's topology (a): 1 300D Registry, 1 3D Manager, 5 3D Users.
+struct ThreePartyFixture : ::testing::Test {
+  sim::Simulator simulator{4242};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+  std::unique_ptr<FrodoRegistryNode> registry;  // node 1
+  std::unique_ptr<FrodoManager> manager;        // node 10
+  std::vector<std::unique_ptr<FrodoUser>> users;  // nodes 11..
+
+  void build(std::size_t n_users, FrodoConfig config = {},
+             bool critical = false) {
+    registry = std::make_unique<FrodoRegistryNode>(simulator, network, 1, 100,
+                                                   config);
+    manager = std::make_unique<FrodoManager>(simulator, network, 10,
+                                             DeviceClass::k3D, config,
+                                             &observer);
+    manager->add_service(printer_sd(), critical);
+    for (std::size_t i = 0; i < n_users; ++i) {
+      users.push_back(std::make_unique<FrodoUser>(
+          simulator, network, static_cast<NodeId>(11 + i), DeviceClass::k3D,
+          printer_req(), config, &observer));
+    }
+    registry->start();
+    manager->start();
+    for (auto& u : users) u->start();
+  }
+};
+
+TEST_F(ThreePartyFixture, DiscoveryCompletesWithinPaperWindow) {
+  build(5);
+  simulator.run_until(seconds(100));
+  EXPECT_TRUE(registry->is_central());
+  EXPECT_TRUE(manager->is_registered(1));
+  EXPECT_TRUE(registry->has_registration(1));
+  for (const auto& u : users) {
+    ASSERT_TRUE(u->cached().has_value());
+    EXPECT_EQ(u->cached()->version, 1u);
+    EXPECT_TRUE(u->is_subscribed());
+    EXPECT_FALSE(u->two_party());
+  }
+  EXPECT_EQ(registry->subscription_count(1), 5u);
+  EXPECT_EQ(registry->interest_count(), 5u);
+}
+
+TEST_F(ThreePartyFixture, UpdatePropagatesViaCentral) {
+  build(5);
+  simulator.run_until(seconds(100));
+  manager->change_service(1, {{"PaperSize", "Letter"}});
+  simulator.run_until(seconds(200));
+  for (const auto& u : users) {
+    ASSERT_TRUE(u->cached().has_value());
+    EXPECT_EQ(u->cached()->version, 2u);
+    EXPECT_EQ(u->cached()->attributes.at("PaperSize"), "Letter");
+  }
+}
+
+TEST_F(ThreePartyFixture, UpdateTransactionIsNPlus2Messages) {
+  // Table 2: FRODO propagates N + 2 update messages - ServiceUpdate
+  // Manager->Central, UpdateAck Central->Manager, and N ServiceUpdates
+  // Central->Users. User acks are control traffic (DESIGN.md decision 2).
+  build(5);
+  simulator.run_until(seconds(100));
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kUpdate), 0u);
+  manager->change_service(1);
+  simulator.run_until(seconds(200));
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kUpdate), 7u);
+  EXPECT_EQ(network.counters().of_type(msg::kServiceUpdate), 6u);
+  EXPECT_EQ(network.counters().of_type(msg::kUpdateAck), 1u);
+  EXPECT_EQ(network.counters().of_type(msg::kClientUpdateAck), 5u);
+  // FRODO uses no TCP at all (Table 3).
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kTransport), 0u);
+}
+
+TEST_F(ThreePartyFixture, UpdateLatencyIsMilliseconds) {
+  // UDP + direct propagation: consistency in well under a second at
+  // lambda = 0 (FRODO's responsiveness edge in Figure 5).
+  build(5);
+  simulator.run_until(seconds(100));
+  manager->change_service(1);
+  simulator.run_until(seconds(101));
+  const auto change = observer.change_time(2);
+  ASSERT_TRUE(change.has_value());
+  for (const auto& u : users) {
+    const auto reached = observer.reach_time(u->id(), 2);
+    ASSERT_TRUE(reached.has_value());
+    EXPECT_LT(*reached - *change, sim::milliseconds(100));
+  }
+}
+
+TEST_F(ThreePartyFixture, LeasesSurviveTheFullRun) {
+  build(1);
+  simulator.run_until(seconds(5400));
+  EXPECT_TRUE(registry->has_registration(1));
+  EXPECT_EQ(registry->subscription_count(1), 1u);
+  EXPECT_TRUE(users[0]->is_subscribed());
+}
+
+TEST_F(ThreePartyFixture, RenewalsAreNotAcknowledged) {
+  // Figure 1 shows SubscriptionRenew without an ack: renewals flow, but
+  // no ack or resubscription traffic answers them in steady state.
+  build(1);
+  simulator.run_until(seconds(2000));
+  EXPECT_GE(network.counters().of_type(msg::kSubscriptionRenew), 2u);
+  EXPECT_EQ(network.counters().of_type(msg::kResubscribeRequest), 0u);
+}
+
+TEST_F(ThreePartyFixture, SubscriptionExpiresWithoutRenewal) {
+  build(1);
+  simulator.run_until(seconds(100));
+  ASSERT_EQ(registry->subscription_count(1), 1u);
+  network.interface(11).set_tx(false);  // renewals stop reaching the Central
+  simulator.run_until(seconds(3000));
+  EXPECT_EQ(registry->subscription_count(1), 0u);
+}
+
+TEST_F(ThreePartyFixture, CriticalUpdateUsesSrc1AndSrc2) {
+  FrodoConfig config;
+  build(1, config, /*critical=*/true);
+  simulator.run_until(seconds(100));
+
+  // The user misses v2 entirely (receiver down) but its transmitter still
+  // renews the subscription, so the Central keeps retrying (SRC1 has no
+  // retransmission limit) until the receiver recovers.
+  network.interface(11).set_rx(false);
+  manager->change_service(1);
+  simulator.run_until(seconds(300));
+  EXPECT_EQ(users[0]->cached()->version, 1u);
+  network.interface(11).set_rx(true);
+  simulator.run_until(seconds(400));
+  EXPECT_EQ(users[0]->cached()->version, 2u);
+
+  // SRC2: two further changes while the receiver is down again; on
+  // recovery the user must obtain the *complete* history.
+  network.interface(11).set_rx(false);
+  manager->change_service(1);
+  simulator.run_until(seconds(500));
+  manager->change_service(1);
+  simulator.run_until(seconds(600));
+  network.interface(11).set_rx(true);
+  simulator.run_until(seconds(1000));
+  EXPECT_EQ(users[0]->cached()->version, 4u);
+  EXPECT_TRUE(users[0]->versions_seen().contains(3));  // gap recovered
+}
+
+TEST_F(ThreePartyFixture, InterestNotificationSkipsKnownVersions) {
+  // Users already hold v1 when they register interest; the Central must
+  // not send a redundant notification (count preservation at lambda = 0).
+  build(5);
+  simulator.run_until(seconds(100));
+  EXPECT_EQ(network.counters().of_type(msg::kServiceNotification), 0u);
+}
+
+TEST_F(ThreePartyFixture, LateUserIsNotifiedOfExistingRegistration) {
+  // FRODO's PR1 improvement over Jini: an interest registered after the
+  // service is already there gets an immediate notification when it holds
+  // nothing (known_version = 0)... via the search path or notification -
+  // either way the late user converges quickly.
+  build(1);
+  simulator.run_until(seconds(100));
+  auto late = std::make_unique<FrodoUser>(simulator, network, 20,
+                                          DeviceClass::k3D, printer_req(),
+                                          FrodoConfig{}, &observer);
+  late->start();
+  simulator.run_until(seconds(200));
+  ASSERT_TRUE(late->cached().has_value());
+  EXPECT_EQ(late->cached()->version, 1u);
+  EXPECT_TRUE(late->is_subscribed());
+}
+
+TEST_F(ThreePartyFixture, TechniquesMatchTable2) {
+  const auto t = FrodoRegistryNode::techniques();
+  for (const auto technique :
+       {discovery::RecoveryTechnique::kSRN1, discovery::RecoveryTechnique::kSRN2,
+        discovery::RecoveryTechnique::kSRC1, discovery::RecoveryTechnique::kSRC2,
+        discovery::RecoveryTechnique::kPR1, discovery::RecoveryTechnique::kPR3,
+        discovery::RecoveryTechnique::kPR4, discovery::RecoveryTechnique::kPR5}) {
+    EXPECT_TRUE(t.contains(technique));
+  }
+  EXPECT_FALSE(t.contains(discovery::RecoveryTechnique::kPR2));
+}
+
+}  // namespace
+}  // namespace sdcm::frodo

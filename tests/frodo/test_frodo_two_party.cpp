@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+#include <array>
+#include "sdcm/net/failure_model.hpp"
+
+namespace sdcm::frodo {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+ServiceDescription printer_sd() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  return sd;
+}
+
+Matching printer_req() { return Matching{"Printer", "ColorPrinter"}; }
+
+/// The paper's topology (b): 1 300D Registry, 1 300D Backup, 1 300D
+/// Manager, 5 300D Users - 8 nodes, all 300D, single-Registry system.
+struct TwoPartyFixture : ::testing::Test {
+  sim::Simulator simulator{777};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+  std::unique_ptr<FrodoRegistryNode> registry;  // node 1, capability 100
+  std::unique_ptr<FrodoRegistryNode> backup;    // node 2, capability 90
+  std::unique_ptr<FrodoManager> manager;        // node 10
+  std::vector<std::unique_ptr<FrodoUser>> users;  // nodes 11..
+
+  void build(std::size_t n_users, FrodoConfig config = {}) {
+    registry = std::make_unique<FrodoRegistryNode>(simulator, network, 1, 100,
+                                                   config);
+    backup = std::make_unique<FrodoRegistryNode>(simulator, network, 2, 90,
+                                                 config);
+    manager = std::make_unique<FrodoManager>(simulator, network, 10,
+                                             DeviceClass::k300D, config,
+                                             &observer);
+    manager->add_service(printer_sd());
+    for (std::size_t i = 0; i < n_users; ++i) {
+      users.push_back(std::make_unique<FrodoUser>(
+          simulator, network, static_cast<NodeId>(11 + i), DeviceClass::k300D,
+          printer_req(), config, &observer));
+    }
+    registry->start();
+    backup->start();
+    manager->start();
+    for (auto& u : users) u->start();
+  }
+};
+
+TEST_F(TwoPartyFixture, UsersSubscribeDirectlyToThe300DManager) {
+  build(5);
+  simulator.run_until(seconds(100));
+  EXPECT_TRUE(registry->is_central());
+  EXPECT_EQ(backup->role(), FrodoRegistryNode::Role::kBackup);
+  for (const auto& u : users) {
+    ASSERT_TRUE(u->cached().has_value());
+    EXPECT_TRUE(u->is_subscribed());
+    EXPECT_TRUE(u->two_party());
+    EXPECT_EQ(u->manager(), 10u);
+  }
+  EXPECT_EQ(manager->subscriber_count(1), 5u);
+  // 2-party: the Central holds the registration but no subscriptions.
+  EXPECT_TRUE(registry->has_registration(1));
+  EXPECT_EQ(registry->subscription_count(1), 0u);
+}
+
+TEST_F(TwoPartyFixture, UpdateGoesDirectlyToUsersAndToTheCentral) {
+  build(5);
+  simulator.run_until(seconds(100));
+  manager->change_service(1);
+  simulator.run_until(seconds(200));
+  for (const auto& u : users) {
+    EXPECT_EQ(u->cached()->version, 2u);
+  }
+}
+
+TEST_F(TwoPartyFixture, UpdateTransactionIsNPlus2Messages) {
+  // Table 2 / Figure 6: FRODO with 2-party subscription also has m' = 7 -
+  // 5 direct ServiceUpdates + the Manager->Central update + its ack.
+  build(5);
+  simulator.run_until(seconds(100));
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kUpdate), 0u);
+  manager->change_service(1);
+  simulator.run_until(seconds(200));
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kUpdate), 7u);
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kTransport), 0u);
+}
+
+TEST_F(TwoPartyFixture, DirectUpdateIsFasterThanAnyTcpHandshake) {
+  build(5);
+  simulator.run_until(seconds(100));
+  manager->change_service(1);
+  simulator.run_until(seconds(101));
+  const auto change = observer.change_time(2);
+  for (const auto& u : users) {
+    const auto reached = observer.reach_time(u->id(), 2);
+    ASSERT_TRUE(reached.has_value());
+    // One UDP hop: well under a millisecond.
+    EXPECT_LT(*reached - *change, sim::milliseconds(1));
+  }
+}
+
+TEST_F(TwoPartyFixture, Srn2RetriesUpdateOnSubscriptionRenewal) {
+  // The paper's flagship low-failure-rate technique (Figure 4(i)): the
+  // user misses the update (receiver down through SRN1's retries); the
+  // manager marks it inconsistent and resends when the renewal arrives.
+  build(1);
+  simulator.run_until(seconds(100));
+  ASSERT_EQ(manager->subscriber_count(1), 1u);
+
+  network.interface(11).set_rx(false);
+  manager->change_service(1);
+  simulator.run_until(seconds(150));
+  EXPECT_TRUE(manager->marked_inconsistent(1, 11));
+  EXPECT_EQ(users[0]->cached()->version, 1u);
+
+  // Receiver recovers; nothing happens until the next renewal (the
+  // dependency on the lease period the paper blames for SRN2's latency).
+  network.interface(11).set_rx(true);
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(users[0]->cached()->version, 2u);
+  EXPECT_FALSE(manager->marked_inconsistent(1, 11));
+  const auto reached = observer.reach_time(11, 2);
+  ASSERT_TRUE(reached.has_value());
+  // Renewals run at 900 s cadence: recovery lands on one of them.
+  EXPECT_GT(*reached, seconds(900));
+  EXPECT_EQ(simulator.trace().with_event("frodo.srn2.retry").size(), 1u);
+}
+
+TEST_F(TwoPartyFixture, WithoutSrn2TheUserMissesTheUpdateUntilPurge) {
+  FrodoConfig config;
+  config.enable_srn2 = false;
+  build(1, config);
+  simulator.run_until(seconds(100));
+  network.interface(11).set_rx(false);
+  manager->change_service(1);
+  simulator.run_until(seconds(150));
+  network.interface(11).set_rx(true);
+  simulator.run_until(seconds(2500));
+  // No SRN2: renewals succeed, the subscription stays, but v2 never
+  // arrives (until some purge-rediscovery path would kick in).
+  EXPECT_EQ(users[0]->cached()->version, 1u);
+  EXPECT_TRUE(users[0]->is_subscribed());
+}
+
+TEST_F(TwoPartyFixture, PR4ResubscriptionCarriesTheUpdate) {
+  // The manager purges the user (its subscription lapses while the user's
+  // transmitter is down); when the user's renewal finally arrives, the
+  // manager requests resubscription and the subscribe ack carries v2 -
+  // unlike UPnP, where resubscription restores nothing.
+  build(1);
+  simulator.run_until(seconds(100));
+  network.interface(11).set_tx(false);
+  simulator.schedule_at(seconds(200), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(3000));
+  EXPECT_EQ(manager->subscriber_count(1), 0u);  // lease lapsed
+  network.interface(11).set_tx(true);
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(users[0]->cached()->version, 2u);
+  EXPECT_TRUE(users[0]->is_subscribed());
+  EXPECT_EQ(manager->subscriber_count(1), 1u);
+  EXPECT_GE(simulator.trace().with_event("frodo.resubscribe.request").size(),
+            1u);
+}
+
+TEST_F(TwoPartyFixture, PR5PurgeAndRediscoverViaRegistryQuery) {
+  // The manager dies mid-run; renewals fail repeatedly, the user purges
+  // it (PR5) and queries the Central, which still holds the registration
+  // until its lease expires... after the manager recovers and
+  // re-registers, the user's periodic search finds the current version.
+  build(1);
+  simulator.run_until(seconds(100));
+  net::FailureEpisode ep;
+  ep.node = 10;
+  ep.mode = net::FailureMode::kBoth;
+  ep.start = seconds(200);
+  ep.duration = seconds(2500);
+  net::apply_failures(simulator, network, std::array{ep});
+  simulator.schedule_at(seconds(2701), [&] { manager->change_service(1); });
+
+  simulator.run_until(seconds(5400));
+  ASSERT_TRUE(users[0]->cached().has_value());
+  EXPECT_EQ(users[0]->cached()->version, 2u);
+  EXPECT_GE(simulator.trace().with_event("frodo.manager.purged").size(), 1u);
+}
+
+TEST_F(TwoPartyFixture, BackupTakeoverKeepsTheSystemServing) {
+  build(1);
+  simulator.run_until(seconds(100));
+  // Registry node dies for the rest of the run; the Backup takes over
+  // and the (re-registering) manager + user continue via the new Central.
+  net::FailureEpisode ep;
+  ep.node = 1;
+  ep.mode = net::FailureMode::kBoth;
+  ep.start = seconds(150);
+  ep.duration = seconds(5250);
+  net::apply_failures(simulator, network, std::array{ep});
+
+  simulator.run_until(seconds(5400));
+  EXPECT_TRUE(backup->is_central());
+  EXPECT_TRUE(backup->has_registration(1));
+  // 2-party consistency is unaffected by the Central change.
+  manager->change_service(1);
+  simulator.run_until(seconds(5400) + seconds(10));
+  EXPECT_EQ(users[0]->cached()->version, 2u);
+}
+
+}  // namespace
+}  // namespace sdcm::frodo

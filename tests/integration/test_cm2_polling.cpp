@@ -1,0 +1,159 @@
+// Unit coverage of the CM2 (polling) mechanism across the three
+// protocols (Section 4.2's pull-based consistency maintenance).
+
+#include <gtest/gtest.h>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+#include "sdcm/jini/manager.hpp"
+#include "sdcm/jini/registry.hpp"
+#include "sdcm/jini/user.hpp"
+#include "sdcm/upnp/manager.hpp"
+#include "sdcm/upnp/user.hpp"
+
+namespace sdcm {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+ServiceDescription printer_sd() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  return sd;
+}
+
+TEST(Cm2Polling, UpnpPollingAloneRetrievesTheUpdate) {
+  sim::Simulator simulator(1);
+  net::Network network(simulator);
+  discovery::ConsistencyObserver observer;
+  upnp::UpnpConfig config;
+  config.enable_notification = false;  // CM2 only
+  config.poll_period = seconds(300);
+  upnp::UpnpManager manager(simulator, network, 1, config, &observer);
+  manager.add_service(printer_sd());
+  upnp::UpnpUser user(simulator, network, 2,
+                      upnp::Requirement{"Printer", "ColorPrinter"}, config,
+                      &observer);
+  manager.start();
+  user.start();
+  simulator.schedule_at(seconds(1000), [&] { manager.change_service(1); });
+  simulator.run_until(seconds(2000));
+  EXPECT_EQ(network.counters().of_type(upnp::msg::kNotify), 0u);
+  ASSERT_TRUE(user.cached().has_value());
+  EXPECT_EQ(user.cached()->version, 2u);
+  // The poll period bounds the latency: consistency within one period.
+  const auto reached = observer.reach_time(2, 2);
+  ASSERT_TRUE(reached.has_value());
+  EXPECT_LE(*reached - seconds(1000), seconds(300) + seconds(1));
+}
+
+TEST(Cm2Polling, UpnpPollingIsSlowerThanNotification) {
+  const auto latency = [](bool notify) {
+    sim::Simulator simulator(5);
+    net::Network network(simulator);
+    discovery::ConsistencyObserver observer;
+    upnp::UpnpConfig config;
+    config.enable_notification = notify;
+    config.poll_period = notify ? sim::SimDuration{0} : seconds(600);
+    upnp::UpnpManager manager(simulator, network, 1, config, &observer);
+    manager.add_service(printer_sd());
+    upnp::UpnpUser user(simulator, network, 2,
+                        upnp::Requirement{"Printer", "ColorPrinter"}, config,
+                        &observer);
+    manager.start();
+    user.start();
+    simulator.schedule_at(seconds(1000), [&] { manager.change_service(1); });
+    simulator.run_until(seconds(3000));
+    return *observer.reach_time(2, 2) - seconds(1000);
+  };
+  EXPECT_LT(latency(true), sim::seconds(1));
+  EXPECT_GT(latency(false), sim::seconds(10));
+}
+
+TEST(Cm2Polling, JiniPeriodicLookupRetrievesTheUpdate) {
+  sim::Simulator simulator(2);
+  net::Network network(simulator);
+  discovery::ConsistencyObserver observer;
+  jini::JiniConfig config;
+  config.enable_notification = false;
+  config.poll_period = seconds(300);
+  jini::JiniRegistry registry(simulator, network, 1, config);
+  jini::JiniManager manager(simulator, network, 10, config, &observer);
+  manager.add_service(printer_sd());
+  jini::JiniUser user(simulator, network, 11,
+                      jini::Template{"Printer", "ColorPrinter"}, config,
+                      &observer);
+  registry.start();
+  manager.start();
+  user.start();
+  simulator.schedule_at(seconds(1000), [&] { manager.change_service(1); });
+  simulator.run_until(seconds(2000));
+  EXPECT_EQ(network.counters().of_type(jini::msg::kRemoteEvent), 0u);
+  ASSERT_TRUE(user.cached().has_value());
+  EXPECT_EQ(user.cached()->version, 2u);
+}
+
+TEST(Cm2Polling, FrodoPeriodicSearchRetrievesTheUpdate) {
+  sim::Simulator simulator(3);
+  net::Network network(simulator);
+  discovery::ConsistencyObserver observer;
+  frodo::FrodoConfig config;
+  config.enable_notification = false;
+  config.poll_period = seconds(300);
+  frodo::FrodoRegistryNode registry(simulator, network, 1, 100, config);
+  frodo::FrodoManager manager(simulator, network, 10,
+                              frodo::DeviceClass::k3D, config, &observer);
+  manager.add_service(printer_sd());
+  frodo::FrodoUser user(simulator, network, 11, frodo::DeviceClass::k3D,
+                        frodo::Matching{"Printer", "ColorPrinter"}, config,
+                        &observer);
+  registry.start();
+  manager.start();
+  user.start();
+  simulator.schedule_at(seconds(1000), [&] { manager.change_service(1); });
+  simulator.run_until(seconds(2000));
+  ASSERT_TRUE(user.cached().has_value());
+  EXPECT_EQ(user.cached()->version, 2u);
+}
+
+TEST(Cm2Polling, RedundantPollsCostMessages) {
+  // "Polling is also a less efficient mechanism ... in scenarios where
+  // services rarely change, causing multiple redundant polls."
+  sim::Simulator simulator(4);
+  net::Network network(simulator);
+  upnp::UpnpConfig config;
+  config.poll_period = seconds(300);
+  upnp::UpnpManager manager(simulator, network, 1, config, nullptr);
+  manager.add_service(printer_sd());
+  upnp::UpnpUser user(simulator, network, 2,
+                      upnp::Requirement{"Printer", "ColorPrinter"}, config,
+                      nullptr);
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(5400));  // the service never changes
+  // ~17 polls, each a GET + response - pure overhead.
+  EXPECT_GE(network.counters().of_type(upnp::msg::kGetDescription), 15u);
+}
+
+TEST(Cm2Polling, DefaultConfigurationHasNoPolling) {
+  sim::Simulator simulator(6);
+  net::Network network(simulator);
+  upnp::UpnpManager manager(simulator, network, 1, upnp::UpnpConfig{},
+                            nullptr);
+  manager.add_service(printer_sd());
+  upnp::UpnpUser user(simulator, network, 2,
+                      upnp::Requirement{"Printer", "ColorPrinter"},
+                      upnp::UpnpConfig{}, nullptr);
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(network.counters().of_type(upnp::msg::kGetDescription), 1u);
+}
+
+}  // namespace
+}  // namespace sdcm

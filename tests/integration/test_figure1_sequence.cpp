@@ -1,0 +1,102 @@
+// Asserts the exact Figure 1 message sequence: "Consistency maintenance
+// through notification, in FRODO with 3-party subscription":
+//
+//   ServiceRegistration -> ServiceSearch -> ServiceFound ->
+//   SubscriptionRequest -> Ack -> SubscriptionRenew* ->
+//   ServiceUpdate(M->R) -> Ack -> ServiceUpdate(R->U) -> Ack
+
+#include <gtest/gtest.h>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+
+namespace sdcm::frodo {
+namespace {
+
+using sim::seconds;
+
+TEST(Figure1, ThreePartyNotificationSequence) {
+  sim::Simulator simulator(2006);
+  net::Network network(simulator);
+  discovery::ConsistencyObserver observer;
+
+  FrodoRegistryNode registry(simulator, network, 1, 100);
+  FrodoManager manager(simulator, network, 10, DeviceClass::k3D,
+                       FrodoConfig{}, &observer);
+  discovery::ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  manager.add_service(sd);
+  FrodoUser user(simulator, network, 11, DeviceClass::k3D,
+                 Matching{"Printer", "ColorPrinter"}, FrodoConfig{},
+                 &observer);
+  registry.start();
+  manager.start();
+  user.start();
+
+  simulator.schedule_at(seconds(2000), [&] { manager.change_service(1); });
+  simulator.run_until(seconds(3000));
+
+  const auto& counters = network.counters();
+  // ServiceRegistration (the Manager registered exactly once; the count
+  // may include SRN1 copies, so >= 1 and the registry holds it).
+  EXPECT_GE(counters.of_type(msg::kRegister), 1u);
+  EXPECT_TRUE(registry.has_registration(1));
+  // Subscription established via the Registry, renewed periodically
+  // (lease 1800 s, renew at 900 s: renewals at ~905 and ~1805).
+  EXPECT_GE(counters.of_type(msg::kSubscriptionRequest), 1u);
+  EXPECT_GE(counters.of_type(msg::kSubscribeAck), 1u);
+  EXPECT_GE(counters.of_type(msg::kSubscriptionRenew), 2u);
+  // ServiceUpdate M->R + Ack, ServiceUpdate R->U + Ack.
+  EXPECT_EQ(counters.of_type(msg::kServiceUpdate), 2u);
+  EXPECT_EQ(counters.of_type(msg::kUpdateAck), 1u);
+  EXPECT_EQ(counters.of_type(msg::kClientUpdateAck), 1u);
+
+  // Sequence order from the trace: search precedes subscription precedes
+  // renewals precedes the updates.
+  const auto& trace = simulator.trace();
+  const auto time_of = [&trace](std::string_view event) {
+    const auto hits = trace.with_event(std::string(event));
+    return hits.empty() ? sim::SimTime{-1} : hits.front().at;
+  };
+  const auto subscribed_at = time_of("frodo.subscribed");
+  const auto changed_at = time_of("frodo.service_changed");
+  const auto stored_at = time_of("frodo.update.stored");
+  ASSERT_GE(subscribed_at, 0);
+  ASSERT_GE(changed_at, 0);
+  ASSERT_GE(stored_at, 0);
+  EXPECT_LT(subscribed_at, changed_at);
+  EXPECT_LT(changed_at, stored_at);
+  EXPECT_EQ(changed_at, seconds(2000));
+
+  // The User holds the new version, delivered via the Registry.
+  ASSERT_TRUE(user.cached().has_value());
+  EXPECT_EQ(user.cached()->version, 2u);
+  EXPECT_FALSE(user.two_party());
+}
+
+TEST(Figure1, NoTcpAnywhereInFrodo) {
+  sim::Simulator simulator(7);
+  net::Network network(simulator);
+  FrodoRegistryNode registry(simulator, network, 1, 100);
+  FrodoManager manager(simulator, network, 10, DeviceClass::k3D);
+  discovery::ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  manager.add_service(sd);
+  FrodoUser user(simulator, network, 11, DeviceClass::k3D,
+                 Matching{"Printer", "ColorPrinter"});
+  registry.start();
+  manager.start();
+  user.start();
+  simulator.schedule_at(seconds(1000), [&] { manager.change_service(1); });
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kTransport), 0u);
+}
+
+}  // namespace
+}  // namespace sdcm::frodo

@@ -1,0 +1,93 @@
+// Verifies the Update Efficiency accounting window (DESIGN.md decision
+// 2): y(i) counts kUpdate + kDiscovery messages between the change and
+// the last consistency event. At lambda = 0 the window contains exactly
+// the update transaction, anchoring G(0) = 1 in Figure 6.
+
+#include <gtest/gtest.h>
+
+#include "sdcm/experiment/scenario.hpp"
+
+namespace sdcm::experiment {
+namespace {
+
+class WindowAtZeroFailure : public ::testing::TestWithParam<SystemModel> {};
+
+TEST_P(WindowAtZeroFailure, WindowEqualsOwnMinimum) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ExperimentConfig config;
+    config.model = GetParam();
+    config.lambda = 0.0;
+    config.seed = seed;
+    const auto record = run_experiment(config);
+    const auto m_prime = minimum_update_messages(GetParam(), 5);
+    if (GetParam() == SystemModel::kJiniTwoRegistries) {
+      // The two registries deliver duplicate RemoteEvents; whichever
+      // duplicate races past the last consistency event falls outside
+      // the window. G(0) is still 1.0 (the ratio clamps at 1).
+      EXPECT_GE(record.window_messages, m_prime - 3) << "seed " << seed;
+      EXPECT_LE(record.window_messages, m_prime) << "seed " << seed;
+    } else {
+      EXPECT_EQ(record.window_messages, m_prime) << "seed " << seed;
+      EXPECT_EQ(record.window_messages, record.update_messages);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, WindowAtZeroFailure, ::testing::ValuesIn(kAllModels),
+    [](const ::testing::TestParamInfo<SystemModel>& param_info) {
+      std::string name(to_string(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(WindowAccounting, GrowsUnderFailures) {
+  // With failures, retransmissions / rediscovery chatter inflate the
+  // window beyond the minimum for at least some runs.
+  bool some_inflation = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !some_inflation; ++seed) {
+    ExperimentConfig config;
+    config.model = SystemModel::kFrodoThreeParty;
+    config.lambda = 0.5;
+    config.seed = seed;
+    const auto record = run_experiment(config);
+    some_inflation =
+        record.window_messages >
+        minimum_update_messages(SystemModel::kFrodoThreeParty, 5);
+  }
+  EXPECT_TRUE(some_inflation);
+}
+
+TEST(WindowAccounting, UserCountScalesTheMinimum) {
+  for (const int users : {1, 3, 5, 10}) {
+    ExperimentConfig config;
+    config.model = SystemModel::kFrodoThreeParty;
+    config.lambda = 0.0;
+    config.seed = 3;
+    config.users = users;
+    const auto record = run_experiment(config);
+    EXPECT_EQ(record.window_messages,
+              static_cast<std::uint64_t>(users) + 2)
+        << users << " users";
+    EXPECT_EQ(record.user_reach_times.size(),
+              static_cast<std::size_t>(users));
+  }
+}
+
+TEST(WindowAccounting, UpnpScalesAsThreeN) {
+  for (const int users : {1, 4, 8}) {
+    ExperimentConfig config;
+    config.model = SystemModel::kUpnp;
+    config.lambda = 0.0;
+    config.seed = 5;
+    config.users = users;
+    const auto record = run_experiment(config);
+    EXPECT_EQ(record.window_messages,
+              static_cast<std::uint64_t>(3 * users));
+  }
+}
+
+}  // namespace
+}  // namespace sdcm::experiment

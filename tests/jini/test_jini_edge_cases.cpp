@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/jini/manager.hpp"
+#include "sdcm/jini/registry.hpp"
+#include "sdcm/jini/user.hpp"
+
+namespace sdcm::jini {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+ServiceDescription printer_sd() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  return sd;
+}
+
+struct JiniEdgeFixture : ::testing::Test {
+  sim::Simulator simulator{606};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+};
+
+TEST_F(JiniEdgeFixture, RegistrationLapseRecoveredViaRenewalError) {
+  // The manager's renewals stop reaching the registry (tx down); the
+  // registration lapses. When the transmitter recovers, the renewal is
+  // answered with an error and the manager re-registers - carrying the
+  // version it changed meanwhile (PR1).
+  JiniRegistry registry(simulator, network, 1);
+  JiniManager manager(simulator, network, 10, JiniConfig{}, &observer);
+  manager.add_service(printer_sd());
+  JiniUser user(simulator, network, 11,
+                Template{"Printer", "ColorPrinter"}, JiniConfig{}, &observer);
+  registry.start();
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(100));
+  ASSERT_TRUE(registry.has_registration(1));
+
+  network.interface(10).set_tx(false);
+  simulator.schedule_at(seconds(1000), [&] { manager.change_service(1); });
+  simulator.run_until(seconds(3000));
+  EXPECT_FALSE(registry.has_registration(1));  // lease lapsed
+  network.interface(10).set_tx(true);
+  simulator.run_until(seconds(5400));
+  EXPECT_TRUE(registry.has_registration(1));
+  EXPECT_EQ(user.cached()->version, 2u);
+}
+
+TEST_F(JiniEdgeFixture, TwoRegistriesSurviveSingleRegistryLoss) {
+  // The redundancy argument for the 2-Registry topology: one lookup
+  // service dies across the change; the other carries the update.
+  JiniRegistry registry_a(simulator, network, 1);
+  JiniRegistry registry_b(simulator, network, 2);
+  JiniManager manager(simulator, network, 10, JiniConfig{}, &observer);
+  manager.add_service(printer_sd());
+  JiniUser user(simulator, network, 11,
+                Template{"Printer", "ColorPrinter"}, JiniConfig{}, &observer);
+  registry_a.start();
+  registry_b.start();
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(100));
+  ASSERT_EQ(manager.known_registry_count(), 2u);
+
+  network.interface(1).set_tx(false);
+  network.interface(1).set_rx(false);
+  simulator.schedule_at(seconds(300), [&] { manager.change_service(1); });
+  simulator.run_until(seconds(400));
+  // Registry B's remote event delivered v2 despite A being dark.
+  EXPECT_EQ(user.cached()->version, 2u);
+  ASSERT_TRUE(observer.reach_time(11, 2).has_value());
+  EXPECT_LT(*observer.reach_time(11, 2), seconds(302));
+}
+
+TEST_F(JiniEdgeFixture, EventLeaseExpiresWithoutRenewal) {
+  JiniRegistry registry(simulator, network, 1);
+  JiniUser user(simulator, network, 11,
+                Template{"Printer", "ColorPrinter"}, JiniConfig{}, &observer);
+  registry.start();
+  user.start();
+  simulator.run_until(seconds(100));
+  ASSERT_EQ(registry.event_registration_count(), 1u);
+  network.interface(11).set_tx(false);
+  simulator.run_until(seconds(3000));
+  EXPECT_EQ(registry.event_registration_count(), 0u);
+}
+
+TEST_F(JiniEdgeFixture, LateUserGetsStateOnlyThroughLookup) {
+  // The anomaly end-to-end: the manager registered long ago; a new user
+  // files its notification request and must rely on its own lookup (PR2)
+  // for the existing state - no event is generated for it.
+  JiniRegistry registry(simulator, network, 1);
+  JiniManager manager(simulator, network, 10, JiniConfig{}, &observer);
+  manager.add_service(printer_sd());
+  registry.start();
+  manager.start();
+  simulator.run_until(seconds(500));
+
+  const auto events_before =
+      network.counters().of_type(msg::kRemoteEvent);
+  JiniUser late(simulator, network, 12,
+                Template{"Printer", "ColorPrinter"}, JiniConfig{}, &observer);
+  late.start();
+  simulator.run_until(seconds(700));
+  ASSERT_TRUE(late.cached().has_value());
+  EXPECT_EQ(network.counters().of_type(msg::kRemoteEvent), events_before);
+  EXPECT_GE(network.counters().of_type(msg::kLookup), 1u);
+}
+
+TEST_F(JiniEdgeFixture, StaleLookupResponseDoesNotRegress) {
+  // A user holding v2 must ignore a v1 description arriving later (e.g.
+  // a lookup response from a stale registry).
+  JiniRegistry registry(simulator, network, 1);
+  JiniManager manager(simulator, network, 10, JiniConfig{}, &observer);
+  manager.add_service(printer_sd());
+  JiniUser user(simulator, network, 11,
+                Template{"Printer", "ColorPrinter"}, JiniConfig{}, &observer);
+  registry.start();
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(100));
+  manager.change_service(1);
+  simulator.run_until(seconds(200));
+  ASSERT_EQ(user.cached()->version, 2u);
+
+  // Hand-deliver a stale v1 remote event.
+  net::Message stale;
+  stale.src = 1;
+  stale.dst = 11;
+  stale.type = msg::kRemoteEvent;
+  stale.klass = net::MessageClass::kUpdate;
+  stale.payload = RemoteEvent{printer_sd()};  // version 1
+  network.deliver_local(stale);
+  EXPECT_EQ(user.cached()->version, 2u);
+}
+
+TEST_F(JiniEdgeFixture, ManagerRenewsWithBothRegistriesIndependently) {
+  JiniRegistry registry_a(simulator, network, 1);
+  JiniRegistry registry_b(simulator, network, 2);
+  JiniManager manager(simulator, network, 10, JiniConfig{}, &observer);
+  manager.add_service(printer_sd());
+  registry_a.start();
+  registry_b.start();
+  manager.start();
+  simulator.run_until(seconds(5400));
+  EXPECT_TRUE(registry_a.has_registration(1));
+  EXPECT_TRUE(registry_b.has_registration(1));
+  EXPECT_GE(network.counters().of_type(msg::kRenewRegistration), 10u);
+}
+
+}  // namespace
+}  // namespace sdcm::jini

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/net/failure_model.hpp"
+#include "sdcm/jini/manager.hpp"
+#include "sdcm/jini/registry.hpp"
+#include "sdcm/jini/user.hpp"
+
+namespace sdcm::jini {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+struct JiniRecoveryFixture : ::testing::Test {
+  sim::Simulator simulator{777};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+  std::unique_ptr<JiniRegistry> registry;   // node 1
+  std::unique_ptr<JiniManager> manager;     // node 10
+  std::unique_ptr<JiniUser> user;           // node 11
+
+  void build(JiniConfig config = {}) {
+    ServiceDescription sd;
+    sd.id = 1;
+    sd.device_type = "Printer";
+    sd.service_type = "ColorPrinter";
+    registry = std::make_unique<JiniRegistry>(simulator, network, 1, config);
+    manager = std::make_unique<JiniManager>(simulator, network, 10, config,
+                                            &observer);
+    manager->add_service(sd);
+    user = std::make_unique<JiniUser>(simulator, network, 11,
+                                      Template{"Printer", "ColorPrinter"},
+                                      config, &observer);
+    registry->start();
+    manager->start();
+    user->start();
+  }
+
+  void fail(net::NodeId node, net::FailureMode mode, sim::SimTime start,
+            sim::SimDuration duration) {
+    net::FailureEpisode ep;
+    ep.node = node;
+    ep.mode = mode;
+    ep.start = start;
+    ep.duration = duration;
+    net::apply_failures(simulator, network, std::array{ep});
+  }
+};
+
+TEST_F(JiniRecoveryFixture, PR1ManagerReRegistersChangedServiceAfterOutage) {
+  // The manager cannot reach the registry when the service changes (the
+  // registry's receiver is down); the ChangeService REX purges the
+  // registry at the manager. When the registry recovers and announces,
+  // the manager re-registers the *changed* description and the user is
+  // notified (PR1 feeding the remote event path).
+  build();
+  fail(1, net::FailureMode::kReceiver, seconds(150), seconds(600));
+  simulator.schedule_at(seconds(200), [&] { manager->change_service(1); });
+
+  simulator.run_until(seconds(700));
+  EXPECT_EQ(user->cached()->version, 1u);  // still stale during the outage
+
+  simulator.run_until(seconds(2000));
+  EXPECT_EQ(user->cached()->version, 2u);
+  ASSERT_TRUE(observer.reach_time(11, 2).has_value());
+  EXPECT_GT(*observer.reach_time(11, 2), seconds(750));
+}
+
+TEST_F(JiniRecoveryFixture, PR2LookupAfterRediscoveryRetrievesUpdate) {
+  // The user is fully offline across the change; the registry holds v2.
+  // On recovery the user misses nothing permanently: its announcement
+  // silence timer purged the registry, rediscovery triggers event
+  // registration + lookup, and the lookup (PR2) returns v2.
+  build();
+  fail(11, net::FailureMode::kBoth, seconds(150), seconds(900));
+  simulator.schedule_at(seconds(300), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(user->cached()->version, 2u);
+  // The remote event to the down user REXed at the registry.
+  EXPECT_GE(simulator.trace().with_event("jini.event.rex").size(), 1u);
+  // Recovery must have happened within ~announce period of recovery.
+  ASSERT_TRUE(observer.reach_time(11, 2).has_value());
+  EXPECT_LT(*observer.reach_time(11, 2), seconds(1300));
+}
+
+TEST_F(JiniRecoveryFixture, PR3EventLeaseErrorForcesRediscovery) {
+  // The user's transmitter fails long enough for its event lease to lapse
+  // at the registry while announcements keep reaching the user. Once the
+  // transmitter recovers, the renewal is answered with an error (PR3);
+  // the user purges the registry, rediscovers it via the next
+  // announcement, re-registers and looks up - retrieving the update.
+  build();
+  fail(11, net::FailureMode::kTransmitter, seconds(800), seconds(2000));
+  simulator.schedule_at(seconds(1000), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(user->cached()->version, 2u);
+  EXPECT_GE(simulator.trace().with_event("jini.event.lapsed").size() +
+                simulator.trace().with_event("jini.registry.purged").size(),
+            1u);
+}
+
+TEST_F(JiniRecoveryFixture, RegistryOutageDelaysButDoesNotLoseUpdate) {
+  // Full registry blackout spanning the change: both the manager's
+  // update and the user's renewals REX; everyone purges the registry.
+  // When it recovers and announces, the manager re-registers v2 and the
+  // user (rediscovering) looks it up.
+  build();
+  fail(1, net::FailureMode::kBoth, seconds(500), seconds(1500));
+  simulator.schedule_at(seconds(600), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(user->cached()->version, 2u);
+  ASSERT_TRUE(observer.reach_time(11, 2).has_value());
+  EXPECT_GT(*observer.reach_time(11, 2), seconds(2000));
+}
+
+TEST_F(JiniRecoveryFixture, ManagerOutageBeforeChangeRecoversViaPR1) {
+  // The manager's transmitter dies before the change; its registration
+  // lapses at the registry (renewals REX). After recovery, the renewal
+  // error (or announcement-driven re-registration) carries v2 upstream
+  // and the user gets the remote event.
+  build();
+  fail(10, net::FailureMode::kTransmitter, seconds(800), seconds(1800));
+  simulator.schedule_at(seconds(1000), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(user->cached()->version, 2u);
+}
+
+TEST_F(JiniRecoveryFixture, UserReceiverOutageMissesEventButRecovers) {
+  // Receiver-only failure: the user's renewals still reach the registry
+  // (lease stays alive) but the remote event REXes. Jini has no SRN2, so
+  // nothing retries toward this user... until its announcement silence
+  // timer fires (no announcements received), it purges the registry, and
+  // rediscovery + lookup (PR2) retrieve the update.
+  build();
+  fail(11, net::FailureMode::kReceiver, seconds(800), seconds(1000));
+  simulator.schedule_at(seconds(900), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(5400));
+  EXPECT_EQ(user->cached()->version, 2u);
+  ASSERT_TRUE(observer.reach_time(11, 2).has_value());
+  // Not before the outage ended.
+  EXPECT_GT(*observer.reach_time(11, 2), seconds(1800));
+}
+
+TEST_F(JiniRecoveryFixture, ShortOutageMakesTcpCarryTheEventLate) {
+  // An outage shorter than the handshake REX window: TCP's own
+  // retransmissions deliver the event after recovery - SRN1 "enabled by
+  // TCP" (Table 4).
+  build();
+  fail(11, net::FailureMode::kReceiver, seconds(199), seconds(60));
+  simulator.schedule_at(seconds(200), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(600));
+  EXPECT_EQ(user->cached()->version, 2u);
+  ASSERT_TRUE(observer.reach_time(11, 2).has_value());
+  EXPECT_GT(*observer.reach_time(11, 2), seconds(259));
+  EXPECT_LT(*observer.reach_time(11, 2), seconds(320));
+}
+
+}  // namespace
+}  // namespace sdcm::jini

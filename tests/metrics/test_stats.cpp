@@ -1,0 +1,43 @@
+#include "sdcm/metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace sdcm::metrics {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean(std::array{1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean(std::array{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::array{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::array{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::array{7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, MedianResistsOutliers) {
+  // The reason the paper prefers the median for responsiveness.
+  EXPECT_DOUBLE_EQ(median(std::array{0.9, 0.91, 0.92, 0.93, 0.0}), 0.91);
+}
+
+TEST(Stats, PercentileEndpointsAndInterpolation) {
+  const std::array values{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 200), 40.0);  // clamped
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev(std::array{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                   2.138089935299395);
+  EXPECT_DOUBLE_EQ(stddev(std::array{1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace sdcm::metrics

@@ -1,0 +1,113 @@
+#include "sdcm/metrics/update_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcm::metrics {
+namespace {
+
+using namespace update_metrics;
+using sim::seconds;
+
+RunRecord make_run(sim::SimTime change, sim::SimTime deadline,
+                   std::vector<std::optional<sim::SimTime>> reach,
+                   std::uint64_t messages) {
+  RunRecord run;
+  run.change_time = change;
+  run.deadline = deadline;
+  run.user_reach_times = std::move(reach);
+  run.update_messages = messages;
+  run.window_messages = messages;
+  return run;
+}
+
+TEST(UpdateMetrics, RelativeLatencyFormula) {
+  // L = (U - C) / (D - C): change at 1000 s, deadline 5400 s, user reaches
+  // at 2100 s -> L = 1100 / 4400 = 0.25.
+  const auto run = make_run(seconds(1000), seconds(5400),
+                            {seconds(2100)}, 7);
+  EXPECT_DOUBLE_EQ(relative_latency(run, 0), 0.25);
+}
+
+TEST(UpdateMetrics, MissedDeadlineHasLatencyOne) {
+  const auto run = make_run(seconds(1000), seconds(5400),
+                            {std::nullopt, seconds(5400), seconds(6000)}, 7);
+  EXPECT_DOUBLE_EQ(relative_latency(run, 0), 1.0);  // never reached
+  EXPECT_DOUBLE_EQ(relative_latency(run, 1), 1.0);  // exactly at D (U < D fails)
+  EXPECT_DOUBLE_EQ(relative_latency(run, 2), 1.0);  // after D
+}
+
+TEST(UpdateMetrics, ResponsivenessIsMedianOfOneMinusL) {
+  // Latencies 0.1, 0.2, 0.9 -> 1-L = 0.9, 0.8, 0.1 -> median 0.8.
+  const auto run = make_run(
+      seconds(0), seconds(1000),
+      {seconds(100), seconds(200), seconds(900)}, 7);
+  const RunRecord runs[] = {run};
+  EXPECT_DOUBLE_EQ(responsiveness(runs), 0.8);
+}
+
+TEST(UpdateMetrics, ResponsivenessPoolsAcrossRuns) {
+  const RunRecord runs[] = {
+      make_run(seconds(0), seconds(1000), {seconds(100)}, 7),   // 0.9
+      make_run(seconds(0), seconds(1000), {seconds(500)}, 7),   // 0.5
+      make_run(seconds(0), seconds(1000), {std::nullopt}, 7),   // 0.0
+  };
+  EXPECT_DOUBLE_EQ(responsiveness(runs), 0.5);
+}
+
+TEST(UpdateMetrics, EffectivenessCountsOnTimeUsers) {
+  const RunRecord runs[] = {
+      make_run(seconds(0), seconds(1000),
+               {seconds(10), std::nullopt, seconds(999)}, 7),
+      make_run(seconds(0), seconds(1000), {seconds(1000)}, 7),
+  };
+  // 2 of 4 user observations reached before D.
+  EXPECT_DOUBLE_EQ(effectiveness(runs), 0.5);
+}
+
+TEST(UpdateMetrics, EfficiencyIsMeanOfMOverY) {
+  const RunRecord runs[] = {
+      make_run(seconds(0), seconds(1000), {seconds(1)}, 7),    // 7/7 = 1
+      make_run(seconds(0), seconds(1000), {seconds(1)}, 14),   // 7/14 = .5
+      make_run(seconds(0), seconds(1000), {seconds(1)}, 28),   // 7/28 = .25
+  };
+  EXPECT_DOUBLE_EQ(efficiency(runs, 7), (1.0 + 0.5 + 0.25) / 3.0);
+}
+
+TEST(UpdateMetrics, EfficiencyClampsBelowMinimumAndZero) {
+  const RunRecord runs[] = {
+      make_run(seconds(0), seconds(1000), {seconds(1)}, 3),  // y < m -> 1
+      make_run(seconds(0), seconds(1000), {std::nullopt}, 0),  // 0
+  };
+  EXPECT_DOUBLE_EQ(efficiency(runs, 7), 0.5);
+}
+
+TEST(UpdateMetrics, DegradationUsesOwnMinimum) {
+  // The paper's point: UPnP sends 15 at zero failure; against m = 7 it
+  // looks inefficient (E = 7/15) even though it has not degraded at all
+  // (G = 15/15 = 1).
+  const RunRecord runs[] = {
+      make_run(seconds(0), seconds(1000), {seconds(1)}, 15),
+  };
+  EXPECT_NEAR(efficiency(runs, 7), 7.0 / 15.0, 1e-12);
+  EXPECT_DOUBLE_EQ(degradation(runs, 15), 1.0);
+}
+
+TEST(UpdateMetrics, SummarizeBundlesAllFour) {
+  const RunRecord runs[] = {
+      make_run(seconds(0), seconds(1000), {seconds(100), seconds(300)}, 14),
+  };
+  const auto s = summarize(runs, 7, 14);
+  EXPECT_DOUBLE_EQ(s.responsiveness, 0.8);
+  EXPECT_DOUBLE_EQ(s.effectiveness, 1.0);
+  EXPECT_DOUBLE_EQ(s.efficiency, 0.5);
+  EXPECT_DOUBLE_EQ(s.degradation, 1.0);
+}
+
+TEST(UpdateMetrics, EmptyInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(responsiveness({}), 0.0);
+  EXPECT_DOUBLE_EQ(effectiveness({}), 0.0);
+  EXPECT_DOUBLE_EQ(efficiency({}, 7), 0.0);
+}
+
+}  // namespace
+}  // namespace sdcm::metrics

@@ -1,0 +1,101 @@
+#include "sdcm/net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcm::net {
+namespace {
+
+Message make(std::string type, MessageClass klass) {
+  Message m;
+  m.src = 1;
+  m.dst = 2;
+  m.type = std::move(type);
+  m.klass = klass;
+  return m;
+}
+
+TEST(Counters, CountsByClassAndType) {
+  MessageCounters c;
+  c.count(make("notify", MessageClass::kUpdate));
+  c.count(make("notify", MessageClass::kUpdate));
+  c.count(make("renew", MessageClass::kControl));
+  c.count(make("tcp.syn", MessageClass::kTransport));
+
+  EXPECT_EQ(c.of_class(MessageClass::kUpdate), 2u);
+  EXPECT_EQ(c.of_class(MessageClass::kControl), 1u);
+  EXPECT_EQ(c.of_class(MessageClass::kDiscovery), 0u);
+  EXPECT_EQ(c.of_class(MessageClass::kTransport), 1u);
+  EXPECT_EQ(c.of_type("notify"), 2u);
+  EXPECT_EQ(c.of_type("unknown"), 0u);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Counters, DiscoveryLayerTotalExcludesTransport) {
+  MessageCounters c;
+  c.count(make("a", MessageClass::kUpdate));
+  c.count(make("b", MessageClass::kDiscovery));
+  c.count(make("tcp.syn", MessageClass::kTransport));
+  c.count(make("tcp.ack", MessageClass::kTransport));
+  EXPECT_EQ(c.discovery_layer_total(), 2u);
+}
+
+TEST(Counters, ResetClearsEverything) {
+  MessageCounters c;
+  c.count(make("a", MessageClass::kUpdate));
+  c.reset();
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(c.of_type("a"), 0u);
+  EXPECT_TRUE(c.by_type().empty());
+}
+
+TEST(Counters, ByTypeIterationIsSorted) {
+  MessageCounters c;
+  c.count(make("zeta", MessageClass::kControl));
+  c.count(make("alpha", MessageClass::kControl));
+  c.count(make("mid", MessageClass::kControl));
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : c.by_type()) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(Counters, ClassNames) {
+  EXPECT_EQ(to_string(MessageClass::kUpdate), "update");
+  EXPECT_EQ(to_string(MessageClass::kTransport), "transport");
+}
+
+TEST(Counters, BytesUseExplicitSizeOrClassDefault) {
+  MessageCounters c;
+  Message sized = make("big", MessageClass::kUpdate);
+  sized.bytes = 1000;
+  c.count(sized);
+  c.count(make("ack", MessageClass::kControl));  // default 48
+  EXPECT_EQ(c.bytes_of_class(MessageClass::kUpdate), 1000u);
+  EXPECT_EQ(c.bytes_of_class(MessageClass::kControl), 48u);
+  EXPECT_EQ(c.bytes_total(), 1048u);
+}
+
+TEST(Counters, DefaultBytesPerClass) {
+  EXPECT_EQ(default_bytes(MessageClass::kUpdate), 320u);
+  EXPECT_EQ(default_bytes(MessageClass::kControl), 48u);
+  EXPECT_EQ(default_bytes(MessageClass::kDiscovery), 96u);
+  EXPECT_EQ(default_bytes(MessageClass::kTransport), 40u);
+}
+
+TEST(Counters, ResetClearsBytes) {
+  MessageCounters c;
+  c.count(make("a", MessageClass::kUpdate));
+  c.reset();
+  EXPECT_EQ(c.bytes_total(), 0u);
+}
+
+TEST(MessageEnvelope, PayloadRoundTrip) {
+  struct Payload {
+    int x;
+  };
+  Message m;
+  m.payload = Payload{41};
+  EXPECT_EQ(m.as<Payload>().x, 41);
+}
+
+}  // namespace
+}  // namespace sdcm::net

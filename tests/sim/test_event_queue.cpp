@@ -1,0 +1,100 @@
+#include "sdcm/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sdcm::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLive) {
+  EventQueue q;
+  const auto early = q.schedule(5, [] {});
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(10, [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownOrFiredIsNoop) {
+  EventQueue q;
+  const auto id = q.schedule(1, [] {});
+  auto fired = q.pop();
+  fired.cb();
+  q.cancel(id);             // already fired
+  q.cancel(9999);           // never existed
+  q.cancel(kInvalidEventId);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] { order.push_back(1); });
+  const auto mid = q.schedule(2, [&] { order.push_back(2); });
+  q.schedule(3, [&] { order.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, PopReturnsScheduledTimeAndId) {
+  EventQueue q;
+  const auto id = q.schedule(77, [] {});
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.at, 77);
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueue, ManyCancellationsDoNotLeak) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(q.schedule(i, [] {}));
+  for (const auto id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  // A fresh event still works after mass cancellation.
+  bool fired = false;
+  q.schedule(5000, [&] { fired = true; });
+  q.pop().cb();
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace sdcm::sim

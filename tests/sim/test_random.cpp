@@ -1,0 +1,159 @@
+#include "sdcm/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace sdcm::sim {
+namespace {
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, UniformIntStaysInClosedRange) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(10, 100);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 100);
+  }
+}
+
+TEST(Random, UniformIntHitsBothEndpoints) {
+  Random r(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000 && !(lo && hi); ++i) {
+    const auto v = r.uniform_int(0, 7);
+    lo = lo || v == 0;
+    hi = hi || v == 7;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Random, UniformIntSinglePoint) {
+  Random r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Random, UniformIntIsRoughlyUniform) {
+  Random r(11);
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    buckets[static_cast<std::size_t>(r.uniform_int(0, 9))]++;
+  }
+  // Chi-square with 9 dof; 99.9% critical value is ~27.9.
+  double chi2 = 0;
+  const double expected = kDraws / 10.0;
+  for (const int count : buckets) {
+    const double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Random, Uniform01InHalfOpenUnitInterval) {
+  Random r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Random, UniformRealRespectsBounds) {
+  Random r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform_real(-2.5, 7.5);
+    ASSERT_GE(v, -2.5);
+    ASSERT_LT(v, 7.5);
+  }
+}
+
+TEST(Random, BernoulliEdgeCases) {
+  Random r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+  }
+}
+
+TEST(Random, BernoulliFrequency) {
+  Random r(23);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(Random, ForkIsReadOnlyOnParent) {
+  Random a(31), b(31);
+  (void)a.fork(1);
+  (void)a.fork(2);
+  (void)a.fork("label");
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, ForkedStreamsAreStableAndDistinct) {
+  Random parent(37);
+  Random c1 = parent.fork(1);
+  Random c1_again = parent.fork(1);
+  Random c2 = parent.fork(2);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  Random c1b = parent.fork(1);
+  EXPECT_NE(c1b.next_u64(), c2.next_u64());
+}
+
+TEST(Random, LabelForkMatchesHashFork) {
+  Random parent(41);
+  Random by_label = parent.fork("network.delays");
+  Random by_hash = parent.fork(fnv1a64("network.delays"));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(by_label.next_u64(), by_hash.next_u64());
+  }
+}
+
+TEST(Random, IndexCoversRange) {
+  Random r(43);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(Random, UniformTimeMatchesPaperChangeWindow) {
+  Random r(47);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = r.uniform_time(seconds(100), seconds(2700));
+    ASSERT_GE(t, seconds(100));
+    ASSERT_LE(t, seconds(2700));
+  }
+}
+
+TEST(Random, Fnv1aKnownValues) {
+  // Reference vectors for 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+}  // namespace
+}  // namespace sdcm::sim

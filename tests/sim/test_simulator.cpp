@@ -1,0 +1,177 @@
+#include "sdcm/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sdcm::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s(1);
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToHorizonEvenWhenQueueDrains) {
+  Simulator s(1);
+  s.schedule_in(seconds(1), [] {});
+  s.run_until(seconds(10));
+  EXPECT_EQ(s.now(), seconds(10));
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Simulator, EventsAfterHorizonStayPending) {
+  Simulator s(1);
+  bool late = false;
+  s.schedule_in(seconds(20), [&] { late = true; });
+  s.run_until(seconds(10));
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(seconds(30));
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, EventAtExactHorizonRuns) {
+  Simulator s(1);
+  bool fired = false;
+  s.schedule_at(seconds(10), [&] { fired = true; });
+  s.run_until(seconds(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CallbacksSeeTheirScheduledTime) {
+  Simulator s(1);
+  SimTime seen = -1;
+  s.schedule_in(seconds(3), [&] { seen = s.now(); });
+  s.run_until(seconds(5));
+  EXPECT_EQ(seen, seconds(3));
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator s(1);
+  std::vector<SimTime> times;
+  s.schedule_in(seconds(1), [&] {
+    times.push_back(s.now());
+    s.schedule_in(seconds(1), [&] { times.push_back(s.now()); });
+  });
+  s.run_until(seconds(5));
+  EXPECT_EQ(times, (std::vector<SimTime>{seconds(1), seconds(2)}));
+}
+
+TEST(Simulator, StopHaltsTheLoop) {
+  Simulator s(1);
+  int count = 0;
+  s.schedule_in(1, [&] {
+    ++count;
+    s.stop();
+  });
+  s.schedule_in(2, [&] { ++count; });
+  s.run_until(seconds(1));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator s(1);
+  bool fired = false;
+  const auto id = s.schedule_in(seconds(1), [&] { fired = true; });
+  s.cancel(id);
+  s.run_until(seconds(2));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunAllDrainsEverything) {
+  Simulator s(1);
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    s.schedule_in(seconds(i), [&] { ++count; });
+  }
+  s.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(PeriodicTimer, FixedPeriodTicks) {
+  Simulator s(1);
+  PeriodicTimer timer;
+  std::vector<SimTime> ticks;
+  timer.start(s, seconds(1), seconds(2), [&] { ticks.push_back(s.now()); });
+  s.run_until(seconds(8));
+  EXPECT_EQ(ticks,
+            (std::vector<SimTime>{seconds(1), seconds(3), seconds(5),
+                                  seconds(7)}));
+}
+
+TEST(PeriodicTimer, StopInsideTick) {
+  Simulator s(1);
+  PeriodicTimer timer;
+  int count = 0;
+  timer.start(s, seconds(1), seconds(1), [&] {
+    if (++count == 3) timer.stop();
+  });
+  s.run_until(seconds(10));
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimer, StopOutsideTick) {
+  Simulator s(1);
+  PeriodicTimer timer;
+  int count = 0;
+  timer.start(s, seconds(1), seconds(1), [&] { ++count; });
+  s.run_until(seconds(2));
+  timer.stop();
+  s.run_until(seconds(10));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimer, VariablePeriodViaCallback) {
+  Simulator s(1);
+  PeriodicTimer timer;
+  std::vector<SimTime> ticks;
+  SimDuration period = seconds(1);
+  timer.start(
+      s, seconds(1), [&] { ticks.push_back(s.now()); },
+      [&period]() {
+        period *= 2;
+        return period;
+      });
+  s.run_until(seconds(16));
+  // Ticks at 1, then +2 -> 3, +4 -> 7, +8 -> 15.
+  EXPECT_EQ(ticks, (std::vector<SimTime>{seconds(1), seconds(3), seconds(7),
+                                         seconds(15)}));
+}
+
+TEST(PeriodicTimer, NegativePeriodStops) {
+  Simulator s(1);
+  PeriodicTimer timer;
+  int count = 0;
+  timer.start(
+      s, seconds(1), [&] { ++count; }, []() { return SimDuration{-1}; });
+  s.run_until(seconds(10));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PeriodicTimer, RestartReplacesSchedule) {
+  Simulator s(1);
+  PeriodicTimer timer;
+  std::vector<int> which;
+  timer.start(s, seconds(1), seconds(1), [&] { which.push_back(1); });
+  s.run_until(seconds(1));
+  timer.start(s, seconds(5), seconds(5), [&] { which.push_back(2); });
+  s.run_until(seconds(12));
+  EXPECT_EQ(which, (std::vector<int>{1, 2, 2}));
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulator s(1);
+  int count = 0;
+  {
+    PeriodicTimer timer;
+    timer.start(s, seconds(1), seconds(1), [&] { ++count; });
+  }
+  s.run_until(seconds(10));
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace sdcm::sim

@@ -1,0 +1,34 @@
+#include "sdcm/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdcm::sim {
+namespace {
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(microseconds(7), 7);
+  EXPECT_EQ(milliseconds(3), 3000);
+  EXPECT_EQ(seconds(2), 2'000'000);
+  EXPECT_EQ(seconds(5400), 5'400'000'000LL);
+}
+
+TEST(Time, FractionalSecondsRoundsToNearestMicrosecond) {
+  EXPECT_EQ(seconds_f(1.0), 1'000'000);
+  EXPECT_EQ(seconds_f(0.15 * 5400.0), 810'000'000LL);  // the paper's example
+  EXPECT_EQ(seconds_f(0.0000005), 1);                  // 0.5 us rounds up
+  EXPECT_EQ(seconds_f(0.0000004), 0);
+  EXPECT_EQ(seconds_f(-1.5), -1'500'000);
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(5400)), 5400.0);
+  EXPECT_DOUBLE_EQ(to_seconds(microseconds(10)), 1e-5);
+}
+
+TEST(Time, FormatTime) {
+  EXPECT_EQ(format_time(seconds(1)), "1.000000s");
+  EXPECT_EQ(format_time(microseconds(1'234'567)), "1.234567s");
+}
+
+}  // namespace
+}  // namespace sdcm::sim

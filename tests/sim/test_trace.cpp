@@ -1,0 +1,80 @@
+#include "sdcm/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sdcm::sim {
+namespace {
+
+TEST(Trace, RecordsInOrder) {
+  TraceLog log;
+  log.record(seconds(1), 1, TraceCategory::kUpdate, "ServiceUpdate.tx");
+  log.record(seconds(2), 2, TraceCategory::kUpdate, "ServiceUpdate.rx");
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].event, "ServiceUpdate.tx");
+  EXPECT_EQ(log.records()[1].node, 2u);
+}
+
+TEST(Trace, RecordingCanBeDisabled) {
+  TraceLog log;
+  log.set_recording(false);
+  log.record(0, 1, TraceCategory::kInfo, "ignored");
+  EXPECT_TRUE(log.records().empty());
+  log.set_recording(true);
+  log.record(0, 1, TraceCategory::kInfo, "kept");
+  EXPECT_EQ(log.records().size(), 1u);
+}
+
+TEST(Trace, WithEventFilters) {
+  TraceLog log;
+  log.record(1, 1, TraceCategory::kUpdate, "a");
+  log.record(2, 1, TraceCategory::kUpdate, "b");
+  log.record(3, 2, TraceCategory::kUpdate, "a");
+  const auto found = log.with_event("a");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].at, 1);
+  EXPECT_EQ(found[1].node, 2u);
+}
+
+TEST(Trace, CountIf) {
+  TraceLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.record(i, 1,
+               i % 2 == 0 ? TraceCategory::kFailure : TraceCategory::kInfo,
+               "x");
+  }
+  EXPECT_EQ(log.count_if([](const TraceRecord& r) {
+              return r.category == TraceCategory::kFailure;
+            }),
+            3u);
+}
+
+TEST(Trace, PrintProducesOneLinePerRecord) {
+  TraceLog log;
+  log.record(seconds(1), 1, TraceCategory::kDiscovery, "Announce", "n=6");
+  log.record(seconds(2), 2, TraceCategory::kUpdate, "Notify");
+  std::ostringstream oss;
+  log.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("Announce"), std::string::npos);
+  EXPECT_NE(out.find("[n=6]"), std::string::npos);
+  EXPECT_NE(out.find("discovery"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Trace, CategoryNames) {
+  EXPECT_EQ(to_string(TraceCategory::kFailure), "failure");
+  EXPECT_EQ(to_string(TraceCategory::kElection), "election");
+  EXPECT_EQ(to_string(TraceCategory::kSubscription), "subscription");
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  TraceLog log;
+  log.record(0, 1, TraceCategory::kInfo, "x");
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+}
+
+}  // namespace
+}  // namespace sdcm::sim

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/upnp/manager.hpp"
+#include "sdcm/upnp/user.hpp"
+
+namespace sdcm::upnp {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+ServiceDescription printer_sd() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  return sd;
+}
+
+struct UpnpEdgeFixture : ::testing::Test {
+  sim::Simulator simulator{909};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+};
+
+TEST_F(UpnpEdgeFixture, RapidSuccessiveChangesConvergeToLatest) {
+  // Invalidation coalescing: three changes in quick succession; the
+  // user's refetches land on the newest version, never regressing.
+  UpnpManager manager(simulator, network, 1, UpnpConfig{}, &observer);
+  manager.add_service(printer_sd());
+  UpnpUser user(simulator, network, 2,
+                Requirement{"Printer", "ColorPrinter"}, UpnpConfig{},
+                &observer);
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(100));
+  manager.change_service(1);
+  manager.change_service(1);
+  manager.change_service(1);
+  simulator.run_until(seconds(200));
+  EXPECT_EQ(user.cached()->version, 4u);
+  EXPECT_TRUE(observer.reach_time(2, 4).has_value());
+}
+
+TEST_F(UpnpEdgeFixture, ManagerWithTwoServicesIsolatesSubscriptions) {
+  UpnpManager manager(simulator, network, 1, UpnpConfig{}, &observer);
+  manager.add_service(printer_sd());
+  ServiceDescription camera;
+  camera.id = 2;
+  camera.device_type = "Camera";
+  camera.service_type = "PanTilt";
+  manager.add_service(camera);
+
+  UpnpUser print_user(simulator, network, 2,
+                      Requirement{"Printer", "ColorPrinter"}, UpnpConfig{},
+                      &observer);
+  UpnpUser cam_user(simulator, network, 3, Requirement{"Camera", "PanTilt"},
+                    UpnpConfig{}, &observer);
+  manager.start();
+  print_user.start();
+  cam_user.start();
+  simulator.run_until(seconds(100));
+  EXPECT_EQ(manager.subscriber_count(1), 1u);
+  EXPECT_EQ(manager.subscriber_count(2), 1u);
+
+  manager.change_service(2);
+  simulator.run_until(seconds(200));
+  EXPECT_EQ(cam_user.cached()->version, 2u);
+  EXPECT_EQ(print_user.cached()->version, 1u);
+}
+
+TEST_F(UpnpEdgeFixture, AnnouncementRefreshesCacheWithoutRefetch) {
+  // Steady state: announcements keep the cache alive; the user must not
+  // refetch the description it already holds.
+  UpnpManager manager(simulator, network, 1, UpnpConfig{}, &observer);
+  manager.add_service(printer_sd());
+  UpnpUser user(simulator, network, 2,
+                Requirement{"Printer", "ColorPrinter"}, UpnpConfig{},
+                &observer);
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(5400));
+  EXPECT_TRUE(user.has_manager());
+  // Exactly one GET over the whole failure-free run.
+  EXPECT_EQ(network.counters().of_type(msg::kGetDescription), 1u);
+  EXPECT_EQ(simulator.trace().with_event("upnp.manager.purged").size(), 0u);
+}
+
+TEST_F(UpnpEdgeFixture, LateUserDiscoversViaPeriodicAnnouncement) {
+  UpnpManager manager(simulator, network, 1, UpnpConfig{}, &observer);
+  manager.add_service(printer_sd());
+  manager.start();
+  simulator.run_until(seconds(500));
+
+  // The late user's M-SEARCH finds the manager directly.
+  UpnpUser late(simulator, network, 2,
+                Requirement{"Printer", "ColorPrinter"}, UpnpConfig{},
+                &observer);
+  late.start();
+  simulator.run_until(seconds(700));
+  EXPECT_TRUE(late.has_manager());
+  ASSERT_TRUE(late.cached().has_value());
+}
+
+TEST_F(UpnpEdgeFixture, PR4DisabledLeavesRenewalsUnanswered) {
+  UpnpConfig config;
+  config.enable_pr4 = false;
+  UpnpManager manager(simulator, network, 1, config, &observer);
+  manager.add_service(printer_sd());
+  UpnpUser user(simulator, network, 2,
+                Requirement{"Printer", "ColorPrinter"}, config, &observer);
+  manager.start();
+  user.start();
+  simulator.run_until(seconds(100));
+  // Make the manager purge the subscriber via a failed NOTIFY.
+  network.interface(2).set_rx(false);
+  manager.change_service(1);
+  simulator.run_until(seconds(300));
+  ASSERT_EQ(manager.subscriber_count(1), 0u);
+  network.interface(2).set_rx(true);
+  // Without PR4 every renewal from the (purged) user goes unanswered...
+  simulator.run_until(seconds(1500));
+  EXPECT_GE(network.counters().of_type(msg::kRenew), 1u);
+  EXPECT_EQ(network.counters().of_type(msg::kRenewResponse), 0u);
+  // ...until the user's own lease expires locally and it re-SUBSCRIBEs
+  // by itself (still stale, of course - resubscription replays nothing).
+  simulator.run_until(seconds(2500));
+  EXPECT_TRUE(user.is_subscribed());
+  EXPECT_EQ(user.cached()->version, 1u);
+}
+
+TEST_F(UpnpEdgeFixture, SubscribeToUnknownServiceIsRefused) {
+  UpnpManager manager(simulator, network, 1, UpnpConfig{}, &observer);
+  manager.add_service(printer_sd());
+  manager.start();
+  simulator.run_until(seconds(10));
+
+  net::Message bogus;
+  bogus.src = 5;
+  bogus.dst = 1;
+  bogus.type = msg::kSubscribe;
+  bogus.klass = net::MessageClass::kControl;
+  bogus.payload = Subscribe{5, 42};
+  bool refused = false;
+  network.attach(5, [&](const net::Message& m) {
+    if (m.type == msg::kSubscribeResponse) {
+      refused = !m.as<SubscribeResponse>().ok;
+    }
+  });
+  net::TcpConnection::open_and_send(network, bogus, {}, {});
+  simulator.run_until(seconds(20));
+  EXPECT_TRUE(refused);
+  EXPECT_EQ(manager.subscriber_count(42), 0u);
+}
+
+}  // namespace
+}  // namespace sdcm::upnp

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sdcm/discovery/observer.hpp"
+#include "sdcm/net/failure_model.hpp"
+#include "sdcm/upnp/manager.hpp"
+#include "sdcm/upnp/user.hpp"
+
+namespace sdcm::upnp {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+struct UpnpRecoveryFixture : ::testing::Test {
+  sim::Simulator simulator{555};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+  std::unique_ptr<UpnpManager> manager;
+  std::unique_ptr<UpnpUser> user;
+
+  void build(UpnpConfig config = {}) {
+    ServiceDescription sd;
+    sd.id = 1;
+    sd.device_type = "Printer";
+    sd.service_type = "ColorPrinter";
+    manager = std::make_unique<UpnpManager>(simulator, network, 1, config,
+                                            &observer);
+    manager->add_service(sd);
+    user = std::make_unique<UpnpUser>(simulator, network, 2,
+                                      Requirement{"Printer", "ColorPrinter"},
+                                      config, &observer);
+    manager->start();
+    user->start();
+  }
+
+  void fail(net::NodeId node, net::FailureMode mode, sim::SimTime start,
+            sim::SimDuration duration) {
+    net::FailureEpisode ep;
+    ep.node = node;
+    ep.mode = mode;
+    ep.start = start;
+    ep.duration = duration;
+    net::apply_failures(simulator, network, std::array{ep});
+  }
+};
+
+TEST_F(UpnpRecoveryFixture, PaperSection62ExampleUserNeverRegainsConsistency) {
+  // The exact Section 6.2 log excerpt at lambda = 0.15:
+  //   Manager Tx down at 381, up at 1191
+  //   User Tx and Rx down at 2023, up at 2833
+  //   Service changes at 2507 -> "the User never regains consistency!"
+  // The NOTIFY REXes during the User's outage, the Manager purges the
+  // subscription (no SRN2), and the later PR4 resubscription does not
+  // carry the updated description.
+  build();
+  fail(1, net::FailureMode::kTransmitter, seconds(381), seconds(810));
+  fail(2, net::FailureMode::kBoth, seconds(2023), seconds(810));
+  simulator.schedule_at(seconds(2507), [&] { manager->change_service(1); });
+
+  simulator.run_until(seconds(5400));
+  ASSERT_TRUE(user->cached().has_value());
+  EXPECT_EQ(user->cached()->version, 1u);  // stale forever
+  EXPECT_FALSE(observer.reach_time(2, 2).has_value());
+  // The failed notification did purge the User at the Manager...
+  EXPECT_EQ(simulator.trace().with_event("upnp.subscriber.purged").size(),
+            1u);
+  // ...and the User did resubscribe via PR4 afterwards.
+  EXPECT_TRUE(user->is_subscribed());
+}
+
+TEST_F(UpnpRecoveryFixture, NotifyRexPurgesSubscriber) {
+  build();
+  simulator.run_until(seconds(100));
+  ASSERT_EQ(manager->subscriber_count(1), 1u);
+  network.interface(2).set_rx(false);
+  manager->change_service(1);
+  // REX concludes 102 s after the first SYN.
+  simulator.run_until(seconds(300));
+  EXPECT_EQ(manager->subscriber_count(1), 0u);
+}
+
+TEST_F(UpnpRecoveryFixture, PR5PurgeAndRediscoveryRestoresConsistency) {
+  // Manager's transmitter dies before its 3600 s announcement and before
+  // the change can be notified; the User's cache lease (refreshed at the
+  // 1800 s announcement) expires at ~3600 s -> purge -> M-SEARCH retries
+  // -> once the Manager's transmitter recovers it answers, and the fresh
+  // description fetch delivers version 2 (PR5, Figure 4(iv)).
+  build();
+  fail(1, net::FailureMode::kTransmitter, seconds(1900), seconds(2100));
+  simulator.schedule_at(seconds(2000), [&] { manager->change_service(1); });
+
+  simulator.run_until(seconds(3500));
+  EXPECT_TRUE(user->has_manager());  // cache still alive at 3500 s
+  ASSERT_TRUE(user->cached().has_value());
+  EXPECT_EQ(user->cached()->version, 1u);
+
+  simulator.run_until(seconds(5400));
+  ASSERT_TRUE(user->cached().has_value());
+  EXPECT_EQ(user->cached()->version, 2u);
+  ASSERT_TRUE(observer.reach_time(2, 2).has_value());
+  EXPECT_GT(*observer.reach_time(2, 2), seconds(4000));
+}
+
+TEST_F(UpnpRecoveryFixture, WithoutPR5TheUserStaysStale) {
+  UpnpConfig config;
+  config.enable_pr5 = false;
+  build(config);
+  fail(1, net::FailureMode::kTransmitter, seconds(1900), seconds(2100));
+  simulator.schedule_at(seconds(2000), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(5400));
+  ASSERT_TRUE(user->cached().has_value());
+  EXPECT_EQ(user->cached()->version, 1u);
+  EXPECT_FALSE(observer.reach_time(2, 2).has_value());
+}
+
+TEST_F(UpnpRecoveryFixture, PR4ResubscribeRestoresFutureUpdatesOnly) {
+  build();
+  simulator.run_until(seconds(100));
+  // Short receiver outage makes the NOTIFY REX: subscription purged.
+  fail(2, net::FailureMode::kReceiver, seconds(200), seconds(200));
+  simulator.schedule_at(seconds(210), [&] { manager->change_service(1); });
+  simulator.run_until(seconds(1200));
+  // v2 was missed; the user resubscribed via PR4 at its next renewal but
+  // GENA resubscription does not replay state.
+  EXPECT_EQ(user->cached()->version, 1u);
+  EXPECT_TRUE(user->is_subscribed());
+  EXPECT_EQ(manager->subscriber_count(1), 1u);
+
+  // A further change is delivered normally: eventual consistency on the
+  // next update, not on the missed one.
+  manager->change_service(1);
+  simulator.run_until(seconds(2000));
+  EXPECT_EQ(user->cached()->version, 3u);
+  EXPECT_FALSE(observer.reach_time(2, 2).has_value());
+  EXPECT_TRUE(observer.reach_time(2, 3).has_value());
+}
+
+TEST_F(UpnpRecoveryFixture, GetRexRetriesUntilDescriptionArrives) {
+  // The user hears the manager's t=0 announcement, but the manager's
+  // receiver dies 10 us in, so the description-fetch handshake REXes
+  // (~102 s). The fetch must be retried on the retry timer and succeed
+  // once the manager recovers at 300 s.
+  build();
+  fail(1, net::FailureMode::kReceiver, sim::microseconds(10), seconds(300));
+  simulator.run_until(seconds(600));
+  ASSERT_TRUE(user->cached().has_value());
+  EXPECT_EQ(user->cached()->version, 1u);
+  EXPECT_TRUE(user->is_subscribed());
+  EXPECT_GE(simulator.trace().with_event("upnp.get.rex").size(), 1u);
+}
+
+TEST_F(UpnpRecoveryFixture, UserOutageDuringDiscoveryRecoversViaAnnouncement) {
+  // The user misses the initial announcement exchange entirely; the next
+  // 1800 s announcement lets it discover, fetch and subscribe.
+  build();
+  fail(2, net::FailureMode::kBoth, seconds(0) + 1, seconds(500));
+  simulator.run_until(seconds(5400));
+  EXPECT_TRUE(user->has_manager());
+  EXPECT_TRUE(user->is_subscribed());
+  ASSERT_TRUE(user->cached().has_value());
+}
+
+}  // namespace
+}  // namespace sdcm::upnp

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_lease.cpp" "bench/CMakeFiles/ablation_lease.dir/ablation_lease.cpp.o" "gcc" "bench/CMakeFiles/ablation_lease.dir/ablation_lease.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiment/CMakeFiles/sdcm_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/slp/CMakeFiles/sdcm_slp.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sdcm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/upnp/CMakeFiles/sdcm_upnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jini/CMakeFiles/sdcm_jini.dir/DependInfo.cmake"
+  "/root/repo/build/src/frodo/CMakeFiles/sdcm_frodo.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

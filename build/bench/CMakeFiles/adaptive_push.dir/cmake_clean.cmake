@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_push.dir/adaptive_push.cpp.o"
+  "CMakeFiles/adaptive_push.dir/adaptive_push.cpp.o.d"
+  "adaptive_push"
+  "adaptive_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

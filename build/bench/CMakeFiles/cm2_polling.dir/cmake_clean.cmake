@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm2_polling.dir/cm2_polling.cpp.o"
+  "CMakeFiles/cm2_polling.dir/cm2_polling.cpp.o.d"
+  "cm2_polling"
+  "cm2_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm2_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_responsiveness.dir/fig5_responsiveness.cpp.o"
+  "CMakeFiles/fig5_responsiveness.dir/fig5_responsiveness.cpp.o.d"
+  "fig5_responsiveness"
+  "fig5_responsiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

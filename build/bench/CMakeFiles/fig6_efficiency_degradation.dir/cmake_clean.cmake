@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_efficiency_degradation.dir/fig6_efficiency_degradation.cpp.o"
+  "CMakeFiles/fig6_efficiency_degradation.dir/fig6_efficiency_degradation.cpp.o.d"
+  "fig6_efficiency_degradation"
+  "fig6_efficiency_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_efficiency_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

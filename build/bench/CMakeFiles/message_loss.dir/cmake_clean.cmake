@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_loss.dir/message_loss.cpp.o"
+  "CMakeFiles/message_loss.dir/message_loss.cpp.o.d"
+  "message_loss"
+  "message_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_kernel.dir/sim_kernel.cpp.o"
+  "CMakeFiles/sim_kernel.dir/sim_kernel.cpp.o.d"
+  "sim_kernel"
+  "sim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

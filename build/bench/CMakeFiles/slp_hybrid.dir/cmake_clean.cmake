@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_hybrid.dir/slp_hybrid.cpp.o"
+  "CMakeFiles/slp_hybrid.dir/slp_hybrid.cpp.o.d"
+  "slp_hybrid"
+  "slp_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

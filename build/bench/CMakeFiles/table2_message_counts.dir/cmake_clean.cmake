@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_message_counts.dir/table2_message_counts.cpp.o"
+  "CMakeFiles/table2_message_counts.dir/table2_message_counts.cpp.o.d"
+  "table2_message_counts"
+  "table2_message_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_message_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_transport.dir/table3_transport.cpp.o"
+  "CMakeFiles/table3_transport.dir/table3_transport.cpp.o.d"
+  "table3_transport"
+  "table3_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_averages.dir/table5_averages.cpp.o"
+  "CMakeFiles/table5_averages.dir/table5_averages.cpp.o.d"
+  "table5_averages"
+  "table5_averages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_averages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_network.dir/home_network.cpp.o"
+  "CMakeFiles/home_network.dir/home_network.cpp.o.d"
+  "home_network"
+  "home_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

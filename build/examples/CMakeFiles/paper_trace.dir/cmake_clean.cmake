@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_trace.dir/paper_trace.cpp.o"
+  "CMakeFiles/paper_trace.dir/paper_trace.cpp.o.d"
+  "paper_trace"
+  "paper_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_discovery.dir/node.cpp.o"
+  "CMakeFiles/sdcm_discovery.dir/node.cpp.o.d"
+  "CMakeFiles/sdcm_discovery.dir/observer.cpp.o"
+  "CMakeFiles/sdcm_discovery.dir/observer.cpp.o.d"
+  "CMakeFiles/sdcm_discovery.dir/recovery.cpp.o"
+  "CMakeFiles/sdcm_discovery.dir/recovery.cpp.o.d"
+  "CMakeFiles/sdcm_discovery.dir/service.cpp.o"
+  "CMakeFiles/sdcm_discovery.dir/service.cpp.o.d"
+  "libsdcm_discovery.a"
+  "libsdcm_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

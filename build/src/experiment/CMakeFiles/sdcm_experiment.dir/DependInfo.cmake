@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiment/cli.cpp" "src/experiment/CMakeFiles/sdcm_experiment.dir/cli.cpp.o" "gcc" "src/experiment/CMakeFiles/sdcm_experiment.dir/cli.cpp.o.d"
+  "/root/repo/src/experiment/report.cpp" "src/experiment/CMakeFiles/sdcm_experiment.dir/report.cpp.o" "gcc" "src/experiment/CMakeFiles/sdcm_experiment.dir/report.cpp.o.d"
+  "/root/repo/src/experiment/scenario.cpp" "src/experiment/CMakeFiles/sdcm_experiment.dir/scenario.cpp.o" "gcc" "src/experiment/CMakeFiles/sdcm_experiment.dir/scenario.cpp.o.d"
+  "/root/repo/src/experiment/sweep.cpp" "src/experiment/CMakeFiles/sdcm_experiment.dir/sweep.cpp.o" "gcc" "src/experiment/CMakeFiles/sdcm_experiment.dir/sweep.cpp.o.d"
+  "/root/repo/src/experiment/thread_pool.cpp" "src/experiment/CMakeFiles/sdcm_experiment.dir/thread_pool.cpp.o" "gcc" "src/experiment/CMakeFiles/sdcm_experiment.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/sdcm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/upnp/CMakeFiles/sdcm_upnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jini/CMakeFiles/sdcm_jini.dir/DependInfo.cmake"
+  "/root/repo/build/src/frodo/CMakeFiles/sdcm_frodo.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

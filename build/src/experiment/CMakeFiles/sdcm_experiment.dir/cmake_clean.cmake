@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_experiment.dir/cli.cpp.o"
+  "CMakeFiles/sdcm_experiment.dir/cli.cpp.o.d"
+  "CMakeFiles/sdcm_experiment.dir/report.cpp.o"
+  "CMakeFiles/sdcm_experiment.dir/report.cpp.o.d"
+  "CMakeFiles/sdcm_experiment.dir/scenario.cpp.o"
+  "CMakeFiles/sdcm_experiment.dir/scenario.cpp.o.d"
+  "CMakeFiles/sdcm_experiment.dir/sweep.cpp.o"
+  "CMakeFiles/sdcm_experiment.dir/sweep.cpp.o.d"
+  "CMakeFiles/sdcm_experiment.dir/thread_pool.cpp.o"
+  "CMakeFiles/sdcm_experiment.dir/thread_pool.cpp.o.d"
+  "libsdcm_experiment.a"
+  "libsdcm_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

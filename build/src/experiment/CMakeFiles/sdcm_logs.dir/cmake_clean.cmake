@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_logs.dir/sdcm_logs_main.cpp.o"
+  "CMakeFiles/sdcm_logs.dir/sdcm_logs_main.cpp.o.d"
+  "sdcm_logs"
+  "sdcm_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_sweep.dir/sdcm_sweep_main.cpp.o"
+  "CMakeFiles/sdcm_sweep.dir/sdcm_sweep_main.cpp.o.d"
+  "sdcm_sweep"
+  "sdcm_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frodo/acked_channel.cpp" "src/frodo/CMakeFiles/sdcm_frodo.dir/acked_channel.cpp.o" "gcc" "src/frodo/CMakeFiles/sdcm_frodo.dir/acked_channel.cpp.o.d"
+  "/root/repo/src/frodo/client.cpp" "src/frodo/CMakeFiles/sdcm_frodo.dir/client.cpp.o" "gcc" "src/frodo/CMakeFiles/sdcm_frodo.dir/client.cpp.o.d"
+  "/root/repo/src/frodo/device.cpp" "src/frodo/CMakeFiles/sdcm_frodo.dir/device.cpp.o" "gcc" "src/frodo/CMakeFiles/sdcm_frodo.dir/device.cpp.o.d"
+  "/root/repo/src/frodo/manager.cpp" "src/frodo/CMakeFiles/sdcm_frodo.dir/manager.cpp.o" "gcc" "src/frodo/CMakeFiles/sdcm_frodo.dir/manager.cpp.o.d"
+  "/root/repo/src/frodo/registry_node.cpp" "src/frodo/CMakeFiles/sdcm_frodo.dir/registry_node.cpp.o" "gcc" "src/frodo/CMakeFiles/sdcm_frodo.dir/registry_node.cpp.o.d"
+  "/root/repo/src/frodo/user.cpp" "src/frodo/CMakeFiles/sdcm_frodo.dir/user.cpp.o" "gcc" "src/frodo/CMakeFiles/sdcm_frodo.dir/user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_frodo.dir/acked_channel.cpp.o"
+  "CMakeFiles/sdcm_frodo.dir/acked_channel.cpp.o.d"
+  "CMakeFiles/sdcm_frodo.dir/client.cpp.o"
+  "CMakeFiles/sdcm_frodo.dir/client.cpp.o.d"
+  "CMakeFiles/sdcm_frodo.dir/device.cpp.o"
+  "CMakeFiles/sdcm_frodo.dir/device.cpp.o.d"
+  "CMakeFiles/sdcm_frodo.dir/manager.cpp.o"
+  "CMakeFiles/sdcm_frodo.dir/manager.cpp.o.d"
+  "CMakeFiles/sdcm_frodo.dir/registry_node.cpp.o"
+  "CMakeFiles/sdcm_frodo.dir/registry_node.cpp.o.d"
+  "CMakeFiles/sdcm_frodo.dir/user.cpp.o"
+  "CMakeFiles/sdcm_frodo.dir/user.cpp.o.d"
+  "libsdcm_frodo.a"
+  "libsdcm_frodo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_frodo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

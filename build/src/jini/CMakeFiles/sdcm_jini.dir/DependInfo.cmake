@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jini/manager.cpp" "src/jini/CMakeFiles/sdcm_jini.dir/manager.cpp.o" "gcc" "src/jini/CMakeFiles/sdcm_jini.dir/manager.cpp.o.d"
+  "/root/repo/src/jini/registry.cpp" "src/jini/CMakeFiles/sdcm_jini.dir/registry.cpp.o" "gcc" "src/jini/CMakeFiles/sdcm_jini.dir/registry.cpp.o.d"
+  "/root/repo/src/jini/user.cpp" "src/jini/CMakeFiles/sdcm_jini.dir/user.cpp.o" "gcc" "src/jini/CMakeFiles/sdcm_jini.dir/user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

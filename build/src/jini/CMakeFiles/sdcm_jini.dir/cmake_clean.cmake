@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_jini.dir/manager.cpp.o"
+  "CMakeFiles/sdcm_jini.dir/manager.cpp.o.d"
+  "CMakeFiles/sdcm_jini.dir/registry.cpp.o"
+  "CMakeFiles/sdcm_jini.dir/registry.cpp.o.d"
+  "CMakeFiles/sdcm_jini.dir/user.cpp.o"
+  "CMakeFiles/sdcm_jini.dir/user.cpp.o.d"
+  "libsdcm_jini.a"
+  "libsdcm_jini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_jini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

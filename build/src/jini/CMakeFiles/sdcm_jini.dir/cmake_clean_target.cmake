@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdcm_jini.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_metrics.dir/stats.cpp.o"
+  "CMakeFiles/sdcm_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/sdcm_metrics.dir/update_metrics.cpp.o"
+  "CMakeFiles/sdcm_metrics.dir/update_metrics.cpp.o.d"
+  "libsdcm_metrics.a"
+  "libsdcm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_net.dir/failure_model.cpp.o"
+  "CMakeFiles/sdcm_net.dir/failure_model.cpp.o.d"
+  "CMakeFiles/sdcm_net.dir/network.cpp.o"
+  "CMakeFiles/sdcm_net.dir/network.cpp.o.d"
+  "CMakeFiles/sdcm_net.dir/tcp.cpp.o"
+  "CMakeFiles/sdcm_net.dir/tcp.cpp.o.d"
+  "libsdcm_net.a"
+  "libsdcm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sdcm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sdcm_sim.dir/random.cpp.o"
+  "CMakeFiles/sdcm_sim.dir/random.cpp.o.d"
+  "CMakeFiles/sdcm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sdcm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sdcm_sim.dir/trace.cpp.o"
+  "CMakeFiles/sdcm_sim.dir/trace.cpp.o.d"
+  "libsdcm_sim.a"
+  "libsdcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

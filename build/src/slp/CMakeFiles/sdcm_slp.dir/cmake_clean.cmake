@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_slp.dir/slp.cpp.o"
+  "CMakeFiles/sdcm_slp.dir/slp.cpp.o.d"
+  "libsdcm_slp.a"
+  "libsdcm_slp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_slp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

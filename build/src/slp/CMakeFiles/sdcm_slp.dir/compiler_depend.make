@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sdcm_slp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_upnp.dir/manager.cpp.o"
+  "CMakeFiles/sdcm_upnp.dir/manager.cpp.o.d"
+  "CMakeFiles/sdcm_upnp.dir/user.cpp.o"
+  "CMakeFiles/sdcm_upnp.dir/user.cpp.o.d"
+  "libsdcm_upnp.a"
+  "libsdcm_upnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_upnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("discovery")
+subdirs("upnp")
+subdirs("jini")
+subdirs("frodo")
+subdirs("metrics")
+subdirs("experiment")
+subdirs("integration")
+subdirs("slp")

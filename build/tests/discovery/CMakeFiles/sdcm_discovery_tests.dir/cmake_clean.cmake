@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_discovery_tests.dir/test_observer.cpp.o"
+  "CMakeFiles/sdcm_discovery_tests.dir/test_observer.cpp.o.d"
+  "CMakeFiles/sdcm_discovery_tests.dir/test_recovery.cpp.o"
+  "CMakeFiles/sdcm_discovery_tests.dir/test_recovery.cpp.o.d"
+  "CMakeFiles/sdcm_discovery_tests.dir/test_service.cpp.o"
+  "CMakeFiles/sdcm_discovery_tests.dir/test_service.cpp.o.d"
+  "sdcm_discovery_tests"
+  "sdcm_discovery_tests.pdb"
+  "sdcm_discovery_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_discovery_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_experiment_tests.dir/test_cli.cpp.o"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_cli.cpp.o.d"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_report.cpp.o"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_report.cpp.o.d"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_scenario.cpp.o"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_scenario.cpp.o.d"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_sweep.cpp.o"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_sweep.cpp.o.d"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/sdcm_experiment_tests.dir/test_thread_pool.cpp.o.d"
+  "sdcm_experiment_tests"
+  "sdcm_experiment_tests.pdb"
+  "sdcm_experiment_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_experiment_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frodo/test_acked_channel.cpp" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_acked_channel.cpp.o" "gcc" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_acked_channel.cpp.o.d"
+  "/root/repo/tests/frodo/test_adaptive_propagation.cpp" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_adaptive_propagation.cpp.o" "gcc" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_adaptive_propagation.cpp.o.d"
+  "/root/repo/tests/frodo/test_election.cpp" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_election.cpp.o" "gcc" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_election.cpp.o.d"
+  "/root/repo/tests/frodo/test_frodo_edge_cases.cpp" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_edge_cases.cpp.o" "gcc" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_edge_cases.cpp.o.d"
+  "/root/repo/tests/frodo/test_frodo_recovery.cpp" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_recovery.cpp.o" "gcc" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_recovery.cpp.o.d"
+  "/root/repo/tests/frodo/test_frodo_three_party.cpp" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_three_party.cpp.o" "gcc" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_three_party.cpp.o.d"
+  "/root/repo/tests/frodo/test_frodo_two_party.cpp" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_two_party.cpp.o" "gcc" "tests/frodo/CMakeFiles/sdcm_frodo_tests.dir/test_frodo_two_party.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frodo/CMakeFiles/sdcm_frodo.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

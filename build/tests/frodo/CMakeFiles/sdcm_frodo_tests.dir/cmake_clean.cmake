@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_frodo_tests.dir/test_acked_channel.cpp.o"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_acked_channel.cpp.o.d"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_adaptive_propagation.cpp.o"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_adaptive_propagation.cpp.o.d"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_election.cpp.o"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_election.cpp.o.d"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_edge_cases.cpp.o"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_edge_cases.cpp.o.d"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_recovery.cpp.o"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_recovery.cpp.o.d"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_three_party.cpp.o"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_three_party.cpp.o.d"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_two_party.cpp.o"
+  "CMakeFiles/sdcm_frodo_tests.dir/test_frodo_two_party.cpp.o.d"
+  "sdcm_frodo_tests"
+  "sdcm_frodo_tests.pdb"
+  "sdcm_frodo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_frodo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

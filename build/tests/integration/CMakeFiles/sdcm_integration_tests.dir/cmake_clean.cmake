@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_integration_tests.dir/test_cm2_polling.cpp.o"
+  "CMakeFiles/sdcm_integration_tests.dir/test_cm2_polling.cpp.o.d"
+  "CMakeFiles/sdcm_integration_tests.dir/test_cross_protocol.cpp.o"
+  "CMakeFiles/sdcm_integration_tests.dir/test_cross_protocol.cpp.o.d"
+  "CMakeFiles/sdcm_integration_tests.dir/test_eventual_consistency.cpp.o"
+  "CMakeFiles/sdcm_integration_tests.dir/test_eventual_consistency.cpp.o.d"
+  "CMakeFiles/sdcm_integration_tests.dir/test_figure1_sequence.cpp.o"
+  "CMakeFiles/sdcm_integration_tests.dir/test_figure1_sequence.cpp.o.d"
+  "CMakeFiles/sdcm_integration_tests.dir/test_window_accounting.cpp.o"
+  "CMakeFiles/sdcm_integration_tests.dir/test_window_accounting.cpp.o.d"
+  "sdcm_integration_tests"
+  "sdcm_integration_tests.pdb"
+  "sdcm_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jini/test_jini.cpp" "tests/jini/CMakeFiles/sdcm_jini_tests.dir/test_jini.cpp.o" "gcc" "tests/jini/CMakeFiles/sdcm_jini_tests.dir/test_jini.cpp.o.d"
+  "/root/repo/tests/jini/test_jini_edge_cases.cpp" "tests/jini/CMakeFiles/sdcm_jini_tests.dir/test_jini_edge_cases.cpp.o" "gcc" "tests/jini/CMakeFiles/sdcm_jini_tests.dir/test_jini_edge_cases.cpp.o.d"
+  "/root/repo/tests/jini/test_jini_recovery.cpp" "tests/jini/CMakeFiles/sdcm_jini_tests.dir/test_jini_recovery.cpp.o" "gcc" "tests/jini/CMakeFiles/sdcm_jini_tests.dir/test_jini_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jini/CMakeFiles/sdcm_jini.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_jini_tests.dir/test_jini.cpp.o"
+  "CMakeFiles/sdcm_jini_tests.dir/test_jini.cpp.o.d"
+  "CMakeFiles/sdcm_jini_tests.dir/test_jini_edge_cases.cpp.o"
+  "CMakeFiles/sdcm_jini_tests.dir/test_jini_edge_cases.cpp.o.d"
+  "CMakeFiles/sdcm_jini_tests.dir/test_jini_recovery.cpp.o"
+  "CMakeFiles/sdcm_jini_tests.dir/test_jini_recovery.cpp.o.d"
+  "sdcm_jini_tests"
+  "sdcm_jini_tests.pdb"
+  "sdcm_jini_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_jini_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

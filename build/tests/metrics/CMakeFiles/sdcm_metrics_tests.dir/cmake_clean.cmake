@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_metrics_tests.dir/test_stats.cpp.o"
+  "CMakeFiles/sdcm_metrics_tests.dir/test_stats.cpp.o.d"
+  "CMakeFiles/sdcm_metrics_tests.dir/test_update_metrics.cpp.o"
+  "CMakeFiles/sdcm_metrics_tests.dir/test_update_metrics.cpp.o.d"
+  "sdcm_metrics_tests"
+  "sdcm_metrics_tests.pdb"
+  "sdcm_metrics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_metrics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_counters.cpp" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_counters.cpp.o" "gcc" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_counters.cpp.o.d"
+  "/root/repo/tests/net/test_failure_model.cpp" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_failure_model.cpp.o" "gcc" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_failure_model.cpp.o.d"
+  "/root/repo/tests/net/test_network.cpp" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_network.cpp.o" "gcc" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/net/test_tcp.cpp" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_tcp.cpp.o" "gcc" "tests/net/CMakeFiles/sdcm_net_tests.dir/test_tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_net_tests.dir/test_counters.cpp.o"
+  "CMakeFiles/sdcm_net_tests.dir/test_counters.cpp.o.d"
+  "CMakeFiles/sdcm_net_tests.dir/test_failure_model.cpp.o"
+  "CMakeFiles/sdcm_net_tests.dir/test_failure_model.cpp.o.d"
+  "CMakeFiles/sdcm_net_tests.dir/test_network.cpp.o"
+  "CMakeFiles/sdcm_net_tests.dir/test_network.cpp.o.d"
+  "CMakeFiles/sdcm_net_tests.dir/test_tcp.cpp.o"
+  "CMakeFiles/sdcm_net_tests.dir/test_tcp.cpp.o.d"
+  "sdcm_net_tests"
+  "sdcm_net_tests.pdb"
+  "sdcm_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

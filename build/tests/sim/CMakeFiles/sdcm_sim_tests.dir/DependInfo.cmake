@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_event_queue.cpp.o" "gcc" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_random.cpp" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_random.cpp.o" "gcc" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_simulator.cpp.o" "gcc" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_time.cpp" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_time.cpp.o" "gcc" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_trace.cpp.o" "gcc" "tests/sim/CMakeFiles/sdcm_sim_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

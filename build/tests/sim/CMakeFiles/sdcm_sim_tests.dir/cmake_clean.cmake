@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_sim_tests.dir/test_event_queue.cpp.o"
+  "CMakeFiles/sdcm_sim_tests.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/sdcm_sim_tests.dir/test_random.cpp.o"
+  "CMakeFiles/sdcm_sim_tests.dir/test_random.cpp.o.d"
+  "CMakeFiles/sdcm_sim_tests.dir/test_simulator.cpp.o"
+  "CMakeFiles/sdcm_sim_tests.dir/test_simulator.cpp.o.d"
+  "CMakeFiles/sdcm_sim_tests.dir/test_time.cpp.o"
+  "CMakeFiles/sdcm_sim_tests.dir/test_time.cpp.o.d"
+  "CMakeFiles/sdcm_sim_tests.dir/test_trace.cpp.o"
+  "CMakeFiles/sdcm_sim_tests.dir/test_trace.cpp.o.d"
+  "sdcm_sim_tests"
+  "sdcm_sim_tests.pdb"
+  "sdcm_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

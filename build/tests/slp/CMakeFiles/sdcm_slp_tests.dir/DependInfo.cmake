@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slp/test_slp.cpp" "tests/slp/CMakeFiles/sdcm_slp_tests.dir/test_slp.cpp.o" "gcc" "tests/slp/CMakeFiles/sdcm_slp_tests.dir/test_slp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slp/CMakeFiles/sdcm_slp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

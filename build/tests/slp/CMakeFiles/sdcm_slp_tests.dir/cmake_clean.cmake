@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_slp_tests.dir/test_slp.cpp.o"
+  "CMakeFiles/sdcm_slp_tests.dir/test_slp.cpp.o.d"
+  "sdcm_slp_tests"
+  "sdcm_slp_tests.pdb"
+  "sdcm_slp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_slp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

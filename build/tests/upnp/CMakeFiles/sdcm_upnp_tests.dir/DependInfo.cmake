@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/upnp/test_upnp.cpp" "tests/upnp/CMakeFiles/sdcm_upnp_tests.dir/test_upnp.cpp.o" "gcc" "tests/upnp/CMakeFiles/sdcm_upnp_tests.dir/test_upnp.cpp.o.d"
+  "/root/repo/tests/upnp/test_upnp_edge_cases.cpp" "tests/upnp/CMakeFiles/sdcm_upnp_tests.dir/test_upnp_edge_cases.cpp.o" "gcc" "tests/upnp/CMakeFiles/sdcm_upnp_tests.dir/test_upnp_edge_cases.cpp.o.d"
+  "/root/repo/tests/upnp/test_upnp_recovery.cpp" "tests/upnp/CMakeFiles/sdcm_upnp_tests.dir/test_upnp_recovery.cpp.o" "gcc" "tests/upnp/CMakeFiles/sdcm_upnp_tests.dir/test_upnp_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/upnp/CMakeFiles/sdcm_upnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/sdcm_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sdcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcm_upnp_tests.dir/test_upnp.cpp.o"
+  "CMakeFiles/sdcm_upnp_tests.dir/test_upnp.cpp.o.d"
+  "CMakeFiles/sdcm_upnp_tests.dir/test_upnp_edge_cases.cpp.o"
+  "CMakeFiles/sdcm_upnp_tests.dir/test_upnp_edge_cases.cpp.o.d"
+  "CMakeFiles/sdcm_upnp_tests.dir/test_upnp_recovery.cpp.o"
+  "CMakeFiles/sdcm_upnp_tests.dir/test_upnp_recovery.cpp.o.d"
+  "sdcm_upnp_tests"
+  "sdcm_upnp_tests.pdb"
+  "sdcm_upnp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcm_upnp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

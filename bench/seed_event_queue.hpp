@@ -1,0 +1,101 @@
+#pragma once
+
+// The seed (PR 1) event-queue design, kept verbatim as a benchmark
+// baseline: std::priority_queue of (time, id) entries, callbacks in an
+// unordered_map, and lazy cancellation through a tombstone set. The
+// library's kernel replaced this with a slab-backed indexed 4-ary heap;
+// bench/sim_kernel runs the same lease-churn workload through both and
+// reports the speedup in BENCH_sim_kernel.json. Not linked into the
+// library - benchmark-only code.
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sdcm/sim/time.hpp"
+
+namespace sdcm::bench {
+
+class SeedEventQueue {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  EventId schedule(sim::SimTime at, Callback cb) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{at, id});
+    callbacks_.emplace(id, std::move(cb));
+    ++live_;
+    return id;
+  }
+
+  void cancel(EventId id) {
+    if (callbacks_.erase(id) > 0) {
+      cancelled_.insert(id);
+      --live_;
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  [[nodiscard]] sim::SimTime next_time() {
+    drop_cancelled();
+    assert(!heap_.empty());
+    return heap_.top().at;
+  }
+
+  struct Fired {
+    sim::SimTime at;
+    EventId id;
+    Callback cb;
+  };
+
+  Fired pop() {
+    drop_cancelled();
+    assert(!heap_.empty());
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    assert(it != callbacks_.end());
+    Fired fired{top.at, top.id, std::move(it->second)};
+    callbacks_.erase(it);
+    --live_;
+    return fired;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+ private:
+  struct Entry {
+    sim::SimTime at;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sdcm::bench

@@ -1,18 +1,41 @@
-// Google-benchmark microbenchmarks of the simulation substrate: event
-// queue throughput, RNG, message delivery, and whole-run cost per system
-// model. These are the numbers behind the experiment harness's capacity
-// planning (a full paper sweep is 5 systems x 19 rates x 30 runs = 2850
-// simulations; at ~1 ms per run the whole evaluation takes seconds).
+// Kernel benchmark with a machine-readable artifact. Two halves:
+//
+//  1. google-benchmark microbenchmarks of the simulation substrate
+//     (event queue, RNG, message delivery, whole-run cost per model) -
+//     the numbers behind the harness's capacity planning (a full paper
+//     sweep is 5 systems x 19 rates x 30 runs = 2850 simulations).
+//  2. A head-to-head lease-churn workload run through the seed event
+//     queue (binary priority_queue + tombstone cancel + std::function)
+//     and the current slab-backed indexed 4-ary heap, timed with
+//     steady_clock and written to BENCH_sim_kernel.json alongside the
+//     kernel's own counters. CI uploads the JSON as an artifact.
+//
+// Environment knobs:
+//   SDCM_BENCH_SMOKE  - nonzero: tiny workload, skip microbenches (CI)
+//   SDCM_BENCH_ITERS  - override lease-churn rounds per repetition
+//   SDCM_BENCH_JSON   - artifact path (default BENCH_sim_kernel.json)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "sdcm/experiment/scenario.hpp"
 #include "sdcm/net/network.hpp"
 #include "sdcm/sim/simulator.hpp"
+#include "seed_event_queue.hpp"
 
 namespace {
 
 using namespace sdcm;
+
+// --- google-benchmark microbenches ----------------------------------
 
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
@@ -27,6 +50,40 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_SeedEventQueueScheduleAndPop(benchmark::State& state) {
+  for (auto _ : state) {
+    bench::SeedEventQueue queue;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule(i, [&fired] { ++fired; });
+    }
+    while (!queue.empty()) queue.pop().cb();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SeedEventQueueScheduleAndPop);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // The protocol-shaped pattern: almost every scheduled timer is
+  // cancelled (lease renewed) before it can fire.
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    sim::EventId pending[64] = {};
+    int fired = 0;
+    for (int round = 0; round < 100; ++round) {
+      for (auto& id : pending) {
+        queue.cancel(id);
+        id = queue.schedule(round * 100 + 1000, [&fired] { ++fired; });
+      }
+    }
+    while (!queue.empty()) queue.pop().cb();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 100);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
 
 void BM_RandomUniformInt(benchmark::State& state) {
   sim::Random rng(42);
@@ -71,6 +128,199 @@ void BM_FullRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRun)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
+// --- lease-churn head-to-head ---------------------------------------
+
+struct ChurnShape {
+  int leases = 512;
+  int rounds = 2000;
+  int reps = 5;
+};
+
+struct ChurnResult {
+  std::uint64_t ops = 0;        // schedules + cancels + pops, one rep
+  std::uint64_t fired = 0;      // expiries that actually ran
+  std::uint64_t checksum = 0;   // workload-visible effect; must match
+  double best_seconds = 0.0;    // fastest repetition
+};
+
+// Drives `Queue` through the discovery protocols' timer pattern: every
+// round most leases renew (cancel the pending expiry, schedule a new
+// one) while a deterministic minority miss their renewal and expire.
+// The callback captures 24 bytes - object pointer, service id, node id,
+// retry counter - the exact shape that overflows std::function's
+// 16-byte inline buffer but sits comfortably in InlineCallback's 64.
+template <typename Queue, typename Setup>
+ChurnResult run_lease_churn(const ChurnShape& shape, Setup setup) {
+  ChurnResult result;
+  std::vector<std::uint64_t> renews(static_cast<std::size_t>(shape.leases));
+  for (int rep = 0; rep < shape.reps; ++rep) {
+    Queue queue;
+    setup(queue);
+    std::vector<std::uint64_t> timers(
+        static_cast<std::size_t>(shape.leases), 0);
+    std::fill(renews.begin(), renews.end(), 0);
+    std::uint64_t ops = 0;
+    std::uint64_t fired = 0;
+    const sim::SimTime ttl = 1000;
+    sim::SimTime now = 0;
+
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < shape.leases; ++i) {
+      const auto slot = static_cast<std::size_t>(i);
+      std::uint64_t* counter = &renews[slot];
+      const std::uint64_t service = static_cast<std::uint64_t>(i) * 7 + 1;
+      const std::uint32_t node = static_cast<std::uint32_t>(i % 13);
+      const int retries = i % 3;
+      timers[slot] = queue.schedule(
+          now + ttl + i % 7, [counter, service, node, retries] {
+            *counter += service + node + static_cast<std::uint64_t>(retries);
+          });
+      ++ops;
+    }
+    for (int round = 0; round < shape.rounds; ++round) {
+      now += 100;
+      for (int i = 0; i < shape.leases; ++i) {
+        if ((i + round) % 10 == 0) continue;  // renewal lost; will expire
+        const auto slot = static_cast<std::size_t>(i);
+        queue.cancel(timers[slot]);
+        std::uint64_t* counter = &renews[slot];
+        const std::uint64_t service = static_cast<std::uint64_t>(i) * 7 + 1;
+        const std::uint32_t node = static_cast<std::uint32_t>(round % 13);
+        const int retries = round % 3;
+        timers[slot] = queue.schedule(
+            now + ttl + i % 7, [counter, service, node, retries] {
+              *counter += service + node + static_cast<std::uint64_t>(retries);
+            });
+        ops += 2;
+      }
+      while (!queue.empty() && queue.next_time() <= now) {
+        queue.pop().cb();
+        ++fired;
+        ++ops;
+      }
+    }
+    while (!queue.empty()) {
+      queue.pop().cb();
+      ++fired;
+      ++ops;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+
+    std::uint64_t checksum = 0;
+    for (const auto r : renews) checksum += r;
+    result.ops = ops;
+    result.fired = fired;
+    result.checksum = checksum;
+    if (rep == 0 || seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+    }
+  }
+  return result;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+void emit_queue(bench::JsonWriter& json, const char* key,
+                const ChurnResult& r) {
+  const double ns_per_op =
+      r.best_seconds * 1e9 / static_cast<double>(r.ops);
+  const double ops_per_sec =
+      static_cast<double>(r.ops) / r.best_seconds;
+  json.begin(key)
+      .field("ops", r.ops)
+      .field("events_fired", r.fired)
+      .field("best_seconds", r.best_seconds)
+      .field("ns_per_op", ns_per_op)
+      .field("events_per_sec", ops_per_sec)
+      .end();
+  std::printf("  %-14s %10.1f ns/op  %12.0f events/sec\n", key, ns_per_op,
+              ops_per_sec);
+}
+
+int run_lease_churn_comparison(bool smoke) {
+  ChurnShape shape;
+  if (smoke) {
+    shape.leases = 64;
+    shape.rounds = 50;
+    shape.reps = 2;
+  }
+  shape.rounds = env_int("SDCM_BENCH_ITERS", shape.rounds);
+
+  bench::banner("sim_kernel", "event-queue lease-churn head-to-head");
+  std::printf("leases=%d rounds=%d reps=%d (SDCM_BENCH_ITERS overrides "
+              "rounds)\n",
+              shape.leases, shape.rounds, shape.reps);
+
+  const auto seed = run_lease_churn<bench::SeedEventQueue>(
+      shape, [](bench::SeedEventQueue&) {});
+  // The workload is deterministic, so resetting the shared block per rep
+  // leaves it holding exactly one repetition's counter totals.
+  sim::KernelStats totals;
+  const auto indexed =
+      run_lease_churn<sim::EventQueue>(shape, [&totals](sim::EventQueue& q) {
+        totals.reset();
+        q.bind_stats(&totals);
+      });
+
+  const double speedup = seed.best_seconds / indexed.best_seconds;
+  std::printf("  speedup (seed/indexed): %.2fx\n", speedup);
+  const bool consistent =
+      seed.checksum == indexed.checksum && seed.fired == indexed.fired;
+  bench::check(consistent,
+               "both queues fire the same expiries with the same effects");
+  bench::check(speedup >= 1.5,
+               "indexed heap >= 1.5x events/sec on lease churn");
+
+  const char* json_path = std::getenv("SDCM_BENCH_JSON");
+  const std::string path =
+      (json_path != nullptr && *json_path != '\0') ? json_path
+                                                   : "BENCH_sim_kernel.json";
+
+  bench::JsonWriter json;
+  json.begin()
+      .field("bench", "sim_kernel")
+      .field("smoke", smoke)
+      .begin("workload")
+      .field("leases", static_cast<std::uint64_t>(shape.leases))
+      .field("rounds", static_cast<std::uint64_t>(shape.rounds))
+      .field("reps", static_cast<std::uint64_t>(shape.reps))
+      .field("checksum", indexed.checksum)
+      .end();
+  emit_queue(json, "seed_queue", seed);
+  emit_queue(json, "indexed_queue", indexed);
+  json.begin("kernel_counters")
+      .field("events_scheduled", totals.events_scheduled)
+      .field("events_cancelled", totals.events_cancelled)
+      .field("events_fired", totals.events_fired)
+      .field("peak_heap_size", totals.peak_heap_size)
+      .field("callback_heap_allocs", totals.callback_heap_allocs)
+      .end();
+  json.field("speedup", speedup)
+      .field("consistent", consistent)
+      .end();
+  if (!json.write_file(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return consistent ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* smoke_env = std::getenv("SDCM_BENCH_SMOKE");
+  const bool smoke =
+      smoke_env != nullptr && *smoke_env != '\0' && *smoke_env != '0';
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_lease_churn_comparison(smoke);
+}

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "sdcm/sim/kernel_stats.hpp"
 #include "sdcm/sim/time.hpp"
 
 namespace sdcm::metrics {
@@ -28,6 +29,14 @@ struct RunRecord {
   /// messages stay excluded (the latter matching the paper's caveat that
   /// UPnP/Jini's TCP traffic is not counted).
   std::uint64_t window_messages = 0;
+  /// Kernel-level volume of the whole run (events scheduled/fired, wire
+  /// copies sent/dropped per transport, trace records) - the counters the
+  /// message-rate studies need and the benches archive.
+  sim::KernelStats kernel;
+  /// TraceLog::fingerprint() of the run's event log; 0 unless
+  /// ExperimentConfig::record_trace was set. Pins determinism: same
+  /// (model, lambda, seed) must reproduce this value bit-identically.
+  std::uint64_t trace_fingerprint = 0;
 };
 
 /// Aggregate of the four metrics for one (system, lambda) point.

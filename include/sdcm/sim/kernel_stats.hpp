@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sdcm::sim {
+
+/// Hot-path counters for one simulation run. One block lives in the
+/// Simulator and is shared by the event queue (scheduling volume), the
+/// network (wire traffic per transport) and the trace log (records
+/// appended), so a run's entire kernel-level activity can be read - and
+/// archived by the benchmarks - from a single struct.
+///
+/// Counting is always on: every field is a plain increment on a path
+/// that already touches the adjacent cache line, so there is no toggle.
+struct KernelStats {
+  // Event queue.
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t events_cancelled = 0;
+  std::uint64_t events_fired = 0;
+  /// High-water mark of pending events (live heap size).
+  std::uint64_t peak_heap_size = 0;
+  /// Callbacks too large for InlineCallback's inline buffer; the
+  /// lease-renewal churn should keep this near zero.
+  std::uint64_t callback_heap_allocs = 0;
+
+  // Network, per transport. "Sent" counts copies that reached the wire
+  // (transmitter up, once per redundant multicast copy); "dropped"
+  // counts copies lost at a dead transmitter, a dead receiver, or to
+  // the message-loss model - one increment per receiver that missed it.
+  std::uint64_t udp_sent = 0;
+  std::uint64_t udp_dropped = 0;
+  std::uint64_t tcp_sent = 0;
+  std::uint64_t tcp_dropped = 0;
+
+  // Trace log records actually appended (recording enabled).
+  std::uint64_t trace_records = 0;
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return udp_sent + tcp_sent;
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+    return udp_dropped + tcp_dropped;
+  }
+
+  void reset() noexcept { *this = KernelStats{}; }
+};
+
+}  // namespace sdcm::sim

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "sdcm/sim/event_queue.hpp"
+#include "sdcm/sim/kernel_stats.hpp"
 #include "sdcm/sim/random.hpp"
 #include "sdcm/sim/time.hpp"
 #include "sdcm/sim/trace.hpp"
@@ -17,7 +18,10 @@ namespace sdcm::sim {
 /// lets the experiment harness execute them on a thread pool.
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed) : rng_(seed) {
+    queue_.bind_stats(&stats_);
+    trace_.bind_stats(&stats_);
+  }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -37,6 +41,23 @@ class Simulator {
   }
 
   void cancel(EventId id) { queue_.cancel(id); }
+
+  /// The cancel-then-rearm idiom of every lease/renewal site: cancels
+  /// `id` when pending, schedules `cb` after `delay`, and stores the new
+  /// id back into `id` (also returned for convenience).
+  EventId reschedule_in(EventId& id, SimDuration delay,
+                        EventQueue::Callback cb) {
+    if (id != kInvalidEventId) queue_.cancel(id);
+    id = schedule_in(delay, std::move(cb));
+    return id;
+  }
+
+  /// Absolute-time variant of reschedule_in.
+  EventId reschedule_at(EventId& id, SimTime at, EventQueue::Callback cb) {
+    if (id != kInvalidEventId) queue_.cancel(id);
+    id = schedule_at(at, std::move(cb));
+    return id;
+  }
 
   /// Runs events up to and including time `until`, then stops. The clock
   /// finishes at exactly `until` even if the queue drains early, so that
@@ -64,10 +85,18 @@ class Simulator {
   TraceLog& trace() noexcept { return trace_; }
   const TraceLog& trace() const noexcept { return trace_; }
 
+  /// The run's shared kernel counter block (event queue volume, wire
+  /// traffic, trace records). See sim::KernelStats.
+  [[nodiscard]] KernelStats& kernel_stats() noexcept { return stats_; }
+  [[nodiscard]] const KernelStats& kernel_stats() const noexcept {
+    return stats_;
+  }
+
  private:
   SimTime now_ = 0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+  KernelStats stats_;
   EventQueue queue_;
   Random rng_;
   TraceLog trace_;

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sdcm/sim/kernel_stats.hpp"
 #include "sdcm/sim/time.hpp"
 
 namespace sdcm::sim {
@@ -51,6 +52,10 @@ class TraceLog {
   void set_recording(bool on) noexcept { recording_ = on; }
   [[nodiscard]] bool recording() const noexcept { return recording_; }
 
+  /// Points the appended-record counter at a shared stats block (the
+  /// Simulator's); unbound logs count into a private block.
+  void bind_stats(KernelStats* stats) noexcept { stats_ = stats; }
+
   void record(SimTime at, NodeId node, TraceCategory category,
               std::string event, std::string detail = {});
 
@@ -70,9 +75,16 @@ class TraceLog {
   /// Human-readable dump, one line per record (quickstart example output).
   void print(std::ostream& os) const;
 
+  /// Order-sensitive FNV-1a hash over every field of every record. Two
+  /// runs with equal fingerprints replayed the same event log; the
+  /// determinism tests pin golden values per (model, seed).
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
  private:
   bool recording_ = true;
   std::vector<TraceRecord> records_;
+  KernelStats local_stats_;
+  KernelStats* stats_ = &local_stats_;
 };
 
 }  // namespace sdcm::sim

@@ -204,6 +204,10 @@ metrics::RunRecord run_experiment(const ExperimentConfig& config) {
   record.window_messages =
       (window_closed ? count_at_last_reach : chatter_total()) -
       count_at_change;
+  record.kernel = simulator.kernel_stats();
+  if (config.record_trace) {
+    record.trace_fingerprint = simulator.trace().fingerprint();
+  }
   return record;
 }
 

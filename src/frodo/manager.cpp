@@ -120,14 +120,11 @@ void FrodoManager::handle_register_ack(const Message& m) {
   ServiceState& state = it->second;
   state.registered = true;
   state.central_stale = false;  // the registration carried the current SD
-  if (state.renew_timer != sim::kInvalidEventId) {
-    simulator().cancel(state.renew_timer);
-  }
   const auto renew_after = static_cast<sim::SimDuration>(
       static_cast<double>(ack.lease) * config().renew_fraction);
   const ServiceId service = ack.service;
-  state.renew_timer = simulator().schedule_in(
-      renew_after, [this, service] { renew_registration(service); });
+  simulator().reschedule_in(state.renew_timer, renew_after,
+                            [this, service] { renew_registration(service); });
 }
 
 void FrodoManager::renew_registration(ServiceId service) {

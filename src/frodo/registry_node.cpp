@@ -344,17 +344,15 @@ void FrodoRegistryNode::handle_backup_sync(const Message& m) {
 
 void FrodoRegistryNode::arm_registration_expiry(ServiceId service) {
   auto& reg = registrations_.at(service);
-  if (reg.expiry != sim::kInvalidEventId) simulator().cancel(reg.expiry);
-  reg.expiry = simulator().schedule_at(
-      reg.lease.expires_at(), [this, service] { purge_registration(service); });
+  simulator().reschedule_at(reg.expiry, reg.lease.expires_at(),
+                            [this, service] { purge_registration(service); });
 }
 
 void FrodoRegistryNode::arm_subscription_expiry(ServiceId service,
                                                 NodeId user) {
   auto& sub = subscriptions_.at(service).at(user);
-  if (sub.expiry != sim::kInvalidEventId) simulator().cancel(sub.expiry);
-  sub.expiry = simulator().schedule_at(
-      sub.lease.expires_at(),
+  simulator().reschedule_at(
+      sub.expiry, sub.lease.expires_at(),
       [this, service, user] { purge_subscription(service, user); });
 }
 

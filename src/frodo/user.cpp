@@ -324,8 +324,7 @@ void FrodoUser::subscribe() {
 }
 
 void FrodoUser::schedule_renewal(sim::SimDuration delay) {
-  if (renew_timer_ != sim::kInvalidEventId) simulator().cancel(renew_timer_);
-  renew_timer_ = simulator().schedule_in(delay, [this] {
+  simulator().reschedule_in(renew_timer_, delay, [this] {
     renew_timer_ = sim::kInvalidEventId;
     send_renewal();
   });

@@ -69,13 +69,10 @@ void JiniManager::registry_heard(NodeId registry) {
   auto [it, inserted] = registries_.try_emplace(registry);
   RegistryState& state = it->second;
   state.last_heard = now();
-  if (state.silence_timer != sim::kInvalidEventId) {
-    simulator().cancel(state.silence_timer);
-  }
-  state.silence_timer =
-      simulator().schedule_in(config_.announce_timeout, [this, registry] {
-        purge_registry(registry, "silent");
-      });
+  simulator().reschedule_in(state.silence_timer, config_.announce_timeout,
+                            [this, registry] {
+                              purge_registry(registry, "silent");
+                            });
 
   if (inserted) {
     trace(sim::TraceCategory::kDiscovery, "jini.registry.discovered",
@@ -133,15 +130,12 @@ void JiniManager::handle_register_response(const Message& m) {
   if (it == registries_.end() || !resp.ok) return;
   auto& per = it->second.services[resp.service];
   per.registered = true;
-  if (per.renew_timer != sim::kInvalidEventId) {
-    simulator().cancel(per.renew_timer);
-  }
   const auto renew_after = static_cast<sim::SimDuration>(
       static_cast<double>(resp.lease) * config_.renew_fraction);
   const NodeId registry = m.src;
   const ServiceId service = resp.service;
-  per.renew_timer =
-      simulator().schedule_in(renew_after, [this, registry, service] {
+  simulator().reschedule_in(per.renew_timer, renew_after,
+                            [this, registry, service] {
         renew_registration(registry, service);
       });
 }
@@ -169,14 +163,11 @@ void JiniManager::handle_renew_response(const Message& m) {
   const ServiceId service = resp.service;
   if (resp.ok) {
     auto& per = it->second.services[service];
-    if (per.renew_timer != sim::kInvalidEventId) {
-      simulator().cancel(per.renew_timer);
-    }
     const auto renew_after = static_cast<sim::SimDuration>(
         static_cast<double>(config_.registration_lease) *
         config_.renew_fraction);
-    per.renew_timer =
-        simulator().schedule_in(renew_after, [this, registry, service] {
+    simulator().reschedule_in(per.renew_timer, renew_after,
+                              [this, registry, service] {
           renew_registration(registry, service);
         });
   } else {

@@ -67,12 +67,9 @@ void JiniRegistry::handle_register(const Message& m) {
   const bool changed = inserted || entry.sd.version != reg.sd.version;
   entry.sd = reg.sd;
   entry.lease = discovery::Lease{now(), config_.registration_lease};
-  if (entry.expiry != sim::kInvalidEventId) simulator().cancel(entry.expiry);
   const ServiceId service = reg.sd.id;
-  entry.expiry = simulator().schedule_at(
-      entry.lease.expires_at(), [this, service] {
-        purge_registration(service);
-      });
+  simulator().reschedule_at(entry.expiry, entry.lease.expires_at(),
+                            [this, service] { purge_registration(service); });
   trace(sim::TraceCategory::kDiscovery, "jini.registered",
         "service=" + std::to_string(service) +
             " version=" + std::to_string(reg.sd.version) +
@@ -134,12 +131,9 @@ void JiniRegistry::handle_renew_registration(const Message& m) {
   const auto it = registrations_.find(renew.service);
   if (it != registrations_.end()) {
     it->second.lease.renew(now());
-    if (it->second.expiry != sim::kInvalidEventId) {
-      simulator().cancel(it->second.expiry);
-    }
     const ServiceId service = renew.service;
-    it->second.expiry = simulator().schedule_at(
-        it->second.lease.expires_at(),
+    simulator().reschedule_at(
+        it->second.expiry, it->second.lease.expires_at(),
         [this, service] { purge_registration(service); });
     reply.payload = RenewRegistrationResponse{renew.service, true};
   } else {
@@ -180,10 +174,9 @@ void JiniRegistry::handle_event_register(const Message& m) {
   auto& entry = events_[req.user];
   entry.tmpl = req.tmpl;
   entry.lease = discovery::Lease{now(), config_.event_lease};
-  if (entry.expiry != sim::kInvalidEventId) simulator().cancel(entry.expiry);
   const NodeId user = req.user;
-  entry.expiry = simulator().schedule_at(entry.lease.expires_at(),
-                                         [this, user] { purge_event(user); });
+  simulator().reschedule_at(entry.expiry, entry.lease.expires_at(),
+                            [this, user] { purge_event(user); });
   trace(sim::TraceCategory::kSubscription, "jini.event_registered",
         "user=" + std::to_string(user));
   // NB: no notification about already-registered matching services - the
@@ -210,12 +203,9 @@ void JiniRegistry::handle_renew_event(const Message& m) {
   const auto it = events_.find(renew.user);
   if (it != events_.end()) {
     it->second.lease.renew(now());
-    if (it->second.expiry != sim::kInvalidEventId) {
-      simulator().cancel(it->second.expiry);
-    }
     const NodeId user = renew.user;
-    it->second.expiry = simulator().schedule_at(
-        it->second.lease.expires_at(), [this, user] { purge_event(user); });
+    simulator().reschedule_at(it->second.expiry, it->second.lease.expires_at(),
+                              [this, user] { purge_event(user); });
     reply.payload = RenewEventResponse{true};
   } else {
     // PR3 as Jini implements it: a bare error; the User must redo registry

@@ -71,13 +71,10 @@ void JiniUser::on_message(const Message& m) {
 void JiniUser::registry_heard(NodeId registry) {
   auto [it, inserted] = registries_.try_emplace(registry);
   RegistryState& state = it->second;
-  if (state.silence_timer != sim::kInvalidEventId) {
-    simulator().cancel(state.silence_timer);
-  }
-  state.silence_timer =
-      simulator().schedule_in(config_.announce_timeout, [this, registry] {
-        purge_registry(registry, "silent");
-      });
+  simulator().reschedule_in(state.silence_timer, config_.announce_timeout,
+                            [this, registry] {
+                              purge_registry(registry, "silent");
+                            });
 
   if (inserted) {
     trace(sim::TraceCategory::kDiscovery, "jini.registry.discovered",
@@ -143,14 +140,11 @@ void JiniUser::handle_event_response(const Message& m) {
   const bool first_confirmation = !it->second.event_registered;
   it->second.event_registered = true;
   if (first_confirmation) send_lookup(m.src);
-  if (it->second.renew_timer != sim::kInvalidEventId) {
-    simulator().cancel(it->second.renew_timer);
-  }
   const auto renew_after = static_cast<sim::SimDuration>(
       static_cast<double>(resp.lease) * config_.renew_fraction);
   const NodeId registry = m.src;
-  it->second.renew_timer = simulator().schedule_in(
-      renew_after, [this, registry] { renew_event(registry); });
+  simulator().reschedule_in(it->second.renew_timer, renew_after,
+                            [this, registry] { renew_event(registry); });
 }
 
 void JiniUser::renew_event(NodeId registry) {
@@ -174,13 +168,10 @@ void JiniUser::handle_renew_event_response(const Message& m) {
   if (it == registries_.end()) return;
   const NodeId registry = m.src;
   if (resp.ok) {
-    if (it->second.renew_timer != sim::kInvalidEventId) {
-      simulator().cancel(it->second.renew_timer);
-    }
     const auto renew_after = static_cast<sim::SimDuration>(
         static_cast<double>(config_.event_lease) * config_.renew_fraction);
-    it->second.renew_timer = simulator().schedule_in(
-        renew_after, [this, registry] { renew_event(registry); });
+    simulator().reschedule_in(it->second.renew_timer, renew_after,
+                              [this, registry] { renew_event(registry); });
   } else {
     // PR3, Jini-style: bare error; purge and redo discovery / event
     // registration / lookup. Announcements (every 120 s) bring the

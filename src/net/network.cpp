@@ -103,13 +103,16 @@ void Network::send(const Message& msg) {
 void Network::multicast(const Message& msg, int redundant_copies) {
   assert(redundant_copies >= 1);
   Port& src = port(msg.src);
+  sim::KernelStats& kstats = sim_.kernel_stats();
   for (int copy = 0; copy < redundant_copies; ++copy) {
     if (!src.iface.tx_up()) {
+      ++kstats.udp_dropped;
       sim_.trace().record(sim_.now(), msg.src, sim::TraceCategory::kTransport,
                           "net.drop.tx", msg.type);
       continue;
     }
     counters_.count(msg);
+    ++kstats.udp_sent;
     for (const NodeId dst : order_) {
       if (dst == msg.src) continue;
       Message delivered = msg;
@@ -120,6 +123,7 @@ void Network::multicast(const Message& msg, int redundant_copies) {
       sim_.schedule_in(delay, [this, lost, m = std::move(delivered)]() {
         Port& dport = port(m.dst);
         if (!dport.iface.rx_up() || lost) {
+          ++sim_.kernel_stats().udp_dropped;
           sim_.trace().record(sim_.now(), m.dst,
                               sim::TraceCategory::kTransport, "net.drop.rx",
                               m.type);
@@ -134,8 +138,11 @@ void Network::multicast(const Message& msg, int redundant_copies) {
 bool Network::transmit(Message msg, bool deliver,
                        std::function<void(bool)> on_result) {
   Port& src = port(msg.src);
+  const bool tcp = msg.klass == MessageClass::kTransport;
+  sim::KernelStats& kstats = sim_.kernel_stats();
   const auto delay = draw_delay();
   if (!src.iface.tx_up()) {
+    ++(tcp ? kstats.tcp_dropped : kstats.udp_dropped);
     sim_.trace().record(sim_.now(), msg.src, sim::TraceCategory::kTransport,
                         "net.drop.tx", msg.type);
     if (on_result) {
@@ -144,12 +151,15 @@ bool Network::transmit(Message msg, bool deliver,
     return false;
   }
   counters_.count(msg);
+  ++(tcp ? kstats.tcp_sent : kstats.udp_sent);
   const bool lost = lost_in_transit();
-  sim_.schedule_in(delay, [this, m = std::move(msg), deliver, lost,
+  sim_.schedule_in(delay, [this, m = std::move(msg), deliver, lost, tcp,
                            cb = std::move(on_result)]() {
     Port& dport = port(m.dst);
     const bool ok = dport.iface.rx_up() && !lost;
     if (!ok) {
+      sim::KernelStats& ks = sim_.kernel_stats();
+      ++(tcp ? ks.tcp_dropped : ks.udp_dropped);
       sim_.trace().record(sim_.now(), m.dst, sim::TraceCategory::kTransport,
                           "net.drop.rx", m.type);
     } else if (deliver) {

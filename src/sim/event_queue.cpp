@@ -1,52 +1,115 @@
 #include "sdcm/sim/event_queue.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <utility>
 
 namespace sdcm::sim {
 
+EventQueue::SlotIndex EventQueue::acquire_slot() {
+  if (!free_.empty()) {
+    const SlotIndex index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  assert(slots_.size() < kNoPos);
+  slots_.emplace_back();
+  return static_cast<SlotIndex>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(SlotIndex index) {
+  Slot& slot = slots_[index];
+  slot.cb.reset();
+  slot.heap_pos = kNoPos;
+  // Generation 0 is reserved so no id collides with kInvalidEventId.
+  if (++slot.generation == 0) slot.generation = 1;
+  free_.push_back(index);
+}
+
+void EventQueue::sift_up(std::size_t pos) noexcept {
+  const SlotIndex moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heap_pos = static_cast<SlotIndex>(pos);
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = static_cast<SlotIndex>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) noexcept {
+  const SlotIndex moving = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = pos * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t end_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t child = first_child + 1; child < end_child; ++child) {
+      if (before(heap_[child], heap_[best])) best = child;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heap_pos = static_cast<SlotIndex>(pos);
+    pos = best;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heap_pos = static_cast<SlotIndex>(pos);
+}
+
+void EventQueue::heap_erase(std::size_t pos) noexcept {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slots_[heap_[pos]].heap_pos = static_cast<SlotIndex>(pos);
+  }
+  heap_.pop_back();
+  if (pos >= heap_.size()) return;
+  // The relocated element can be out of order in either direction.
+  if (pos > 0 && before(heap_[pos], heap_[(pos - 1) / kArity])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
 EventId EventQueue::schedule(SimTime at, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
-  callbacks_.emplace(id, std::move(cb));
-  ++live_;
-  return id;
+  const SlotIndex index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.at = at;
+  slot.seq = next_seq_++;
+  slot.cb = std::move(cb);
+  heap_.push_back(index);
+  slot.heap_pos = static_cast<SlotIndex>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  ++stats_->events_scheduled;
+  if (slot.cb.heap_allocated()) ++stats_->callback_heap_allocs;
+  if (heap_.size() > stats_->peak_heap_size) {
+    stats_->peak_heap_size = heap_.size();
+  }
+  return id_of(index);
 }
 
 void EventQueue::cancel(EventId id) {
-  if (callbacks_.erase(id) > 0) {
-    cancelled_.insert(id);
-    --live_;
-  }
-}
-
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
-}
-
-bool EventQueue::empty() const noexcept { return live_ == 0; }
-
-SimTime EventQueue::next_time() const {
-  const_cast<EventQueue*>(this)->drop_cancelled();
-  assert(!heap_.empty());
-  return heap_.top().at;
+  const auto index = static_cast<SlotIndex>(id & 0xFFFFFFFFull);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (generation == 0 || index >= slots_.size()) return;
+  const Slot& slot = slots_[index];
+  if (slot.generation != generation || slot.heap_pos == kNoPos) return;
+  heap_erase(slot.heap_pos);
+  release_slot(index);
+  ++stats_->events_cancelled;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
   assert(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  assert(it != callbacks_.end());
-  Fired fired{top.at, top.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_;
+  const SlotIndex index = heap_[0];
+  Slot& slot = slots_[index];
+  Fired fired{slot.at, id_of(index), std::move(slot.cb)};
+  heap_erase(0);
+  release_slot(index);
+  ++stats_->events_fired;
   return fired;
 }
 

@@ -32,6 +32,27 @@ void TraceLog::record(SimTime at, NodeId node, TraceCategory category,
   if (!recording_) return;
   records_.push_back(
       TraceRecord{at, node, category, std::move(event), std::move(detail)});
+  ++stats_->trace_records;
+}
+
+std::uint64_t TraceLog::fingerprint() const noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& r : records_) {
+    mix(&r.at, sizeof(r.at));
+    mix(&r.node, sizeof(r.node));
+    const auto category = static_cast<std::uint8_t>(r.category);
+    mix(&category, sizeof(category));
+    mix(r.event.data(), r.event.size());
+    mix(r.detail.data(), r.detail.size());
+  }
+  return h ^ records_.size();
 }
 
 std::vector<TraceRecord> TraceLog::with_event(std::string_view event) const {

@@ -36,10 +36,9 @@ void DirectoryAgent::on_message(const Message& m) {
     const auto& reg = m.as<SrvReg>();
     auto& entry = registrations_[reg.sd.id];
     entry.sd = reg.sd;
-    if (entry.expiry != sim::kInvalidEventId) simulator().cancel(entry.expiry);
     const ServiceId service = reg.sd.id;
-    entry.expiry = simulator().schedule_in(
-        config_.registration_lease, [this, service] { purge(service); });
+    simulator().reschedule_in(entry.expiry, config_.registration_lease,
+                              [this, service] { purge(service); });
 
     Message ack;
     ack.src = id();
@@ -142,9 +141,8 @@ void ServiceAgent::change_service(ServiceId service) {
 void ServiceAgent::da_heard(NodeId da) {
   const bool fresh = da_ == sim::kNoNode;
   da_ = da;
-  if (da_timeout_ != sim::kInvalidEventId) simulator().cancel(da_timeout_);
-  da_timeout_ = simulator().schedule_in(config_.advert_timeout,
-                                        [this] { drop_da(); });
+  simulator().reschedule_in(da_timeout_, config_.advert_timeout,
+                            [this] { drop_da(); });
   if (fresh) {
     trace(sim::TraceCategory::kDiscovery, "slp.da.discovered",
           "da=" + std::to_string(da));
@@ -223,9 +221,8 @@ void UserAgent::poll() {
 void UserAgent::da_heard(NodeId da) {
   const bool fresh = da_ == sim::kNoNode;
   da_ = da;
-  if (da_timeout_ != sim::kInvalidEventId) simulator().cancel(da_timeout_);
-  da_timeout_ = simulator().schedule_in(config_.advert_timeout,
-                                        [this] { drop_da(); });
+  simulator().reschedule_in(da_timeout_, config_.advert_timeout,
+                            [this] { drop_da(); });
   if (fresh) {
     trace(sim::TraceCategory::kDiscovery, "slp.da.discovered",
           "da=" + std::to_string(da));

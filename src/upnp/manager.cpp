@@ -210,11 +210,10 @@ void UpnpManager::handle_subscribe(const Message& m) {
   auto& entry = subs_[sub.service][sub.user];
   entry.lease =
       discovery::Lease{now(), config_.subscription_lease};
-  if (entry.expiry != sim::kInvalidEventId) simulator().cancel(entry.expiry);
   const NodeId user = sub.user;
   const ServiceId service = sub.service;
-  entry.expiry = simulator().schedule_at(
-      entry.lease.expires_at(),
+  simulator().reschedule_at(
+      entry.expiry, entry.lease.expires_at(),
       [this, service, user] { purge_subscriber(service, user, "expired"); });
   trace(sim::TraceCategory::kSubscription, "upnp.subscribed",
         "user=" + std::to_string(user));
@@ -239,13 +238,10 @@ void UpnpManager::handle_renew(const Message& m) {
   if (known) {
     auto& entry = it->second.at(renew.user);
     entry.lease.renew(now());
-    if (entry.expiry != sim::kInvalidEventId) {
-      simulator().cancel(entry.expiry);
-    }
     const NodeId user = renew.user;
     const ServiceId service = renew.service;
-    entry.expiry = simulator().schedule_at(
-        entry.lease.expires_at(),
+    simulator().reschedule_at(
+        entry.expiry, entry.lease.expires_at(),
         [this, service, user] { purge_subscriber(service, user, "expired"); });
     reply.payload = RenewResponse{renew.service, true};
   } else {

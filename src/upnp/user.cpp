@@ -174,16 +174,14 @@ void UpnpUser::handle_subscribe_response(const Message& m) {
   sub_lease_ = discovery::Lease{now(), resp.lease};
   trace(sim::TraceCategory::kSubscription, "upnp.subscribed");
 
-  if (renew_timer_ != sim::kInvalidEventId) simulator().cancel(renew_timer_);
   const auto renew_after = static_cast<sim::SimDuration>(
       static_cast<double>(resp.lease) * config_.renew_fraction);
-  renew_timer_ = simulator().schedule_in(renew_after, [this] {
+  simulator().reschedule_in(renew_timer_, renew_after, [this] {
     renew_timer_ = sim::kInvalidEventId;
     renew();
   });
 
-  if (sub_expiry_ != sim::kInvalidEventId) simulator().cancel(sub_expiry_);
-  sub_expiry_ = simulator().schedule_at(sub_lease_.expires_at(), [this] {
+  simulator().reschedule_at(sub_expiry_, sub_lease_.expires_at(), [this] {
     sub_expiry_ = sim::kInvalidEventId;
     subscribed_ = false;
     trace(sim::TraceCategory::kSubscription, "upnp.subscription.expired");
@@ -221,16 +219,14 @@ void UpnpUser::handle_renew_response(const Message& m) {
   refresh_cache_lease();
   if (resp.ok) {
     sub_lease_.renew(now());
-    if (sub_expiry_ != sim::kInvalidEventId) simulator().cancel(sub_expiry_);
-    sub_expiry_ = simulator().schedule_at(sub_lease_.expires_at(), [this] {
+    simulator().reschedule_at(sub_expiry_, sub_lease_.expires_at(), [this] {
       sub_expiry_ = sim::kInvalidEventId;
       subscribed_ = false;
       if (has_manager() && !subscribe_in_flight_) subscribe();
     });
-    if (renew_timer_ != sim::kInvalidEventId) simulator().cancel(renew_timer_);
     const auto renew_after = static_cast<sim::SimDuration>(
         static_cast<double>(sub_lease_.duration) * config_.renew_fraction);
-    renew_timer_ = simulator().schedule_in(renew_after, [this] {
+    simulator().reschedule_in(renew_timer_, renew_after, [this] {
       renew_timer_ = sim::kInvalidEventId;
       renew();
     });
@@ -272,12 +268,10 @@ void UpnpUser::handle_byebye(const Message& m) {
 }
 
 void UpnpUser::refresh_cache_lease() {
-  if (cache_expiry_ != sim::kInvalidEventId) simulator().cancel(cache_expiry_);
-  cache_expiry_ =
-      simulator().schedule_in(config_.cache_lease, [this] {
-        cache_expiry_ = sim::kInvalidEventId;
-        if (config_.enable_pr5) purge_manager("cache-expired");
-      });
+  simulator().reschedule_in(cache_expiry_, config_.cache_lease, [this] {
+    cache_expiry_ = sim::kInvalidEventId;
+    if (config_.enable_pr5) purge_manager("cache-expired");
+  });
 }
 
 void UpnpUser::purge_manager(const char* reason) {

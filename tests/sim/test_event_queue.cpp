@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
+
+#include "sdcm/sim/random.hpp"
 
 namespace sdcm::sim {
 namespace {
@@ -94,6 +99,181 @@ TEST(EventQueue, ManyCancellationsDoNotLeak) {
   q.schedule(5000, [&] { fired = true; });
   q.pop().cb();
   EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StaleCancelAfterSlotReuseIsNoop) {
+  // The slab recycles slots: after `first` is cancelled, the next
+  // schedule reuses its slot. A second cancel of the stale id must not
+  // kill the new tenant (generation mismatch).
+  EventQueue q;
+  const auto first = q.schedule(10, [] {});
+  q.cancel(first);
+  bool fired = false;
+  const auto second = q.schedule(20, [&] { fired = true; });
+  EXPECT_NE(first, second);
+  q.cancel(first);  // stale: same slot, older generation
+  ASSERT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StaleCancelAfterFireAndReuseIsNoop) {
+  EventQueue q;
+  const auto first = q.schedule(1, [] {});
+  q.pop();
+  bool fired = false;
+  q.schedule(2, [&] { fired = true; });
+  q.cancel(first);  // fired id whose slot now hosts the new event
+  ASSERT_EQ(q.size(), 1u);
+  q.pop().cb();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, InterleavedStormKeepsSizeAndStatsExact) {
+  // Deterministic schedule/cancel storm checked against a naive
+  // reference model: size() and every KernelStats field must stay exact,
+  // and events must pop in (time, schedule-order) order.
+  EventQueue q;
+  Random rng(2024);
+  struct Pending {
+    EventId id;
+    SimTime at;
+    std::uint64_t seq;
+  };
+  std::vector<Pending> pending;
+  std::uint64_t next_seq = 0;
+  std::uint64_t scheduled = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t fired = 0;
+  std::uint64_t max_live = 0;
+  SimTime now = 0;
+
+  for (int round = 0; round < 5000; ++round) {
+    const auto action = rng.uniform_int(0, 9);
+    if (action < 5 || pending.empty()) {
+      const SimTime at = now + rng.uniform_int(1, 1000);
+      pending.push_back({q.schedule(at, [] {}), at, next_seq++});
+      ++scheduled;
+      max_live = std::max<std::uint64_t>(max_live, pending.size());
+    } else if (action < 8) {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pending.size()) - 1));
+      q.cancel(pending[victim].id);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(victim));
+      ++cancelled;
+    } else if (!q.empty()) {
+      const auto f = q.pop();
+      ++fired;
+      now = f.at;
+      const auto expected = std::min_element(
+          pending.begin(), pending.end(), [](const auto& a, const auto& b) {
+            return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+          });
+      ASSERT_NE(expected, pending.end());
+      EXPECT_EQ(f.id, expected->id);
+      EXPECT_EQ(f.at, expected->at);
+      pending.erase(expected);
+    }
+    ASSERT_EQ(q.size(), pending.size());
+    EXPECT_EQ(q.empty(), pending.empty());
+  }
+
+  EXPECT_EQ(q.stats().events_scheduled, scheduled);
+  EXPECT_EQ(q.stats().events_cancelled, cancelled);
+  EXPECT_EQ(q.stats().events_fired, fired);
+  EXPECT_EQ(q.stats().peak_heap_size, max_live);
+  EXPECT_EQ(scheduled, fired + cancelled + q.size());
+
+  // Drain: the survivors still pop in exact reference order.
+  while (!q.empty()) {
+    const auto f = q.pop();
+    const auto expected = std::min_element(
+        pending.begin(), pending.end(), [](const auto& a, const auto& b) {
+          return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+        });
+    EXPECT_EQ(f.id, expected->id);
+    pending.erase(expected);
+  }
+  EXPECT_TRUE(pending.empty());
+  EXPECT_EQ(q.stats().events_scheduled,
+            q.stats().events_fired + q.stats().events_cancelled);
+}
+
+TEST(EventQueue, LeaseChurnCallbacksDoNotAllocate) {
+  // The tentpole claim: cancel/reschedule churn with timer-sized
+  // captures must not touch the heap for callback storage.
+  EventQueue q;
+  struct Lease {
+    int renews = 0;
+  };
+  std::array<Lease, 8> leases{};
+  std::array<EventId, 8> timers{};
+  for (std::size_t i = 0; i < leases.size(); ++i) {
+    Lease* lease = &leases[i];
+    timers[i] = q.schedule(static_cast<SimTime>(i), [lease] { ++lease->renews; });
+  }
+  for (int round = 0; round < 100; ++round) {
+    for (std::size_t i = 0; i < leases.size(); ++i) {
+      q.cancel(timers[i]);
+      Lease* lease = &leases[i];
+      const std::uint64_t deadline = 1000 + static_cast<std::uint64_t>(round);
+      timers[i] = q.schedule(static_cast<SimTime>(deadline),
+                             [lease, deadline, round] {
+                               lease->renews += static_cast<int>(deadline) + round;
+                             });
+    }
+  }
+  EXPECT_EQ(q.stats().callback_heap_allocs, 0u);
+  EXPECT_EQ(q.stats().events_scheduled, 8u + 8u * 100u);
+  EXPECT_EQ(q.stats().events_cancelled, 8u * 100u);
+}
+
+TEST(EventQueue, OversizedCallbackIsCountedAsHeapAlloc) {
+  EventQueue q;
+  std::array<std::uint64_t, 16> big{};
+  big[3] = 9;
+  std::uint64_t out = 0;
+  q.schedule(1, [big, &out] { out = big[3]; });
+  EXPECT_EQ(q.stats().callback_heap_allocs, 1u);
+  q.pop().cb();
+  EXPECT_EQ(out, 9u);
+}
+
+TEST(EventQueue, PeakHeapSizeTracksHighWaterMark) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(q.schedule(i, [] {}));
+  for (int i = 0; i < 5; ++i) q.cancel(ids[static_cast<std::size_t>(i)]);
+  q.schedule(100, [] {});
+  EXPECT_EQ(q.stats().peak_heap_size, 10u);
+  EXPECT_EQ(q.size(), 6u);
+}
+
+TEST(EventQueue, BindStatsSharesAnExternalBlock) {
+  KernelStats shared;
+  EventQueue q;
+  q.bind_stats(&shared);
+  const auto id = q.schedule(1, [] {});
+  q.cancel(id);
+  q.schedule(2, [] {});
+  q.pop();
+  EXPECT_EQ(shared.events_scheduled, 2u);
+  EXPECT_EQ(shared.events_cancelled, 1u);
+  EXPECT_EQ(shared.events_fired, 1u);
+}
+
+TEST(EventQueue, CancelDuringDenseSameTimeGroupKeepsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(q.schedule(50, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 20; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  while (!q.empty()) q.pop().cb();
+  std::vector<int> expected;
+  for (int i = 0; i < 20; i += 2) expected.push_back(i);
+  EXPECT_EQ(order, expected);
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sdcm/sim/event_queue.hpp"
+
+namespace sdcm::sim {
+namespace {
+
+TEST(InlineCallback, DefaultIsEmpty) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.heap_allocated());
+}
+
+TEST(InlineCallback, SmallCaptureStaysInline) {
+  int fired = 0;
+  InlineCallback cb = [&fired] { ++fired; };
+  EXPECT_TRUE(static_cast<bool>(cb));
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  cb();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallback, TimerSizedCaptureStaysInline) {
+  // The shape of a real lease-renewal callback: an object pointer, a
+  // node id, a service id, and a retry counter. Must never allocate.
+  struct Fake {
+    int renews = 0;
+  } fake;
+  std::uint32_t registry = 7;
+  std::uint64_t service = 42;
+  int retries = 3;
+  InlineCallback cb = [&fake, registry, service, retries] {
+    fake.renews += static_cast<int>(registry + service) + retries;
+  };
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  EXPECT_EQ(fake.renews, 52);
+}
+
+TEST(InlineCallback, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineSize
+  big[0] = 5;
+  int out = 0;
+  InlineCallback cb = [big, &out] { out = static_cast<int>(big[0]); };
+  EXPECT_TRUE(cb.heap_allocated());
+  cb();
+  EXPECT_EQ(out, 5);
+}
+
+TEST(InlineCallback, MoveTransfersAndEmptiesSource) {
+  int fired = 0;
+  InlineCallback a = [&fired] { ++fired; };
+  InlineCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallback, DestroysCapturedStateExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    InlineCallback cb = [token] { ++*token; };
+    EXPECT_EQ(token.use_count(), 2);
+    InlineCallback moved = std::move(cb);
+    EXPECT_EQ(token.use_count(), 2);  // relocated, not duplicated
+    moved();
+  }
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_EQ(*token, 2);
+}
+
+TEST(InlineCallback, ResetReleasesCapturedState) {
+  auto token = std::make_shared<int>(0);
+  InlineCallback cb = [token] {};
+  EXPECT_EQ(token.use_count(), 2);
+  cb.reset();
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, HeapCaseDestroysCapturedState) {
+  auto token = std::make_shared<int>(0);
+  std::array<std::uint64_t, 16> pad{};
+  {
+    InlineCallback cb = [token, pad] { static_cast<void>(pad); };
+    EXPECT_TRUE(cb.heap_allocated());
+    EXPECT_EQ(token.use_count(), 2);
+    InlineCallback moved = std::move(cb);
+    EXPECT_EQ(token.use_count(), 2);  // box pointer stolen, no copy
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineCallback, SurvivesContainerRelocation) {
+  // Slab growth relocates slots; the callback must keep working after
+  // its storage moves.
+  int total = 0;
+  std::vector<InlineCallback> callbacks;
+  for (int i = 0; i < 100; ++i) {
+    callbacks.emplace_back([&total, i] { total += i; });
+  }
+  for (auto& cb : callbacks) cb();
+  EXPECT_EQ(total, 99 * 100 / 2);
+}
+
+TEST(InlineCallback, WrapsStdFunction) {
+  int fired = 0;
+  std::function<void()> fn = [&fired] { ++fired; };
+  InlineCallback cb = fn;  // copies the function object
+  EXPECT_FALSE(cb.heap_allocated());
+  cb();
+  fn();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InlineCallback, MutableLambdaKeepsItsState) {
+  int out = 0;
+  InlineCallback cb = [counter = 0, &out]() mutable { out = ++counter; };
+  cb();
+  cb();
+  cb();
+  EXPECT_EQ(out, 3);
+}
+
+}  // namespace
+}  // namespace sdcm::sim

@@ -19,27 +19,24 @@ int main() {
 
   struct Variant {
     const char* name;
-    std::function<void(experiment::ExperimentConfig&)> customize;
+    bool experiment::AblationSpec::* toggle;  // nullptr = baseline
   };
   const Variant variants[] = {
-      {"baseline (all on)", {}},
-      {"without SRN2",
-       [](experiment::ExperimentConfig& c) { c.frodo.enable_srn2 = false; }},
-      {"without PR1",
-       [](experiment::ExperimentConfig& c) { c.frodo.enable_pr1 = false; }},
-      {"without PR3",
-       [](experiment::ExperimentConfig& c) { c.frodo.enable_pr3 = false; }},
-      {"without PR4",
-       [](experiment::ExperimentConfig& c) { c.frodo.enable_pr4 = false; }},
-      {"without PR5",
-       [](experiment::ExperimentConfig& c) { c.frodo.enable_pr5 = false; }},
+      {"baseline (all on)", nullptr},
+      {"without SRN2", &experiment::AblationSpec::frodo_srn2},
+      {"without PR1", &experiment::AblationSpec::frodo_pr1},
+      {"without PR3", &experiment::AblationSpec::frodo_pr3},
+      {"without PR4", &experiment::AblationSpec::frodo_pr4},
+      {"without PR5", &experiment::AblationSpec::frodo_pr5},
   };
 
   std::printf("%-20s %-12s %-12s %-12s %-12s\n", "variant", "F(3-party)",
               "F(2-party)", "R(3-party)", "R(2-party)");
   double base_f3 = 0, base_f2 = 0;
   for (const auto& variant : variants) {
-    const auto points = bench::paper_sweep(variant.customize, frodo_models);
+    experiment::AblationSpec spec;
+    if (variant.toggle != nullptr) spec.*variant.toggle = false;
+    const auto points = bench::paper_sweep(spec, frodo_models);
     const double f3 = bench::average(points, SystemModel::kFrodoThreeParty,
                                      Metric::kEffectiveness);
     const double f2 = bench::average(points, SystemModel::kFrodoTwoParty,

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "sdcm/experiment/env.hpp"
 #include "sdcm/experiment/report.hpp"
 #include "sdcm/experiment/sweep.hpp"
 
@@ -39,21 +41,33 @@ inline void check(bool ok, std::string_view claim) {
 }
 
 /// Runs the paper's full sweep (5 systems x 19 lambdas x SDCM_RUNS runs)
-/// with an optional per-run customization.
-inline std::vector<experiment::SweepPoint> paper_sweep(
+/// with a typed ablation spec and an optional escape-hatch customization
+/// for knobs outside the spec (lease periods, poll modes, ...).
+inline experiment::SweepResult paper_sweep(
     std::function<void(experiment::ExperimentConfig&)> customize = {},
     std::vector<experiment::SystemModel> models = {
-        experiment::kAllModels, experiment::kAllModels + 5}) {
+        experiment::kAllModels, experiment::kAllModels + 5},
+    const experiment::AblationSpec& ablation = {}) {
   experiment::SweepConfig config;
   config.models = std::move(models);
-  config.runs = experiment::runs_from_env(30);
+  config.runs = experiment::env::runs(30);
+  config.threads = experiment::env::threads();
+  config.ablation = ablation;
   config.customize = std::move(customize);
   std::printf("runs per point: %d (override with SDCM_RUNS)\n", config.runs);
   return experiment::run_sweep(config);
 }
 
+/// Ablation-study shorthand: the spec is the whole variation.
+inline experiment::SweepResult paper_sweep(
+    const experiment::AblationSpec& ablation,
+    std::vector<experiment::SystemModel> models = {
+        experiment::kAllModels, experiment::kAllModels + 5}) {
+  return paper_sweep({}, std::move(models), ablation);
+}
+
 /// Mean of a metric over every lambda for one model (Table 5 style).
-inline double average(const std::vector<experiment::SweepPoint>& points,
+inline double average(std::span<const experiment::SweepPoint> points,
                       experiment::SystemModel model,
                       experiment::Metric metric) {
   double sum = 0.0;
@@ -67,7 +81,7 @@ inline double average(const std::vector<experiment::SweepPoint>& points,
 }
 
 /// Metric value at one (model, lambda) point.
-inline double at(const std::vector<experiment::SweepPoint>& points,
+inline double at(std::span<const experiment::SweepPoint> points,
                  experiment::SystemModel model, double lambda,
                  experiment::Metric metric) {
   for (const auto& p : points) {

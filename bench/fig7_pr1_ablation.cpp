@@ -21,14 +21,15 @@ int main() {
       SystemModel::kFrodoThreeParty, SystemModel::kFrodoTwoParty};
 
   bench::note("--- with PR1 (the paper's default model) ---");
-  const auto with_pr1 = bench::paper_sweep({}, frodo_models);
+  const auto with_pr1 =
+      bench::paper_sweep(experiment::AblationSpec{}, frodo_models);
   experiment::write_series_table(std::cout, with_pr1,
                                  Metric::kEffectiveness);
 
   bench::note("\n--- without PR1 (control) ---");
-  const auto without_pr1 = bench::paper_sweep(
-      [](experiment::ExperimentConfig& run) { run.frodo.enable_pr1 = false; },
-      frodo_models);
+  experiment::AblationSpec no_pr1;
+  no_pr1.frodo_pr1 = false;
+  const auto without_pr1 = bench::paper_sweep(no_pr1, frodo_models);
   experiment::write_series_table(std::cout, without_pr1,
                                  Metric::kEffectiveness);
 

@@ -30,25 +30,23 @@ int main() {
 
   const auto sweep_with_loss =
       [&](std::function<void(experiment::ExperimentConfig&)> extra) {
-        std::vector<std::vector<experiment::SweepPoint>> per_rate;
+        std::vector<experiment::SweepResult> per_rate;
         for (const double loss : loss_rates) {
           experiment::SweepConfig config;
           config.models = {SystemModel::kUpnp, SystemModel::kJiniOneRegistry,
                            SystemModel::kFrodoThreeParty,
                            SystemModel::kFrodoTwoParty};
           config.lambdas = {0.0};  // no interface failures
-          config.runs = experiment::runs_from_env(30);
-          config.customize = [&extra, loss](experiment::ExperimentConfig& c) {
-            c.message_loss_rate = loss;
-            if (extra) extra(c);
-          };
+          config.runs = experiment::env::runs(30);
+          config.ablation.message_loss_rate = loss;
+          config.customize = extra;  // copied: reused across loss rates
           per_rate.push_back(experiment::run_sweep(config));
         }
         return per_rate;
       };
 
   std::printf("runs per point: %d (override with SDCM_RUNS)\n\n",
-              experiment::runs_from_env(30));
+              experiment::env::runs(30));
   const auto baseline = sweep_with_loss({});
 
   std::printf("%-10s %-36s %-36s\n", "", "Update Effectiveness F",

@@ -220,12 +220,6 @@ ChurnResult run_lease_churn(const ChurnShape& shape, Setup setup) {
   return result;
 }
 
-int env_int(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return std::atoi(value);
-}
-
 void emit_queue(bench::JsonWriter& json, const char* key,
                 const ChurnResult& r) {
   const double ns_per_op =
@@ -250,7 +244,7 @@ int run_lease_churn_comparison(bool smoke) {
     shape.rounds = 50;
     shape.reps = 2;
   }
-  shape.rounds = env_int("SDCM_BENCH_ITERS", shape.rounds);
+  shape.rounds = sdcm::experiment::env::bench_iters(shape.rounds);
 
   bench::banner("sim_kernel", "event-queue lease-churn head-to-head");
   std::printf("leases=%d rounds=%d reps=%d (SDCM_BENCH_ITERS overrides "
@@ -317,9 +311,7 @@ int run_lease_churn_comparison(bool smoke) {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  const char* smoke_env = std::getenv("SDCM_BENCH_SMOKE");
-  const bool smoke =
-      smoke_env != nullptr && *smoke_env != '\0' && *smoke_env != '0';
+  const bool smoke = sdcm::experiment::env::bench_smoke();
   if (!smoke) benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return run_lease_churn_comparison(smoke);

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sdcm/experiment/env.hpp"
 #include "sdcm/experiment/report.hpp"
 #include "sdcm/experiment/sweep.hpp"
 
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
 
   experiment::SweepConfig config;
   config.lambdas = {lambda};
-  config.runs = experiment::runs_from_env(30);
+  config.runs = experiment::env::runs(30);
+  config.keep_records = true;  // the never-consistent census reads raw runs
   std::printf("failure storm at lambda = %.0f%%, %d runs per system\n",
               lambda * 100.0, config.runs);
   std::printf("(each run: 5400 s, 5 Users, one change at U(100 s, 2700 s),\n"

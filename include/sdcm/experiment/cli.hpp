@@ -8,21 +8,22 @@
 
 namespace sdcm::experiment::cli {
 
-/// Parsed command line of the `sdcm_sweep` tool.
+/// Parsed command line of the `sdcm_sweep` tool. The ablation toggles
+/// live in `sweep.ablation` (the typed AblationSpec the engine applies);
+/// there is no untyped hook on this path anymore.
 struct Options {
   SweepConfig sweep;
   /// Where to write the CSV ("-" = stdout only).
   std::string output = "-";
-  /// Ablation toggles applied to every run.
-  bool frodo_pr1 = true;
-  bool frodo_srn2 = true;
-  bool frodo_pr3 = true;
-  bool frodo_pr4 = true;
-  bool frodo_pr5 = true;
-  bool upnp_pr4 = true;
-  bool upnp_pr5 = true;
-  net::FailurePlacement placement = net::FailurePlacement::kFitInside;
-  int episodes = 1;
+  /// Machine-readable campaign log, one JSON object per run (JsonlSink);
+  /// empty = off, "-" = stdout.
+  std::string jsonl;
+  /// Where to write the campaign summary JSON; empty = stderr only.
+  std::string summary;
+  /// Shard logs to merge instead of running a sweep (--merge=a,b,...).
+  std::vector<std::string> merge_inputs;
+  /// Live progress on stderr (--no-progress disables).
+  bool progress = true;
   bool help = false;
 };
 
@@ -31,10 +32,13 @@ struct Options {
 ///   --models=UPnP,Jini-1R,Jini-2R,FRODO-3party,FRODO-2party
 ///   --lambdas=0.0:0.9:0.05  (min:max:step)  or  --lambdas=0.1,0.5
 ///   --runs=N  --users=N  --threads=N  --seed=N
-///   --output=FILE
+///   --output=FILE  --jsonl=FILE  --summary=FILE
+///   --shard=i/N    deterministic 1-of-N campaign slice
+///   --merge=A,B    merge shard JSONL logs instead of sweeping
 ///   --no-frodo-pr1 --no-frodo-srn2 --no-frodo-pr3 --no-frodo-pr4
 ///   --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5
-///   --placement=fit|truncated  --episodes=N
+///   --placement=fit|truncated  --episodes=N  --loss=P
+///   --no-progress
 ///   --help
 std::optional<Options> parse(int argc, const char* const* argv,
                              std::string& error);
@@ -45,7 +49,7 @@ std::string usage();
 /// Resolves a model name ("UPnP", "Jini-1R", ...) case-sensitively.
 std::optional<SystemModel> model_from_name(std::string_view name);
 
-/// Builds the customize hook encoding the ablation toggles.
-std::function<void(ExperimentConfig&)> make_customize(const Options& options);
+/// Parses "i/N" into a ShardSpec (i in [0, N), N >= 1).
+std::optional<ShardSpec> parse_shard(std::string_view text);
 
 }  // namespace sdcm::experiment::cli

@@ -35,8 +35,10 @@ void write_csv(std::ostream& os, std::span<const SweepPoint> points);
 void write_averages_table(std::ostream& os,
                           std::span<const SweepPoint> points);
 
-/// Parses the SDCM_RUNS environment variable (bench runtime knob);
-/// returns `fallback` when unset or invalid.
-int runs_from_env(int fallback);
+/// The campaign telemetry as one JSON object: run/point counts, wall
+/// and simulated time, kernel counter totals, and derived throughput
+/// (runs/s, events fired/s, simulated seconds per wall second).
+void write_campaign_summary_json(std::ostream& os,
+                                 const CampaignSummary& summary);
 
 }  // namespace sdcm::experiment

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sdcm/experiment/sweep.hpp"
+
+namespace sdcm::experiment {
+
+/// One completed run, as delivered to RunSink::on_run. The record
+/// pointer is valid only for the duration of the callback; sinks that
+/// need it later must copy.
+struct RunEvent {
+  SystemModel model{};
+  double lambda = 0.0;
+  /// Index of the (model, lambda) point in the campaign's canonical
+  /// order (model-major, lambda-minor) - identical across shards.
+  std::size_t point_index = 0;
+  std::size_t lambda_index = 0;
+  /// Run index within the point.
+  int run = 0;
+  std::uint64_t seed = 0;
+  /// Wall clock of this single run.
+  std::uint64_t wall_ns = 0;
+  const metrics::RunRecord* record = nullptr;
+};
+
+/// Observer of a streaming sweep. The engine serializes every callback
+/// under one lock (calls arrive on worker threads, but never two at
+/// once), so implementations need no locking of their own; they must
+/// only avoid blocking for long, since they stall the pool's result
+/// path.
+class RunSink {
+ public:
+  virtual ~RunSink() = default;
+
+  /// Once, before the first run. `total_runs` is the number of runs
+  /// this process will execute (after shard selection).
+  virtual void on_campaign_begin(const SweepConfig& config,
+                                 std::uint64_t total_runs);
+  /// Once per completed run.
+  virtual void on_run(const RunEvent& event) = 0;
+  /// Once, after the last run.
+  virtual void on_campaign_end(const CampaignSummary& summary);
+};
+
+/// Live progress on a stream (stderr in sdcm_sweep): done/total,
+/// runs/sec and ETA, redrawn in place at most every `min_interval`.
+class ProgressSink final : public RunSink {
+ public:
+  explicit ProgressSink(
+      std::ostream& out,
+      std::chrono::milliseconds min_interval = std::chrono::milliseconds(200));
+
+  void on_campaign_begin(const SweepConfig& config,
+                         std::uint64_t total_runs) override;
+  void on_run(const RunEvent& event) override;
+  void on_campaign_end(const CampaignSummary& summary) override;
+
+ private:
+  void draw(bool final_line);
+
+  std::ostream& out_;
+  std::chrono::milliseconds min_interval_;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_draw_{};
+  std::uint64_t done_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// The machine-readable campaign log: one JSON object per line. The
+/// first line is a campaign header (models, lambdas, runs, users, seed,
+/// shard); every following line is one run with its full RunRecord.
+/// Numbers round-trip exactly (%.17g doubles, decimal uint64s), which
+/// is what lets shard logs merge into the bit-identical unsharded
+/// result.
+class JsonlSink final : public RunSink {
+ public:
+  explicit JsonlSink(std::ostream& out);
+
+  void on_campaign_begin(const SweepConfig& config,
+                         std::uint64_t total_runs) override;
+  void on_run(const RunEvent& event) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Fans every callback out to a list of child sinks, in order.
+class MultiSink final : public RunSink {
+ public:
+  MultiSink() = default;
+
+  /// Registers a child (non-owning; ignored when null).
+  void add(RunSink* sink);
+
+  void on_campaign_begin(const SweepConfig& config,
+                         std::uint64_t total_runs) override;
+  void on_run(const RunEvent& event) override;
+  void on_campaign_end(const CampaignSummary& summary) override;
+
+ private:
+  std::vector<RunSink*> sinks_;
+};
+
+/// The campaign header line of a JSONL log.
+struct CampaignHeader {
+  std::vector<SystemModel> models;
+  std::vector<double> lambdas;
+  int runs = 0;
+  int users = 0;
+  std::uint64_t seed = 0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+};
+
+/// One parsed run line of a JSONL log (owning copy of the record).
+struct CampaignRun {
+  std::size_t point_index = 0;
+  SystemModel model{};
+  double lambda = 0.0;
+  std::size_t lambda_index = 0;
+  int run = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t wall_ns = 0;
+  metrics::RunRecord record;
+};
+
+/// Parses the first line of a JSONL log. Returns std::nullopt with a
+/// message on `error` when the line is not a campaign header.
+std::optional<CampaignHeader> parse_jsonl_header(std::string_view line,
+                                                 std::string& error);
+
+/// Parses one run line of a JSONL log.
+std::optional<CampaignRun> parse_jsonl_run(std::string_view line,
+                                           std::string& error);
+
+/// Merges shard logs (each produced by JsonlSink over the same campaign
+/// config) back into the full sweep: headers must agree on (models,
+/// lambdas, runs, users, seed), every (point, run) must appear exactly
+/// once across the inputs, and the rebuilt summaries are bit-identical
+/// to the unsharded run_sweep result. On failure returns std::nullopt
+/// with a message on `error`.
+std::optional<SweepResult> merge_jsonl(std::span<std::istream* const> shards,
+                                       std::string& error);
+
+/// Convenience overload reading each path (use "-" for stdin).
+std::optional<SweepResult> merge_jsonl_files(
+    std::span<const std::string> paths, std::string& error);
+
+}  // namespace sdcm::experiment

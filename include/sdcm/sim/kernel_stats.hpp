@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 namespace sdcm::sim {
@@ -44,5 +45,21 @@ struct KernelStats {
 
   void reset() noexcept { *this = KernelStats{}; }
 };
+
+/// Folds one run's counters into a campaign-level total: every counter
+/// adds, except the heap high-water mark, which only makes sense as a
+/// max across runs.
+inline void accumulate(KernelStats& total, const KernelStats& run) noexcept {
+  total.events_scheduled += run.events_scheduled;
+  total.events_cancelled += run.events_cancelled;
+  total.events_fired += run.events_fired;
+  total.peak_heap_size = std::max(total.peak_heap_size, run.peak_heap_size);
+  total.callback_heap_allocs += run.callback_heap_allocs;
+  total.udp_sent += run.udp_sent;
+  total.udp_dropped += run.udp_dropped;
+  total.tcp_sent += run.tcp_sent;
+  total.tcp_dropped += run.tcp_dropped;
+  total.trace_records += run.trace_records;
+}
 
 }  // namespace sdcm::sim

@@ -62,12 +62,36 @@ std::string usage() {
          "  --threads=N        worker threads (default: hardware)\n"
          "  --seed=N           master seed (default 20060425)\n"
          "  --output=FILE      also write the CSV to FILE ('-' = stdout)\n"
+         "  --jsonl=FILE       per-run campaign log, one JSON object per\n"
+         "                     run ('-' = stdout); the shardable artifact\n"
+         "  --shard=i/N        run only shard i of an N-way campaign\n"
+         "  --merge=A,B,...    merge shard JSONL logs (no simulation);\n"
+         "                     reports exactly the unsharded result\n"
+         "  --summary=FILE     write the campaign summary JSON to FILE\n"
          "  --placement=fit|truncated   failure episode placement\n"
          "  --episodes=N       outage episodes per node (default 1)\n"
+         "  --loss=P           per-message loss probability (default 0)\n"
          "  --no-frodo-pr1 --no-frodo-srn2 --no-frodo-pr3 --no-frodo-pr4\n"
          "  --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5   ablations\n"
+         "  --no-progress      disable the live stderr progress line\n"
          "  --help\n";
   return oss.str();
+}
+
+std::optional<ShardSpec> parse_shard(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  long index = 0;
+  long count = 0;
+  if (!parse_int(text.substr(0, slash), index) ||
+      !parse_int(text.substr(slash + 1), count)) {
+    return std::nullopt;
+  }
+  if (count < 1 || index < 0 || index >= count) return std::nullopt;
+  ShardSpec shard;
+  shard.index = static_cast<std::size_t>(index);
+  shard.count = static_cast<std::size_t>(count);
+  return shard;
 }
 
 std::optional<Options> parse(int argc, const char* const* argv,
@@ -149,54 +173,75 @@ std::optional<Options> parse(int argc, const char* const* argv,
           error = "--episodes must be positive";
           return std::nullopt;
         }
-        options.episodes = static_cast<int>(parsed);
+        options.sweep.ablation.episodes = static_cast<int>(parsed);
       }
     } else if (key == "--output") {
       options.output = std::string(value);
+    } else if (key == "--jsonl") {
+      if (value.empty()) {
+        error = "--jsonl needs a file path ('-' = stdout)";
+        return std::nullopt;
+      }
+      options.jsonl = std::string(value);
+    } else if (key == "--summary") {
+      if (value.empty()) {
+        error = "--summary needs a file path";
+        return std::nullopt;
+      }
+      options.summary = std::string(value);
+    } else if (key == "--shard") {
+      const auto shard = parse_shard(value);
+      if (!shard) {
+        error = "--shard must be i/N with 0 <= i < N";
+        return std::nullopt;
+      }
+      options.sweep.shard = *shard;
+    } else if (key == "--merge") {
+      for (const auto& path : split(value, ',')) {
+        if (!path.empty()) options.merge_inputs.push_back(path);
+      }
+      if (options.merge_inputs.empty()) {
+        error = "--merge needs at least one JSONL path";
+        return std::nullopt;
+      }
+    } else if (key == "--loss") {
+      double loss = 0.0;
+      if (!parse_double(value, loss) || loss < 0.0 || loss > 1.0) {
+        error = "--loss must lie in [0, 1]";
+        return std::nullopt;
+      }
+      options.sweep.ablation.message_loss_rate = loss;
     } else if (key == "--placement") {
       if (value == "fit") {
-        options.placement = net::FailurePlacement::kFitInside;
+        options.sweep.ablation.placement = net::FailurePlacement::kFitInside;
       } else if (value == "truncated") {
-        options.placement = net::FailurePlacement::kTruncated;
+        options.sweep.ablation.placement = net::FailurePlacement::kTruncated;
       } else {
         error = "--placement must be 'fit' or 'truncated'";
         return std::nullopt;
       }
     } else if (key == "--no-frodo-pr1") {
-      options.frodo_pr1 = false;
+      options.sweep.ablation.frodo_pr1 = false;
     } else if (key == "--no-frodo-srn2") {
-      options.frodo_srn2 = false;
+      options.sweep.ablation.frodo_srn2 = false;
     } else if (key == "--no-frodo-pr3") {
-      options.frodo_pr3 = false;
+      options.sweep.ablation.frodo_pr3 = false;
     } else if (key == "--no-frodo-pr4") {
-      options.frodo_pr4 = false;
+      options.sweep.ablation.frodo_pr4 = false;
     } else if (key == "--no-frodo-pr5") {
-      options.frodo_pr5 = false;
+      options.sweep.ablation.frodo_pr5 = false;
     } else if (key == "--no-upnp-pr4") {
-      options.upnp_pr4 = false;
+      options.sweep.ablation.upnp_pr4 = false;
     } else if (key == "--no-upnp-pr5") {
-      options.upnp_pr5 = false;
+      options.sweep.ablation.upnp_pr5 = false;
+    } else if (key == "--no-progress") {
+      options.progress = false;
     } else {
       error = "unknown flag '" + std::string(key) + "'";
       return std::nullopt;
     }
   }
   return options;
-}
-
-std::function<void(ExperimentConfig&)> make_customize(
-    const Options& options) {
-  return [options](ExperimentConfig& run) {
-    run.frodo.enable_pr1 = options.frodo_pr1;
-    run.frodo.enable_srn2 = options.frodo_srn2;
-    run.frodo.enable_pr3 = options.frodo_pr3;
-    run.frodo.enable_pr4 = options.frodo_pr4;
-    run.frodo.enable_pr5 = options.frodo_pr5;
-    run.upnp.enable_pr4 = options.upnp_pr4;
-    run.upnp.enable_pr5 = options.upnp_pr5;
-    run.failure_placement = options.placement;
-    run.failure_episodes = options.episodes;
-  };
 }
 
 }  // namespace sdcm::experiment::cli

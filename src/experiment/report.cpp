@@ -1,6 +1,6 @@
 #include "sdcm/experiment/report.hpp"
 
-#include <cstdlib>
+#include <cstdio>
 #include <iomanip>
 #include <map>
 #include <ostream>
@@ -133,11 +133,41 @@ void write_averages_table(std::ostream& os,
   }
 }
 
-int runs_from_env(int fallback) {
-  const char* env = std::getenv("SDCM_RUNS");
-  if (env == nullptr) return fallback;
-  const int parsed = std::atoi(env);
-  return parsed > 0 ? parsed : fallback;
+void write_campaign_summary_json(std::ostream& os,
+                                 const CampaignSummary& summary) {
+  const auto u64 = [&os](const char* key, std::uint64_t value,
+                         bool comma = true) {
+    os << '"' << key << "\":" << value;
+    if (comma) os << ',';
+  };
+  const auto dbl = [&os](const char* key, double value, bool comma = true) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    os << '"' << key << "\":" << buf;
+    if (comma) os << ',';
+  };
+  os << '{';
+  u64("runs_completed", summary.runs_completed);
+  u64("points", summary.points);
+  u64("wall_ns", summary.wall_ns);
+  u64("run_wall_ns_total", summary.run_wall_ns_total);
+  dbl("sim_seconds_total", summary.sim_seconds_total);
+  os << "\"kernel\":{";
+  u64("events_scheduled", summary.kernel.events_scheduled);
+  u64("events_cancelled", summary.kernel.events_cancelled);
+  u64("events_fired", summary.kernel.events_fired);
+  u64("peak_heap_size", summary.kernel.peak_heap_size);
+  u64("callback_heap_allocs", summary.kernel.callback_heap_allocs);
+  u64("udp_sent", summary.kernel.udp_sent);
+  u64("udp_dropped", summary.kernel.udp_dropped);
+  u64("tcp_sent", summary.kernel.tcp_sent);
+  u64("tcp_dropped", summary.kernel.tcp_dropped);
+  u64("trace_records", summary.kernel.trace_records, false);
+  os << "},";
+  dbl("runs_per_second", summary.runs_per_second());
+  dbl("events_per_second", summary.events_per_second());
+  dbl("sim_speedup", summary.sim_speedup(), false);
+  os << "}\n";
 }
 
 }  // namespace sdcm::experiment

@@ -1,21 +1,77 @@
 // sdcm_sweep: command-line driver for the paper's experiment. Runs any
 // subset of the five systems over any failure-rate grid, with the
-// ablation toggles exposed, and emits the metric table plus a CSV.
+// ablation toggles exposed, and emits the metric tables, a CSV, an
+// optional per-run JSONL campaign log, and the campaign summary JSON.
 //
 //   $ sdcm_sweep --models=FRODO-2party,UPnP --lambdas=0.0:0.9:0.1
 //                --runs=50 --output=results.csv
 //   $ sdcm_sweep --no-frodo-pr1     # Figure 7's control, full grid
+//
+// A campaign can split across machines and recombine exactly:
+//
+//   $ sdcm_sweep --shard=0/2 --jsonl=s0.jsonl --no-progress
+//   $ sdcm_sweep --shard=1/2 --jsonl=s1.jsonl --no-progress
+//   $ sdcm_sweep --merge=s0.jsonl,s1.jsonl --output=merged.csv
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 
 #include "sdcm/experiment/cli.hpp"
 #include "sdcm/experiment/report.hpp"
+#include "sdcm/experiment/sink.hpp"
+
+namespace {
+
+using namespace sdcm::experiment;
+
+void report(const SweepResult& result, const cli::Options& options) {
+  for (const Metric metric :
+       {Metric::kResponsiveness, Metric::kEffectiveness,
+        Metric::kDegradation}) {
+    std::cout << "\n" << to_string(metric) << ":\n";
+    write_series_table(std::cout, result, metric);
+  }
+  std::cout << "\nAverages across the grid (Table 5 form):\n";
+  write_averages_table(std::cout, result);
+
+  if (options.output == "-") {
+    std::cout << "\nCSV:\n";
+    write_csv(std::cout, result);
+  } else {
+    std::ofstream file(options.output);
+    if (!file) {
+      std::cerr << "error: cannot write " << options.output << '\n';
+      std::exit(1);
+    }
+    write_csv(file, result);
+    std::cerr << "wrote " << options.output << '\n';
+  }
+
+  const CampaignSummary& s = result.summary;
+  std::fprintf(stderr,
+               "campaign: %llu runs, %.2f s wall, %.1f runs/s, "
+               "%.3g events/s, %.0fx real time\n",
+               static_cast<unsigned long long>(s.runs_completed),
+               s.wall_seconds(), s.runs_per_second(), s.events_per_second(),
+               s.sim_speedup());
+  if (!options.summary.empty()) {
+    std::ofstream file(options.summary);
+    if (!file) {
+      std::cerr << "error: cannot write " << options.summary << '\n';
+      std::exit(1);
+    }
+    write_campaign_summary_json(file, s);
+    std::cerr << "wrote " << options.summary << '\n';
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace sdcm::experiment;
-
   std::string error;
   const auto options = cli::parse(argc, argv, error);
   if (!options) {
@@ -27,32 +83,65 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  SweepConfig config = options->sweep;
-  config.customize = cli::make_customize(*options);
-  std::fprintf(stderr, "sweep: %zu systems x %zu rates x %d runs...\n",
-               config.models.size(), config.lambdas.size(), config.runs);
-  const auto points = run_sweep(config);
-
-  for (const Metric metric :
-       {Metric::kResponsiveness, Metric::kEffectiveness,
-        Metric::kDegradation}) {
-    std::cout << "\n" << to_string(metric) << ":\n";
-    write_series_table(std::cout, points, metric);
-  }
-  std::cout << "\nAverages across the grid (Table 5 form):\n";
-  write_averages_table(std::cout, points);
-
-  if (options->output == "-") {
-    std::cout << "\nCSV:\n";
-    write_csv(std::cout, points);
-  } else {
-    std::ofstream file(options->output);
-    if (!file) {
-      std::cerr << "error: cannot write " << options->output << '\n';
+  if (!options->merge_inputs.empty()) {
+    const auto merged = merge_jsonl_files(options->merge_inputs, error);
+    if (!merged) {
+      std::cerr << "error: " << error << '\n';
       return 1;
     }
-    write_csv(file, points);
-    std::cerr << "wrote " << options->output << '\n';
+    std::fprintf(stderr, "merged %zu shard logs: %llu runs\n",
+                 options->merge_inputs.size(),
+                 static_cast<unsigned long long>(
+                     merged->summary.runs_completed));
+    report(*merged, *options);
+    return 0;
   }
+
+  SweepConfig config = options->sweep;
+
+  MultiSink sinks;
+  std::optional<ProgressSink> progress;
+  if (options->progress) {
+    progress.emplace(std::cerr);
+    sinks.add(&*progress);
+  }
+  std::ofstream jsonl_file;
+  std::optional<JsonlSink> jsonl;
+  if (!options->jsonl.empty()) {
+    if (options->jsonl == "-") {
+      jsonl.emplace(std::cout);
+    } else {
+      jsonl_file.open(options->jsonl);
+      if (!jsonl_file) {
+        std::cerr << "error: cannot write " << options->jsonl << '\n';
+        return 1;
+      }
+      jsonl.emplace(jsonl_file);
+    }
+    sinks.add(&*jsonl);
+  }
+  config.sink = &sinks;
+
+  if (config.shard.is_sharded()) {
+    std::fprintf(stderr,
+                 "sweep: %zu systems x %zu rates x %d runs (shard %zu/%zu)\n",
+                 config.models.size(), config.lambdas.size(), config.runs,
+                 config.shard.index, config.shard.count);
+  } else {
+    std::fprintf(stderr, "sweep: %zu systems x %zu rates x %d runs...\n",
+                 config.models.size(), config.lambdas.size(), config.runs);
+  }
+
+  SweepResult result;
+  try {
+    result = run_sweep(config);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << cli::usage();
+    return 2;
+  }
+  if (!options->jsonl.empty() && options->jsonl != "-") {
+    std::cerr << "wrote " << options->jsonl << '\n';
+  }
+  report(result, *options);
   return 0;
 }

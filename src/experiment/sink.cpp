@@ -1,0 +1,798 @@
+#include "sdcm/experiment/sink.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+namespace sdcm::experiment {
+
+void RunSink::on_campaign_begin(const SweepConfig&, std::uint64_t) {}
+void RunSink::on_campaign_end(const CampaignSummary&) {}
+
+// ---------------------------------------------------------------------
+// ProgressSink
+// ---------------------------------------------------------------------
+
+ProgressSink::ProgressSink(std::ostream& out,
+                           std::chrono::milliseconds min_interval)
+    : out_(out), min_interval_(min_interval) {}
+
+void ProgressSink::on_campaign_begin(const SweepConfig&,
+                                     std::uint64_t total_runs) {
+  total_ = total_runs;
+  done_ = 0;
+  start_ = std::chrono::steady_clock::now();
+  last_draw_ = start_ - min_interval_;
+}
+
+void ProgressSink::on_run(const RunEvent&) {
+  ++done_;
+  const auto now = std::chrono::steady_clock::now();
+  if (done_ == total_ || now - last_draw_ >= min_interval_) {
+    last_draw_ = now;
+    draw(false);
+  }
+}
+
+void ProgressSink::on_campaign_end(const CampaignSummary&) { draw(true); }
+
+void ProgressSink::draw(bool final_line) {
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(done_) / elapsed : 0.0;
+  char buf[128];
+  if (rate > 0.0 && done_ < total_) {
+    const double eta = static_cast<double>(total_ - done_) / rate;
+    std::snprintf(buf, sizeof(buf),
+                  "\rsweep: %" PRIu64 "/%" PRIu64 " runs  %.1f runs/s  "
+                  "ETA %.0f s   ",
+                  done_, total_, rate, eta);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "\rsweep: %" PRIu64 "/%" PRIu64 " runs  %.1f runs/s       ",
+                  done_, total_, rate);
+  }
+  out_ << buf;
+  if (final_line) out_ << '\n';
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------
+// JSON emission. Hand-rolled so the number formats are exact: doubles
+// as %.17g (shortest lossless round-trip is not needed, 17 significant
+// digits always reparse to the same bits) and 64-bit integers in full.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_kernel(std::string& out, const sim::KernelStats& k) {
+  out += "{\"events_scheduled\":";
+  append_u64(out, k.events_scheduled);
+  out += ",\"events_cancelled\":";
+  append_u64(out, k.events_cancelled);
+  out += ",\"events_fired\":";
+  append_u64(out, k.events_fired);
+  out += ",\"peak_heap_size\":";
+  append_u64(out, k.peak_heap_size);
+  out += ",\"callback_heap_allocs\":";
+  append_u64(out, k.callback_heap_allocs);
+  out += ",\"udp_sent\":";
+  append_u64(out, k.udp_sent);
+  out += ",\"udp_dropped\":";
+  append_u64(out, k.udp_dropped);
+  out += ",\"tcp_sent\":";
+  append_u64(out, k.tcp_sent);
+  out += ",\"tcp_dropped\":";
+  append_u64(out, k.tcp_dropped);
+  out += ",\"trace_records\":";
+  append_u64(out, k.trace_records);
+  out += '}';
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(out) {}
+
+void JsonlSink::on_campaign_begin(const SweepConfig& config, std::uint64_t) {
+  std::string line = "{\"sdcm_campaign\":1,\"models\":[";
+  for (std::size_t i = 0; i < config.models.size(); ++i) {
+    if (i > 0) line += ',';
+    append_quoted(line, to_string(config.models[i]));
+  }
+  line += "],\"lambdas\":[";
+  for (std::size_t i = 0; i < config.lambdas.size(); ++i) {
+    if (i > 0) line += ',';
+    append_double(line, config.lambdas[i]);
+  }
+  line += "],\"runs\":";
+  append_i64(line, config.runs);
+  line += ",\"users\":";
+  append_i64(line, config.users);
+  line += ",\"seed\":";
+  append_u64(line, config.master_seed);
+  line += ",\"shard_index\":";
+  append_u64(line, config.shard.index);
+  line += ",\"shard_count\":";
+  append_u64(line, config.shard.count);
+  line += "}\n";
+  out_ << line;
+}
+
+void JsonlSink::on_run(const RunEvent& event) {
+  const metrics::RunRecord& r = *event.record;
+  std::string line = "{\"point\":";
+  append_u64(line, event.point_index);
+  line += ",\"model\":";
+  append_quoted(line, to_string(event.model));
+  line += ",\"lambda\":";
+  append_double(line, event.lambda);
+  line += ",\"lambda_index\":";
+  append_u64(line, event.lambda_index);
+  line += ",\"run\":";
+  append_i64(line, event.run);
+  line += ",\"seed\":";
+  append_u64(line, event.seed);
+  line += ",\"wall_ns\":";
+  append_u64(line, event.wall_ns);
+  line += ",\"record\":{\"change_time\":";
+  append_i64(line, r.change_time);
+  line += ",\"deadline\":";
+  append_i64(line, r.deadline);
+  line += ",\"user_reach_times\":[";
+  for (std::size_t j = 0; j < r.user_reach_times.size(); ++j) {
+    if (j > 0) line += ',';
+    if (r.user_reach_times[j].has_value()) {
+      append_i64(line, *r.user_reach_times[j]);
+    } else {
+      line += "null";
+    }
+  }
+  line += "],\"update_messages\":";
+  append_u64(line, r.update_messages);
+  line += ",\"window_messages\":";
+  append_u64(line, r.window_messages);
+  line += ",\"trace_fingerprint\":";
+  append_u64(line, r.trace_fingerprint);
+  line += ",\"kernel\":";
+  append_kernel(line, r.kernel);
+  line += "}}\n";
+  out_ << line;
+}
+
+// ---------------------------------------------------------------------
+// MultiSink
+// ---------------------------------------------------------------------
+
+void MultiSink::add(RunSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void MultiSink::on_campaign_begin(const SweepConfig& config,
+                                  std::uint64_t total_runs) {
+  for (RunSink* sink : sinks_) sink->on_campaign_begin(config, total_runs);
+}
+
+void MultiSink::on_run(const RunEvent& event) {
+  for (RunSink* sink : sinks_) sink->on_run(event);
+}
+
+void MultiSink::on_campaign_end(const CampaignSummary& summary) {
+  for (RunSink* sink : sinks_) sink->on_campaign_end(summary);
+}
+
+// ---------------------------------------------------------------------
+// JSONL parsing. A minimal strict JSON reader for the logs JsonlSink
+// writes: no dependency, numbers kept as raw tokens so 64-bit integers
+// and doubles reparse without precision loss.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string number;  // raw token
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(std::string_view key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool as_u64(std::uint64_t& out) const {
+    if (type != Type::kNumber || number.empty() ||
+        number.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    out = std::strtoull(number.c_str(), &end, 10);
+    return errno == 0 && end == number.c_str() + number.size();
+  }
+
+  [[nodiscard]] bool as_i64(std::int64_t& out) const {
+    if (type != Type::kNumber || number.empty()) return false;
+    errno = 0;
+    char* end = nullptr;
+    out = std::strtoll(number.c_str(), &end, 10);
+    return errno == 0 && end == number.c_str() + number.size();
+  }
+
+  [[nodiscard]] bool as_double(double& out) const {
+    if (type != Type::kNumber || number.empty()) return false;
+    char* end = nullptr;
+    out = std::strtod(number.c_str(), &end);
+    return end == number.c_str() + number.size();
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue& out, std::string& error) {
+    if (pos_ >= text_.size()) {
+      error = "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, error);
+    if (c == '[') return parse_array(out, error);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.text, error);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return parse_number(out, error);
+  }
+
+  bool parse_object(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        error = "expected ':' in object";
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        error = "unterminated object";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      error = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, error)) return false;
+      out.items.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        error = "unterminated array";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      error = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out, std::string& error) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      error = "expected string";
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        c = text_[pos_];
+        // Only the escapes JsonlSink emits.
+        if (c != '"' && c != '\\') {
+          error = "unsupported string escape";
+          return false;
+        }
+      }
+      out += c;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      error = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_number(JsonValue& out, std::string& error) {
+    const std::size_t begin = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == begin) {
+      error = "expected a JSON value";
+      return false;
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number.assign(text_.substr(begin, pos_ - begin));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool get_u64(const JsonValue& obj, const char* key, std::uint64_t& out,
+             std::string& error) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr || !value->as_u64(out)) {
+    error = std::string("missing or invalid field '") + key + "'";
+    return false;
+  }
+  return true;
+}
+
+bool get_i64(const JsonValue& obj, const char* key, std::int64_t& out,
+             std::string& error) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr || !value->as_i64(out)) {
+    error = std::string("missing or invalid field '") + key + "'";
+    return false;
+  }
+  return true;
+}
+
+bool get_double(const JsonValue& obj, const char* key, double& out,
+                std::string& error) {
+  const JsonValue* value = obj.find(key);
+  if (value == nullptr || !value->as_double(out)) {
+    error = std::string("missing or invalid field '") + key + "'";
+    return false;
+  }
+  return true;
+}
+
+std::optional<SystemModel> model_by_name(std::string_view name) {
+  for (const SystemModel model : kAllModels) {
+    if (to_string(model) == name) return model;
+  }
+  return std::nullopt;
+}
+
+bool parse_kernel(const JsonValue& obj, sim::KernelStats& out,
+                  std::string& error) {
+  return get_u64(obj, "events_scheduled", out.events_scheduled, error) &&
+         get_u64(obj, "events_cancelled", out.events_cancelled, error) &&
+         get_u64(obj, "events_fired", out.events_fired, error) &&
+         get_u64(obj, "peak_heap_size", out.peak_heap_size, error) &&
+         get_u64(obj, "callback_heap_allocs", out.callback_heap_allocs,
+                 error) &&
+         get_u64(obj, "udp_sent", out.udp_sent, error) &&
+         get_u64(obj, "udp_dropped", out.udp_dropped, error) &&
+         get_u64(obj, "tcp_sent", out.tcp_sent, error) &&
+         get_u64(obj, "tcp_dropped", out.tcp_dropped, error) &&
+         get_u64(obj, "trace_records", out.trace_records, error);
+}
+
+}  // namespace
+
+std::optional<CampaignHeader> parse_jsonl_header(std::string_view line,
+                                                 std::string& error) {
+  JsonValue root;
+  if (!JsonParser(line).parse(root, error)) return std::nullopt;
+  if (root.type != JsonValue::Type::kObject) {
+    error = "header line is not a JSON object";
+    return std::nullopt;
+  }
+  std::uint64_t version = 0;
+  if (!get_u64(root, "sdcm_campaign", version, error)) return std::nullopt;
+  if (version != 1) {
+    error = "unsupported campaign log version";
+    return std::nullopt;
+  }
+
+  CampaignHeader header;
+  const JsonValue* models = root.find("models");
+  if (models == nullptr || models->type != JsonValue::Type::kArray ||
+      models->items.empty()) {
+    error = "missing or invalid field 'models'";
+    return std::nullopt;
+  }
+  for (const JsonValue& item : models->items) {
+    if (item.type != JsonValue::Type::kString) {
+      error = "model names must be strings";
+      return std::nullopt;
+    }
+    const auto model = model_by_name(item.text);
+    if (!model) {
+      error = "unknown model '" + item.text + "'";
+      return std::nullopt;
+    }
+    header.models.push_back(*model);
+  }
+  const JsonValue* lambdas = root.find("lambdas");
+  if (lambdas == nullptr || lambdas->type != JsonValue::Type::kArray ||
+      lambdas->items.empty()) {
+    error = "missing or invalid field 'lambdas'";
+    return std::nullopt;
+  }
+  for (const JsonValue& item : lambdas->items) {
+    double lambda = 0.0;
+    if (!item.as_double(lambda)) {
+      error = "lambdas must be numbers";
+      return std::nullopt;
+    }
+    header.lambdas.push_back(lambda);
+  }
+
+  std::int64_t runs = 0;
+  std::int64_t users = 0;
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  if (!get_i64(root, "runs", runs, error) ||
+      !get_i64(root, "users", users, error) ||
+      !get_u64(root, "seed", header.seed, error) ||
+      !get_u64(root, "shard_index", shard_index, error) ||
+      !get_u64(root, "shard_count", shard_count, error)) {
+    return std::nullopt;
+  }
+  if (runs <= 0 || users <= 0) {
+    error = "runs and users must be positive";
+    return std::nullopt;
+  }
+  header.runs = static_cast<int>(runs);
+  header.users = static_cast<int>(users);
+  header.shard_index = static_cast<std::size_t>(shard_index);
+  header.shard_count = static_cast<std::size_t>(shard_count);
+  return header;
+}
+
+std::optional<CampaignRun> parse_jsonl_run(std::string_view line,
+                                           std::string& error) {
+  JsonValue root;
+  if (!JsonParser(line).parse(root, error)) return std::nullopt;
+  if (root.type != JsonValue::Type::kObject) {
+    error = "run line is not a JSON object";
+    return std::nullopt;
+  }
+
+  CampaignRun out;
+  std::uint64_t point = 0;
+  std::uint64_t lambda_index = 0;
+  std::int64_t run = 0;
+  if (!get_u64(root, "point", point, error) ||
+      !get_double(root, "lambda", out.lambda, error) ||
+      !get_u64(root, "lambda_index", lambda_index, error) ||
+      !get_i64(root, "run", run, error) ||
+      !get_u64(root, "seed", out.seed, error) ||
+      !get_u64(root, "wall_ns", out.wall_ns, error)) {
+    return std::nullopt;
+  }
+  out.point_index = static_cast<std::size_t>(point);
+  out.lambda_index = static_cast<std::size_t>(lambda_index);
+  out.run = static_cast<int>(run);
+
+  const JsonValue* model = root.find("model");
+  if (model == nullptr || model->type != JsonValue::Type::kString) {
+    error = "missing or invalid field 'model'";
+    return std::nullopt;
+  }
+  const auto resolved = model_by_name(model->text);
+  if (!resolved) {
+    error = "unknown model '" + model->text + "'";
+    return std::nullopt;
+  }
+  out.model = *resolved;
+
+  const JsonValue* record = root.find("record");
+  if (record == nullptr || record->type != JsonValue::Type::kObject) {
+    error = "missing or invalid field 'record'";
+    return std::nullopt;
+  }
+  if (!get_i64(*record, "change_time", out.record.change_time, error) ||
+      !get_i64(*record, "deadline", out.record.deadline, error) ||
+      !get_u64(*record, "update_messages", out.record.update_messages,
+               error) ||
+      !get_u64(*record, "window_messages", out.record.window_messages,
+               error) ||
+      !get_u64(*record, "trace_fingerprint", out.record.trace_fingerprint,
+               error)) {
+    return std::nullopt;
+  }
+  const JsonValue* reach = record->find("user_reach_times");
+  if (reach == nullptr || reach->type != JsonValue::Type::kArray) {
+    error = "missing or invalid field 'user_reach_times'";
+    return std::nullopt;
+  }
+  for (const JsonValue& item : reach->items) {
+    if (item.type == JsonValue::Type::kNull) {
+      out.record.user_reach_times.push_back(std::nullopt);
+    } else {
+      std::int64_t t = 0;
+      if (!item.as_i64(t)) {
+        error = "user_reach_times entries must be integers or null";
+        return std::nullopt;
+      }
+      out.record.user_reach_times.push_back(t);
+    }
+  }
+  const JsonValue* kernel = record->find("kernel");
+  if (kernel == nullptr || kernel->type != JsonValue::Type::kObject ||
+      !parse_kernel(*kernel, out.record.kernel, error)) {
+    if (error.empty()) error = "missing or invalid field 'kernel'";
+    return std::nullopt;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Shard merge
+// ---------------------------------------------------------------------
+
+namespace {
+
+bool same_campaign(const CampaignHeader& a, const CampaignHeader& b) {
+  return a.models == b.models && a.lambdas == b.lambdas && a.runs == b.runs &&
+         a.users == b.users && a.seed == b.seed;
+}
+
+}  // namespace
+
+std::optional<SweepResult> merge_jsonl(std::span<std::istream* const> shards,
+                                       std::string& error) {
+  if (shards.empty()) {
+    error = "no shard logs to merge";
+    return std::nullopt;
+  }
+
+  std::optional<CampaignHeader> campaign;
+  SweepResult result;
+  std::vector<metrics::StreamingSummary> summaries;
+  // seen[point * runs + run] guards against duplicated lines.
+  std::vector<std::uint8_t> seen;
+
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    std::istream& in = *shards[s];
+    const std::string where = "shard " + std::to_string(s);
+    std::string line;
+    if (!std::getline(in, line)) {
+      error = where + ": empty log";
+      return std::nullopt;
+    }
+    const auto header = parse_jsonl_header(line, error);
+    if (!header) {
+      error = where + ": " + error;
+      return std::nullopt;
+    }
+    if (!campaign) {
+      campaign = *header;
+      result.points.reserve(campaign->models.size() *
+                            campaign->lambdas.size());
+      for (const SystemModel model : campaign->models) {
+        for (std::size_t li = 0; li < campaign->lambdas.size(); ++li) {
+          SweepPoint point;
+          point.model = model;
+          point.lambda = campaign->lambdas[li];
+          point.lambda_index = li;
+          result.points.push_back(std::move(point));
+          summaries.emplace_back(
+              campaign->runs,
+              metrics::update_metrics::kPaperGlobalMinimumMessages,
+              minimum_update_messages(model, campaign->users));
+        }
+      }
+      seen.assign(result.points.size() *
+                      static_cast<std::size_t>(campaign->runs),
+                  0);
+    } else if (!same_campaign(*campaign, *header)) {
+      error = where + ": header does not match the first shard's campaign "
+              "(models/lambdas/runs/users/seed must agree)";
+      return std::nullopt;
+    }
+
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto run = parse_jsonl_run(line, error);
+      if (!run) {
+        error = where + ": " + error;
+        return std::nullopt;
+      }
+      if (run->point_index >= result.points.size() || run->run < 0 ||
+          run->run >= campaign->runs) {
+        error = where + ": run outside the campaign grid";
+        return std::nullopt;
+      }
+      const SweepPoint& point = result.points[run->point_index];
+      if (point.model != run->model || point.lambda_index != run->lambda_index) {
+        error = where + ": run's (model, lambda) disagrees with its point "
+                "index";
+        return std::nullopt;
+      }
+      const std::size_t key =
+          run->point_index * static_cast<std::size_t>(campaign->runs) +
+          static_cast<std::size_t>(run->run);
+      if (seen[key] != 0) {
+        error = where + ": duplicate run (point " +
+                std::to_string(run->point_index) + ", run " +
+                std::to_string(run->run) + ")";
+        return std::nullopt;
+      }
+      seen[key] = 1;
+
+      summaries[run->point_index].add(run->run, run->record);
+      ++result.summary.runs_completed;
+      result.summary.run_wall_ns_total += run->wall_ns;
+      result.summary.sim_seconds_total += sim::to_seconds(run->record.deadline);
+      sim::accumulate(result.summary.kernel, run->record.kernel);
+    }
+  }
+
+  std::uint64_t missing = 0;
+  for (const std::uint8_t flag : seen) missing += flag == 0 ? 1 : 0;
+  if (missing != 0) {
+    error = "merged shards cover only " +
+            std::to_string(seen.size() - missing) + " of " +
+            std::to_string(seen.size()) + " runs (missing a shard?)";
+    return std::nullopt;
+  }
+
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    result.points[p].metrics = summaries[p].finalize();
+    result.points[p].runs = summaries[p].runs_added();
+  }
+  result.summary.points = result.points.size();
+  // No single wall clock spans machines; report the summed run time.
+  result.summary.wall_ns = result.summary.run_wall_ns_total;
+  return result;
+}
+
+std::optional<SweepResult> merge_jsonl_files(
+    std::span<const std::string> paths, std::string& error) {
+  std::vector<std::ifstream> files;
+  std::vector<std::istream*> streams;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    if (path == "-") {
+      streams.push_back(&std::cin);
+      continue;
+    }
+    files.emplace_back(path);
+    if (!files.back()) {
+      error = "cannot read " + path;
+      return std::nullopt;
+    }
+    streams.push_back(&files.back());
+  }
+  return merge_jsonl(streams, error);
+}
+
+}  // namespace sdcm::experiment

@@ -1,5 +1,11 @@
 #include "sdcm/experiment/sweep.hpp"
 
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+#include "sdcm/experiment/sink.hpp"
 #include "sdcm/experiment/thread_pool.hpp"
 #include "sdcm/sim/random.hpp"
 
@@ -11,6 +17,42 @@ std::vector<double> SweepConfig::paper_lambda_grid() {
   return grid;
 }
 
+void AblationSpec::apply(ExperimentConfig& run) const {
+  run.frodo.enable_pr1 = frodo_pr1;
+  run.frodo.enable_srn2 = frodo_srn2;
+  run.frodo.enable_pr3 = frodo_pr3;
+  run.frodo.enable_pr4 = frodo_pr4;
+  run.frodo.enable_pr5 = frodo_pr5;
+  run.upnp.enable_pr4 = upnp_pr4;
+  run.upnp.enable_pr5 = upnp_pr5;
+  run.failure_placement = placement;
+  run.failure_episodes = episodes;
+  run.message_loss_rate = message_loss_rate;
+}
+
+std::optional<std::string> SweepConfig::validate() const {
+  if (models.empty()) return "models must not be empty";
+  if (lambdas.empty()) return "lambdas must not be empty";
+  for (const double lambda : lambdas) {
+    if (std::isnan(lambda) || lambda < 0.0 || lambda > 1.0) {
+      return "every lambda must lie in [0, 1]";
+    }
+  }
+  if (runs <= 0) return "runs must be positive";
+  if (users <= 0) return "users must be positive";
+  if (ablation.episodes <= 0) return "ablation.episodes must be positive";
+  if (std::isnan(ablation.message_loss_rate) ||
+      ablation.message_loss_rate < 0.0 || ablation.message_loss_rate > 1.0) {
+    return "ablation.message_loss_rate must lie in [0, 1]";
+  }
+  if (shard.count == 0) return "shard count must be at least 1";
+  if (shard.index >= shard.count) {
+    return "shard index " + std::to_string(shard.index) +
+           " out of range for " + std::to_string(shard.count) + " shards";
+  }
+  return std::nullopt;
+}
+
 std::uint64_t run_seed(std::uint64_t master_seed, SystemModel model,
                        std::size_t lambda_index, int run_index) {
   std::uint64_t state = master_seed;
@@ -20,31 +62,85 @@ std::uint64_t run_seed(std::uint64_t master_seed, SystemModel model,
   return sim::splitmix64(state);
 }
 
-std::vector<SweepPoint> run_sweep(const SweepConfig& config) {
-  std::vector<SweepPoint> points;
+std::size_t shard_of(SystemModel model, std::size_t lambda_index,
+                     int run_index, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  // Fixed salt, deliberately independent of the master seed: re-seeding
+  // a campaign must not reshuffle which machine owns which job.
+  std::uint64_t state = 0x5DC3A7D0C0FFEE01ULL;
+  state ^= sim::fnv1a64(to_string(model));
+  state ^= (static_cast<std::uint64_t>(lambda_index) + 1) * 0x9E3779B97F4A7C15ULL;
+  state ^= (static_cast<std::uint64_t>(run_index) + 1) * 0xD1B54A32D192ED03ULL;
+  return static_cast<std::size_t>(sim::splitmix64(state) %
+                                  static_cast<std::uint64_t>(shard_count));
+}
+
+double CampaignSummary::runs_per_second() const noexcept {
+  const double seconds = wall_seconds();
+  return seconds > 0.0 ? static_cast<double>(runs_completed) / seconds : 0.0;
+}
+
+double CampaignSummary::events_per_second() const noexcept {
+  const double seconds = wall_seconds();
+  return seconds > 0.0 ? static_cast<double>(kernel.events_fired) / seconds
+                       : 0.0;
+}
+
+double CampaignSummary::sim_speedup() const noexcept {
+  const double seconds = wall_seconds();
+  return seconds > 0.0 ? sim_seconds_total / seconds : 0.0;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  if (const auto problem = config.validate()) {
+    throw std::invalid_argument("run_sweep: " + *problem);
+  }
+
+  SweepResult result;
+  std::vector<SweepPoint>& points = result.points;
+  std::vector<metrics::StreamingSummary> summaries;
+  points.reserve(config.models.size() * config.lambdas.size());
+  summaries.reserve(config.models.size() * config.lambdas.size());
   for (const SystemModel model : config.models) {
     for (std::size_t li = 0; li < config.lambdas.size(); ++li) {
       SweepPoint point;
       point.model = model;
       point.lambda = config.lambdas[li];
-      point.runs = config.runs;
-      point.records.resize(static_cast<std::size_t>(config.runs));
+      point.lambda_index = li;
+      if (config.keep_records) {
+        point.records.resize(static_cast<std::size_t>(config.runs));
+      }
       points.push_back(std::move(point));
+      summaries.emplace_back(
+          config.runs, metrics::update_metrics::kPaperGlobalMinimumMessages,
+          minimum_update_messages(model, config.users));
     }
   }
 
-  // Flatten (point, run) into one task list; every run is independent.
+  // Flatten (point, run) into this shard's job list; every run is
+  // independent and carries a stable (model, lambda_index, run) identity.
   struct Job {
     std::size_t point;
     int run;
-    std::size_t lambda_index;
   };
   std::vector<Job> jobs;
   jobs.reserve(points.size() * static_cast<std::size_t>(config.runs));
   for (std::size_t p = 0; p < points.size(); ++p) {
-    const std::size_t li = p % config.lambdas.size();
-    for (int r = 0; r < config.runs; ++r) jobs.push_back(Job{p, r, li});
+    for (int r = 0; r < config.runs; ++r) {
+      if (shard_of(points[p].model, points[p].lambda_index, r,
+                   config.shard.count) == config.shard.index) {
+        jobs.push_back(Job{p, r});
+      }
+    }
   }
+
+  RunSink* const sink = config.sink;
+  if (sink != nullptr) sink->on_campaign_begin(config, jobs.size());
+
+  // One lock serializes the streaming reduction and the sink callbacks;
+  // runs take milliseconds to seconds each, so contention is noise.
+  std::mutex reduce_mutex;
+  const auto campaign_start = std::chrono::steady_clock::now();
 
   ThreadPool pool(config.threads);
   pool.parallel_for(jobs.size(), [&](std::size_t j) {
@@ -55,18 +151,51 @@ std::vector<SweepPoint> run_sweep(const SweepConfig& config) {
     run_config.lambda = point.lambda;
     run_config.users = config.users;
     run_config.seed =
-        run_seed(config.master_seed, point.model, job.lambda_index, job.run);
+        run_seed(config.master_seed, point.model, point.lambda_index, job.run);
+    config.ablation.apply(run_config);
     if (config.customize) config.customize(run_config);
-    point.records[static_cast<std::size_t>(job.run)] =
-        run_experiment(run_config);
+
+    const auto run_start = std::chrono::steady_clock::now();
+    metrics::RunRecord record = run_experiment(run_config);
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - run_start)
+            .count());
+
+    const std::lock_guard<std::mutex> lock(reduce_mutex);
+    summaries[job.point].add(job.run, record);
+    ++result.summary.runs_completed;
+    result.summary.run_wall_ns_total += wall_ns;
+    result.summary.sim_seconds_total += sim::to_seconds(record.deadline);
+    sim::accumulate(result.summary.kernel, record.kernel);
+    if (sink != nullptr) {
+      RunEvent event;
+      event.model = point.model;
+      event.lambda = point.lambda;
+      event.point_index = job.point;
+      event.lambda_index = point.lambda_index;
+      event.run = job.run;
+      event.seed = run_config.seed;
+      event.wall_ns = wall_ns;
+      event.record = &record;
+      sink->on_run(event);
+    }
+    if (config.keep_records) {
+      point.records[static_cast<std::size_t>(job.run)] = std::move(record);
+    }
   });
 
-  for (SweepPoint& point : points) {
-    point.metrics = metrics::update_metrics::summarize(
-        point.records, metrics::update_metrics::kPaperGlobalMinimumMessages,
-        minimum_update_messages(point.model, config.users));
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    points[p].metrics = summaries[p].finalize();
+    points[p].runs = summaries[p].runs_added();
   }
-  return points;
+  result.summary.points = points.size();
+  result.summary.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - campaign_start)
+          .count());
+  if (sink != nullptr) sink->on_campaign_end(result.summary);
+  return result;
 }
 
 }  // namespace sdcm::experiment

@@ -19,7 +19,11 @@ TEST(Cli, DefaultsMatchThePaperDesign) {
   EXPECT_EQ(options->sweep.lambdas.size(), 19u);
   EXPECT_EQ(options->sweep.runs, 30);
   EXPECT_EQ(options->sweep.users, 5);
-  EXPECT_TRUE(options->frodo_pr1);
+  EXPECT_TRUE(options->sweep.ablation.frodo_pr1);
+  EXPECT_FALSE(options->sweep.shard.is_sharded());
+  EXPECT_TRUE(options->jsonl.empty());
+  EXPECT_TRUE(options->merge_inputs.empty());
+  EXPECT_TRUE(options->progress);
   EXPECT_EQ(options->output, "-");
 }
 
@@ -68,7 +72,7 @@ TEST(Cli, NumericFlags) {
   EXPECT_EQ(options->sweep.users, 7);
   EXPECT_EQ(options->sweep.threads, 4u);
   EXPECT_EQ(options->sweep.master_seed, 99u);
-  EXPECT_EQ(options->episodes, 2);
+  EXPECT_EQ(options->sweep.ablation.episodes, 2);
 }
 
 TEST(Cli, ZeroRunsRejected) {
@@ -81,17 +85,48 @@ TEST(Cli, AblationTogglesAndPlacement) {
   const auto options = parse_args(
       {"--no-frodo-pr1", "--no-upnp-pr5", "--placement=truncated"});
   ASSERT_TRUE(options.has_value());
-  EXPECT_FALSE(options->frodo_pr1);
-  EXPECT_FALSE(options->upnp_pr5);
-  EXPECT_TRUE(options->frodo_srn2);
-  EXPECT_EQ(options->placement, net::FailurePlacement::kTruncated);
+  const AblationSpec& spec = options->sweep.ablation;
+  EXPECT_FALSE(spec.frodo_pr1);
+  EXPECT_FALSE(spec.upnp_pr5);
+  EXPECT_TRUE(spec.frodo_srn2);
+  EXPECT_EQ(spec.placement, net::FailurePlacement::kTruncated);
 
   ExperimentConfig run;
-  make_customize(*options)(run);
+  spec.apply(run);
   EXPECT_FALSE(run.frodo.enable_pr1);
   EXPECT_FALSE(run.upnp.enable_pr5);
   EXPECT_TRUE(run.frodo.enable_srn2);
   EXPECT_EQ(run.failure_placement, net::FailurePlacement::kTruncated);
+}
+
+TEST(Cli, ShardFlagParses) {
+  const auto options = parse_args({"--shard=1/4"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->sweep.shard.index, 1u);
+  EXPECT_EQ(options->sweep.shard.count, 4u);
+  EXPECT_TRUE(options->sweep.shard.is_sharded());
+}
+
+TEST(Cli, BadShardRejected) {
+  for (const char* bad : {"--shard=4/4", "--shard=-1/2", "--shard=1",
+                          "--shard=a/b", "--shard=1/0"}) {
+    std::string error;
+    const char* argv[] = {"sdcm_sweep", bad};
+    EXPECT_FALSE(parse(2, argv, error).has_value()) << bad;
+  }
+}
+
+TEST(Cli, JsonlMergeSummaryAndLossFlags) {
+  const auto options = parse_args({"--jsonl=out.jsonl", "--summary=s.json",
+                                   "--merge=a.jsonl,b.jsonl", "--loss=0.2",
+                                   "--no-progress"});
+  ASSERT_TRUE(options.has_value());
+  EXPECT_EQ(options->jsonl, "out.jsonl");
+  EXPECT_EQ(options->summary, "s.json");
+  ASSERT_EQ(options->merge_inputs.size(), 2u);
+  EXPECT_EQ(options->merge_inputs[0], "a.jsonl");
+  EXPECT_DOUBLE_EQ(options->sweep.ablation.message_loss_rate, 0.2);
+  EXPECT_FALSE(options->progress);
 }
 
 TEST(Cli, UnknownFlagRejected) {

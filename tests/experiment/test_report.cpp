@@ -72,16 +72,27 @@ TEST(Report, MetricAccessors) {
   EXPECT_EQ(to_string(Metric::kDegradation), "Efficiency Degradation G");
 }
 
-TEST(Report, RunsFromEnv) {
-  unsetenv("SDCM_RUNS");
-  EXPECT_EQ(runs_from_env(30), 30);
-  setenv("SDCM_RUNS", "12", 1);
-  EXPECT_EQ(runs_from_env(30), 12);
-  setenv("SDCM_RUNS", "garbage", 1);
-  EXPECT_EQ(runs_from_env(30), 30);
-  setenv("SDCM_RUNS", "-3", 1);
-  EXPECT_EQ(runs_from_env(30), 30);
-  unsetenv("SDCM_RUNS");
+TEST(Report, CampaignSummaryJsonHasTheTelemetry) {
+  CampaignSummary s;
+  s.runs_completed = 120;
+  s.points = 4;
+  s.wall_ns = 2'000'000'000;  // 2 s
+  s.run_wall_ns_total = 6'000'000'000;
+  s.sim_seconds_total = 648000.0;
+  s.kernel.events_fired = 1'000'000;
+  std::ostringstream oss;
+  write_campaign_summary_json(oss, s);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("\"runs_completed\":120"), std::string::npos);
+  EXPECT_NE(out.find("\"points\":4"), std::string::npos);
+  EXPECT_NE(out.find("\"events_fired\":1000000"), std::string::npos);
+  EXPECT_NE(out.find("\"runs_per_second\""), std::string::npos);
+  EXPECT_NE(out.find("\"events_per_second\""), std::string::npos);
+  EXPECT_NE(out.find("\"sim_speedup\""), std::string::npos);
+  // 1e6 events over 2 s wall.
+  EXPECT_DOUBLE_EQ(s.runs_per_second(), 60.0);
+  EXPECT_DOUBLE_EQ(s.events_per_second(), 500000.0);
+  EXPECT_DOUBLE_EQ(s.sim_speedup(), 324000.0);
 }
 
 }  // namespace

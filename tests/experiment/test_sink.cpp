@@ -1,0 +1,201 @@
+#include "sdcm/experiment/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdcm::experiment {
+namespace {
+
+/// Records every callback; relies on the engine's serialization
+/// guarantee (no internal locking on purpose - a data race here would
+/// trip TSan and the duplicate detection below).
+class RecordingSink final : public RunSink {
+ public:
+  void on_campaign_begin(const SweepConfig&, std::uint64_t total) override {
+    ++begins;
+    total_runs = total;
+  }
+  void on_run(const RunEvent& event) override {
+    const auto key = std::make_pair(event.point_index, event.run);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate run delivered: point " << event.point_index << " run "
+        << event.run;
+    EXPECT_NE(event.record, nullptr);
+    EXPECT_GT(event.seed, 0u);
+  }
+  void on_campaign_end(const CampaignSummary& summary) override {
+    ++ends;
+    runs_at_end = summary.runs_completed;
+  }
+
+  int begins = 0;
+  int ends = 0;
+  std::uint64_t total_runs = 0;
+  std::uint64_t runs_at_end = 0;
+  std::set<std::pair<std::size_t, int>> seen;
+};
+
+SweepConfig tiny_config() {
+  SweepConfig config;
+  config.models = {SystemModel::kUpnp, SystemModel::kFrodoTwoParty};
+  config.lambdas = {0.0, 0.3};
+  config.runs = 3;
+  config.threads = 4;
+  return config;
+}
+
+TEST(Sink, EveryRunDeliveredExactlyOnceUnderThreadPool) {
+  auto config = tiny_config();
+  RecordingSink sink;
+  config.sink = &sink;
+  const auto result = run_sweep(config);
+  EXPECT_EQ(sink.begins, 1);
+  EXPECT_EQ(sink.ends, 1);
+  EXPECT_EQ(sink.total_runs, 12u);
+  EXPECT_EQ(sink.seen.size(), 12u);
+  EXPECT_EQ(sink.runs_at_end, 12u);
+  EXPECT_EQ(result.summary.runs_completed, 12u);
+}
+
+TEST(Sink, MultiSinkFansOutInOrder) {
+  auto config = tiny_config();
+  config.runs = 1;
+  RecordingSink a, b;
+  MultiSink multi;
+  multi.add(&a);
+  multi.add(nullptr);  // ignored
+  multi.add(&b);
+  config.sink = &multi;
+  (void)run_sweep(config);
+  EXPECT_EQ(a.seen.size(), 4u);
+  EXPECT_EQ(b.seen.size(), 4u);
+  EXPECT_EQ(a.begins, 1);
+  EXPECT_EQ(b.ends, 1);
+}
+
+TEST(Sink, ProgressSinkDrawsAndFinishesWithNewline) {
+  auto config = tiny_config();
+  config.threads = 1;
+  std::ostringstream out;
+  // Zero interval: every run redraws, so the output is deterministic
+  // in shape (carriage returns, then a final newline).
+  ProgressSink progress(out, std::chrono::milliseconds(0));
+  config.sink = &progress;
+  (void)run_sweep(config);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("sweep:"), std::string::npos);
+  EXPECT_NE(text.find("12/12"), std::string::npos);
+  EXPECT_NE(text.find('\r'), std::string::npos);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Sink, JsonlRoundTripsRunsExactly) {
+  auto config = tiny_config();
+  config.keep_records = true;
+  std::ostringstream log;
+  JsonlSink sink(log);
+  config.sink = &sink;
+  const auto result = run_sweep(config);
+
+  std::istringstream in(log.str());
+  std::string line;
+  std::string error;
+
+  ASSERT_TRUE(std::getline(in, line));
+  const auto header = parse_jsonl_header(line, error);
+  ASSERT_TRUE(header.has_value()) << error;
+  EXPECT_EQ(header->models, config.models);
+  EXPECT_EQ(header->lambdas, config.lambdas);
+  EXPECT_EQ(header->runs, config.runs);
+  EXPECT_EQ(header->users, config.users);
+  EXPECT_EQ(header->seed, config.master_seed);
+  EXPECT_EQ(header->shard_count, 1u);
+
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    const auto run = parse_jsonl_run(line, error);
+    ASSERT_TRUE(run.has_value()) << error << " in: " << line;
+    ASSERT_LT(run->point_index, result.points.size());
+    const auto& point = result.points[run->point_index];
+    EXPECT_EQ(run->model, point.model);
+    EXPECT_EQ(run->lambda, point.lambda);
+    EXPECT_EQ(run->seed, run_seed(config.master_seed, run->model,
+                                  run->lambda_index, run->run));
+    // The record must round-trip bit-exactly - this is what makes the
+    // shard merge reproduce the unsharded metrics.
+    const auto& original =
+        point.records[static_cast<std::size_t>(run->run)];
+    EXPECT_EQ(run->record.change_time, original.change_time);
+    EXPECT_EQ(run->record.deadline, original.deadline);
+    ASSERT_EQ(run->record.user_reach_times.size(),
+              original.user_reach_times.size());
+    for (std::size_t u = 0; u < original.user_reach_times.size(); ++u) {
+      EXPECT_EQ(run->record.user_reach_times[u],
+                original.user_reach_times[u]);
+    }
+    EXPECT_EQ(run->record.update_messages, original.update_messages);
+    EXPECT_EQ(run->record.window_messages, original.window_messages);
+    EXPECT_EQ(run->record.trace_fingerprint, original.trace_fingerprint);
+    EXPECT_EQ(run->record.kernel.events_fired, original.kernel.events_fired);
+    EXPECT_EQ(run->record.kernel.udp_sent, original.kernel.udp_sent);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 12u);
+}
+
+TEST(Sink, MergeRejectsCorruptCampaigns) {
+  auto config = tiny_config();
+  config.runs = 2;
+  std::ostringstream log;
+  JsonlSink sink(log);
+  config.sink = &sink;
+  (void)run_sweep(config);
+  const std::string good = log.str();
+  std::string error;
+
+  {  // A complete single log merges fine.
+    std::istringstream in(good);
+    std::istream* shards[] = {&in};
+    EXPECT_TRUE(merge_jsonl(shards, error).has_value()) << error;
+  }
+  {  // Duplicated run line.
+    const auto last = good.rfind('\n', good.size() - 2);
+    const std::string dup = good + good.substr(last + 1);
+    std::istringstream in(dup);
+    std::istream* shards[] = {&in};
+    EXPECT_FALSE(merge_jsonl(shards, error).has_value());
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  }
+  {  // Truncated log: a run is missing.
+    const auto last = good.rfind("\n{");
+    std::istringstream in(good.substr(0, last + 1));
+    std::istream* shards[] = {&in};
+    EXPECT_FALSE(merge_jsonl(shards, error).has_value());
+    EXPECT_NE(error.find("missing"), std::string::npos) << error;
+  }
+  {  // Second shard from a different campaign (other seed).
+    auto other = config;
+    other.master_seed = 7;
+    std::ostringstream other_log;
+    JsonlSink other_sink(other_log);
+    other.sink = &other_sink;
+    (void)run_sweep(other);
+    std::istringstream in0(good), in1(other_log.str());
+    std::istream* shards[] = {&in0, &in1};
+    EXPECT_FALSE(merge_jsonl(shards, error).has_value());
+  }
+  {  // Garbage input.
+    std::istringstream in("not json\n");
+    std::istream* shards[] = {&in};
+    EXPECT_FALSE(merge_jsonl(shards, error).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace sdcm::experiment

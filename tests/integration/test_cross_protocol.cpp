@@ -78,6 +78,7 @@ TEST(CrossProtocol, SweepPointCountMatchesGrid) {
   SweepConfig config;
   config.lambdas = {0.0, 0.5};
   config.runs = 2;
+  config.keep_records = true;
   const auto points = run_sweep(config);
   EXPECT_EQ(points.size(), 5u * 2u);
   for (const auto& p : points) {

@@ -37,10 +37,20 @@ class Node {
   [[nodiscard]] sim::Random& rng() noexcept { return rng_; }
   [[nodiscard]] sim::SimTime now() const noexcept { return sim_.now(); }
 
-  void trace(sim::TraceCategory category, std::string event,
-             std::string detail = {}) {
-    sim_.trace().record(sim_.now(), id_, category, std::move(event),
-                        std::move(detail));
+  /// Records a trace event at this node, parented to the ambient span
+  /// (the message being handled, if any). Returns the new span id so the
+  /// caller can stamp outgoing messages or child records with it.
+  sim::SpanId trace(sim::TraceCategory category, std::string event,
+                    std::string detail = {}) {
+    return sim_.trace().record(sim_.now(), id_, category, std::move(event),
+                               std::move(detail));
+  }
+
+  /// Same, with an explicit causal parent.
+  sim::SpanId trace_child(sim::SpanId parent, sim::TraceCategory category,
+                          std::string event, std::string detail = {}) {
+    return sim_.trace().record_child(parent, sim_.now(), id_, category,
+                                     std::move(event), std::move(detail));
   }
 
  private:

@@ -20,6 +20,9 @@ struct Options {
   std::string jsonl;
   /// Where to write the campaign summary JSON; empty = stderr only.
   std::string summary;
+  /// Directory for per-run trace JSONL files + manifest (TraceSink);
+  /// empty = off.
+  std::string traces;
   /// Shard logs to merge instead of running a sweep (--merge=a,b,...).
   std::vector<std::string> merge_inputs;
   /// Live progress on stderr (--no-progress disables).
@@ -32,7 +35,7 @@ struct Options {
 ///   --models=UPnP,Jini-1R,Jini-2R,FRODO-3party,FRODO-2party
 ///   --lambdas=0.0:0.9:0.05  (min:max:step)  or  --lambdas=0.1,0.5
 ///   --runs=N  --users=N  --threads=N  --seed=N
-///   --output=FILE  --jsonl=FILE  --summary=FILE
+///   --output=FILE  --jsonl=FILE  --summary=FILE  --traces=DIR
 ///   --shard=i/N    deterministic 1-of-N campaign slice
 ///   --merge=A,B    merge shard JSONL logs instead of sweeping
 ///   --no-frodo-pr1 --no-frodo-srn2 --no-frodo-pr3 --no-frodo-pr4

@@ -7,6 +7,8 @@
 #include "sdcm/jini/config.hpp"
 #include "sdcm/metrics/update_metrics.hpp"
 #include "sdcm/net/failure_model.hpp"
+#include "sdcm/obs/registry.hpp"
+#include "sdcm/sim/trace.hpp"
 #include "sdcm/upnp/config.hpp"
 
 namespace sdcm::experiment {
@@ -58,6 +60,12 @@ struct ExperimentConfig {
   /// study's communication-failure model [25]; 0 in the paper's
   /// interface-failure experiments.
   double message_loss_rate = 0.0;
+  /// Streams every trace record as it is appended (e.g. to a JSONL
+  /// file). Setting it turns trace recording on for the run even when
+  /// `record_trace` is false; in that streamed-only mode the log skips
+  /// in-memory storage but still maintains the fingerprint. Not owned;
+  /// must outlive the run.
+  sim::TraceWriter* trace_writer = nullptr;
 
   /// Per-protocol model parameters; edit for ablation experiments
   /// (e.g. frodo.enable_pr1 = false reproduces Figure 7's control).
@@ -71,5 +79,16 @@ struct ExperimentConfig {
 /// the Update Metrics consume. Node ids: registries 1-2, manager 10,
 /// users 11..10+N.
 metrics::RunRecord run_experiment(const ExperimentConfig& config);
+
+/// run_experiment plus the run's observability state, moved out of the
+/// simulator after the horizon: the full trace log (recording is forced
+/// on) and the metrics registry (populated only in SDCM_OBS=ON builds).
+struct TracedExperiment {
+  metrics::RunRecord record;
+  sim::TraceLog trace;
+  obs::Registry obs;
+};
+
+TracedExperiment run_experiment_traced(const ExperimentConfig& config);
 
 }  // namespace sdcm::experiment

@@ -1,14 +1,21 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "sdcm/experiment/sweep.hpp"
+#include "sdcm/obs/trace_jsonl.hpp"
 
 namespace sdcm::experiment {
 
@@ -49,6 +56,68 @@ class RunSink {
   virtual void on_campaign_end(const CampaignSummary& summary);
 };
 
+/// Streams every run's full trace to its own JSONL file under a
+/// directory, plus a manifest.jsonl indexing the files with their
+/// fingerprints. Wire it via SweepConfig::trace_sink (NOT the regular
+/// `sink` chain - run_sweep drives its callbacks itself, after the
+/// regular sink's): the engine calls open_run on the worker thread
+/// before each run and installs the returned writer as the run's
+/// ExperimentConfig::trace_writer; on_run then closes the file and
+/// appends the manifest line. Totals are atomics so a ProgressSink can
+/// report the trace backlog live from another thread.
+class TraceSink final : public RunSink {
+ public:
+  /// Creates `directory` (and parents) if needed; throws
+  /// std::runtime_error when it cannot be created or written.
+  explicit TraceSink(std::string directory);
+
+  /// Stable per-run file name, e.g. "trace_FRODO-3party_l06_r007.jsonl".
+  static std::string run_file_name(SystemModel model,
+                                   std::size_t lambda_index, int run);
+
+  /// Opens the run's trace file and returns the writer to install as the
+  /// run's trace_writer. Thread-safe; the writer stays valid until the
+  /// matching on_run. Throws std::runtime_error when the file cannot be
+  /// opened.
+  [[nodiscard]] sim::TraceWriter* open_run(SystemModel model,
+                                           std::size_t lambda_index, int run);
+
+  void on_campaign_begin(const SweepConfig& config,
+                         std::uint64_t total_runs) override;
+  void on_run(const RunEvent& event) override;
+  void on_campaign_end(const CampaignSummary& summary) override;
+
+  [[nodiscard]] const std::string& directory() const noexcept {
+    return directory_;
+  }
+  /// Trace records streamed to disk so far (all finished runs).
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_.load(std::memory_order_relaxed);
+  }
+  /// Bytes flushed to finished trace files so far.
+  [[nodiscard]] std::uint64_t bytes_flushed() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct OpenRun {
+    std::ofstream out;
+    obs::JsonlTraceWriter writer;
+    std::string file;
+
+    explicit OpenRun(const std::string& path)
+        : out(path, std::ios::trunc), writer(out) {}
+  };
+  using RunKey = std::tuple<SystemModel, std::size_t, int>;
+
+  std::string directory_;
+  std::ofstream manifest_;
+  std::mutex mutex_;  // guards open_ and manifest_
+  std::map<RunKey, std::unique_ptr<OpenRun>> open_;
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
 /// Live progress on a stream (stderr in sdcm_sweep): done/total,
 /// runs/sec and ETA, redrawn in place at most every `min_interval`.
 class ProgressSink final : public RunSink {
@@ -56,6 +125,12 @@ class ProgressSink final : public RunSink {
   explicit ProgressSink(
       std::ostream& out,
       std::chrono::milliseconds min_interval = std::chrono::milliseconds(200));
+
+  /// Also report `sink`'s live backlog (records / bytes streamed to
+  /// disk) on every redraw. Non-owning; may be null to detach.
+  void watch_trace_sink(const TraceSink* sink) noexcept {
+    trace_sink_ = sink;
+  }
 
   void on_campaign_begin(const SweepConfig& config,
                          std::uint64_t total_runs) override;
@@ -71,6 +146,7 @@ class ProgressSink final : public RunSink {
   std::chrono::steady_clock::time_point last_draw_{};
   std::uint64_t done_ = 0;
   std::uint64_t total_ = 0;
+  const TraceSink* trace_sink_ = nullptr;
 };
 
 /// The machine-readable campaign log: one JSON object per line. The

@@ -13,7 +13,8 @@
 
 namespace sdcm::experiment {
 
-class RunSink;  // sink.hpp
+class RunSink;    // sink.hpp
+class TraceSink;  // sink.hpp
 
 /// The declarative per-run overrides of the paper's ablation studies:
 /// every recovery-technique toggle (Table 4), the failure-episode
@@ -77,6 +78,11 @@ struct SweepConfig {
   /// Observer notified once per completed run (non-owning; may be
   /// null). See sink.hpp for the built-in sinks.
   RunSink* sink = nullptr;
+  /// Streams every run's full trace to per-run JSONL files (non-owning;
+  /// may be null). Driven by the engine itself - open_run on the worker
+  /// thread before each run, callbacks after the regular `sink`'s - so
+  /// do not also register it in the `sink` chain.
+  TraceSink* trace_sink = nullptr;
 
   static std::vector<double> paper_lambda_grid();
 

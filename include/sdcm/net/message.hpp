@@ -71,6 +71,11 @@ struct Message {
   /// Set on delivery when the message arrived over a TCP connection, so
   /// the receiver can reply on the same connection (request/response).
   std::shared_ptr<TcpConnection> conn;
+  /// Causal span this message belongs to. Stamped by the sender (or by
+  /// the Network from the ambient span at send time); the Network opens a
+  /// SpanScope around the receiver's handler so records on the far side
+  /// parent here. Not part of the simulated behaviour - never branches.
+  sim::SpanId span = sim::kNoSpan;
 
   template <typename T>
   [[nodiscard]] const T& as() const {

@@ -6,6 +6,7 @@
 
 #include "sdcm/net/interface.hpp"
 #include "sdcm/net/message.hpp"
+#include "sdcm/obs/registry.hpp"
 #include "sdcm/sim/simulator.hpp"
 
 namespace sdcm::net {
@@ -108,6 +109,10 @@ class Network {
   sim::Simulator& sim_;
   sim::SimDuration min_delay_;
   sim::SimDuration max_delay_;
+  /// Set in the constructor only when built with SDCM_OBS=ON (see
+  /// sdcm/obs/instrument.hpp); unconditional member so the class layout
+  /// never depends on the toggle.
+  obs::Histogram* hop_delay_us_ = nullptr;
   double loss_rate_ = 0.0;
   sim::Random rng_;
   sim::Random loss_rng_;

@@ -50,9 +50,12 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// Exactly one of on_open / on_rex will eventually fire (unless the run
   /// ends first). The connection keeps itself alive through its pending
   /// events; callers keep the shared_ptr only if they want to send later.
+  /// `span` is the causal span the connection works on behalf of (its
+  /// segments, REX record and callbacks parent there); kNoSpan adopts the
+  /// ambient span at the call site.
   static void open(Network& network, NodeId initiator, NodeId responder,
                    OpenCallback on_open, RexCallback on_rex,
-                   TcpConfig config = {});
+                   TcpConfig config = {}, sim::SpanId span = sim::kNoSpan);
 
   /// Convenience: open a connection and, once open, send one message;
   /// on_rex fires if the handshake fails. Mirrors the one-shot
@@ -104,6 +107,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   NodeId initiator_;
   NodeId responder_;
   Config config_;
+  /// Causal span the connection's transport activity belongs to; all
+  /// SYN/SYN-ACK segments, the REX record, and timer-driven work parent
+  /// here (set once at open, from the argument or the ambient span).
+  sim::SpanId span_ = sim::kNoSpan;
   OpenCallback on_open_;
   RexCallback on_rex_;
   bool opened_ = false;

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sdcm/sim/trace.hpp"
+
+namespace sdcm::obs {
+
+/// The causal forest reconstructed from a run's trace records: one node
+/// per record, edges parent-span -> child-span. Holds pointers into the
+/// caller's record vector, which must outlive the forest.
+struct SpanForest {
+  struct Node {
+    const sim::TraceRecord* record = nullptr;
+    std::vector<std::size_t> children;  // indices into `nodes`, record order
+  };
+
+  std::vector<Node> nodes;          // record order
+  std::vector<std::size_t> roots;   // nodes whose parent is kNoSpan/absent
+  std::unordered_map<sim::SpanId, std::size_t> by_span;
+
+  [[nodiscard]] const Node* find(sim::SpanId span) const {
+    const auto it = by_span.find(span);
+    return it == by_span.end() ? nullptr : &nodes[it->second];
+  }
+};
+
+/// Builds the forest. Records whose parent span is not in the set are
+/// treated as roots (a filtered record subset stays printable).
+SpanForest build_span_forest(std::span<const sim::TraceRecord> records);
+
+/// Verifies the invariants the span model guarantees for any full
+/// recorded run: span ids are strictly increasing in record order (hence
+/// unique and acyclic), a parent id is always smaller than the child's
+/// and refers to an earlier record, and a parent's timestamp never
+/// exceeds its child's. Returns std::nullopt when the records form a
+/// valid forest, otherwise a description of the first violation.
+std::optional<std::string> check_span_forest(
+    std::span<const sim::TraceRecord> records);
+
+/// Prints the subtree rooted at `root_index` as an indented tree, one
+/// record per line with the per-edge latency (child.at - parent.at).
+void print_span_tree(std::ostream& out, const SpanForest& forest,
+                     std::size_t root_index);
+
+/// Prints every root's subtree (the whole forest).
+void print_span_forest(std::ostream& out, const SpanForest& forest);
+
+}  // namespace sdcm::obs

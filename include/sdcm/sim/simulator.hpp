@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "sdcm/obs/registry.hpp"
 #include "sdcm/sim/event_queue.hpp"
 #include "sdcm/sim/kernel_stats.hpp"
 #include "sdcm/sim/random.hpp"
@@ -85,6 +86,13 @@ class Simulator {
   TraceLog& trace() noexcept { return trace_; }
   const TraceLog& trace() const noexcept { return trace_; }
 
+  /// The run's metrics registry (counters + histograms). Always present;
+  /// hot-path instrumentation that FEEDS it is compiled in only with
+  /// SDCM_OBS=ON (see sdcm/obs/instrument.hpp), so a default build holds
+  /// an empty registry at zero per-event cost.
+  [[nodiscard]] obs::Registry& obs() noexcept { return obs_; }
+  [[nodiscard]] const obs::Registry& obs() const noexcept { return obs_; }
+
   /// The run's shared kernel counter block (event queue volume, wire
   /// traffic, trace records). See sim::KernelStats.
   [[nodiscard]] KernelStats& kernel_stats() noexcept { return stats_; }
@@ -100,6 +108,7 @@ class Simulator {
   EventQueue queue_;
   Random rng_;
   TraceLog trace_;
+  obs::Registry obs_;
 };
 
 /// RAII helper for periodic behaviour (announcements, lease renewals).

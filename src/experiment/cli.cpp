@@ -68,6 +68,8 @@ std::string usage() {
          "  --merge=A,B,...    merge shard JSONL logs (no simulation);\n"
          "                     reports exactly the unsharded result\n"
          "  --summary=FILE     write the campaign summary JSON to FILE\n"
+         "  --traces=DIR       stream every run's trace to DIR as per-run\n"
+         "                     JSONL files plus a manifest.jsonl\n"
          "  --placement=fit|truncated   failure episode placement\n"
          "  --episodes=N       outage episodes per node (default 1)\n"
          "  --loss=P           per-message loss probability (default 0)\n"
@@ -189,6 +191,12 @@ std::optional<Options> parse(int argc, const char* const* argv,
         return std::nullopt;
       }
       options.summary = std::string(value);
+    } else if (key == "--traces") {
+      if (value.empty()) {
+        error = "--traces needs a directory path";
+        return std::nullopt;
+      }
+      options.traces = std::string(value);
     } else if (key == "--shard") {
       const auto shard = parse_shard(value);
       if (!shard) {

@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sdcm/discovery/observer.hpp"
@@ -12,6 +13,7 @@
 #include "sdcm/jini/registry.hpp"
 #include "sdcm/jini/user.hpp"
 #include "sdcm/net/failure_model.hpp"
+#include "sdcm/obs/instrument.hpp"
 #include "sdcm/upnp/manager.hpp"
 #include "sdcm/upnp/user.hpp"
 
@@ -138,11 +140,18 @@ Topology build_topology(const ExperimentConfig& config,
   return topo;
 }
 
-}  // namespace
-
-metrics::RunRecord run_experiment(const ExperimentConfig& config) {
-  sim::Simulator simulator(config.seed);
-  simulator.trace().set_recording(config.record_trace);
+/// Shared body of run_experiment / run_experiment_traced. The simulator
+/// lives in the caller so the traced variant can move the trace log and
+/// registry out after the run. `keep_records` forces in-memory trace
+/// storage regardless of config.record_trace.
+metrics::RunRecord run_impl(const ExperimentConfig& config,
+                            sim::Simulator& simulator, bool keep_records) {
+  const bool store = config.record_trace || keep_records;
+  simulator.trace().set_recording(store || config.trace_writer != nullptr);
+  simulator.trace().set_store(store);
+  if (config.trace_writer != nullptr) {
+    simulator.trace().set_writer(config.trace_writer);
+  }
   net::Network network(simulator);
   network.set_message_loss_rate(config.message_loss_rate);
   discovery::ConsistencyObserver observer;
@@ -178,9 +187,18 @@ metrics::RunRecord run_experiment(const ExperimentConfig& config) {
   std::uint64_t count_at_last_reach = 0;
   std::size_t users_reached = 0;
   bool window_closed = false;
+#if SDCM_OBS_ENABLED
+  obs::Histogram& notification_latency =
+      simulator.obs().histogram("update.notification_latency_us");
+#endif
   observer.on_user_reached = [&](sim::NodeId, discovery::ServiceVersion version,
-                                 sim::SimTime) {
+                                 sim::SimTime at) {
     if (version != 2 || window_closed) return;
+#if SDCM_OBS_ENABLED
+    notification_latency.record(static_cast<std::uint64_t>(at - change_at));
+#else
+    static_cast<void>(at);
+#endif
     count_at_last_reach = chatter_total();
     if (++users_reached == static_cast<std::size_t>(config.users)) {
       window_closed = true;
@@ -205,10 +223,26 @@ metrics::RunRecord run_experiment(const ExperimentConfig& config) {
       (window_closed ? count_at_last_reach : chatter_total()) -
       count_at_change;
   record.kernel = simulator.kernel_stats();
-  if (config.record_trace) {
+  if (simulator.trace().recording()) {
     record.trace_fingerprint = simulator.trace().fingerprint();
   }
   return record;
+}
+
+}  // namespace
+
+metrics::RunRecord run_experiment(const ExperimentConfig& config) {
+  sim::Simulator simulator(config.seed);
+  return run_impl(config, simulator, /*keep_records=*/false);
+}
+
+TracedExperiment run_experiment_traced(const ExperimentConfig& config) {
+  sim::Simulator simulator(config.seed);
+  TracedExperiment out;
+  out.record = run_impl(config, simulator, /*keep_records=*/true);
+  out.trace = std::move(simulator.trace());
+  out.obs = std::move(simulator.obs());
+  return out;
 }
 
 }  // namespace sdcm::experiment

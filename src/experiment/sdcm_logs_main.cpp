@@ -6,28 +6,26 @@
 // Runs one experiment with trace recording on, then prints the run in
 // the paper's own log style (failure windows, the change, per-user
 // consistency outcomes), a recovery-technique attribution summary, and
-// optionally the full event log.
+// on request the causal propagation tree, the metrics registry, the
+// full event log, or a JSONL export of the trace.
 //
-//   $ sdcm_logs UPnP 0.15 7          # system, lambda, seed
-//   $ sdcm_logs FRODO-2party 0.45 3 --full
-
+//   $ sdcm_logs UPnP 0.15 7                 # system, lambda, seed
+//   $ sdcm_logs FRODO-3party 0.15 7 --tree  # the change's fan-out tree
+//   $ sdcm_logs FRODO-2party 0.45 3 --full --export=run.jsonl
+//   $ sdcm_logs --diff a.jsonl b.jsonl      # compare two exported runs
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string_view>
+#include <vector>
 
-#include "sdcm/discovery/observer.hpp"
 #include "sdcm/experiment/cli.hpp"
 #include "sdcm/experiment/scenario.hpp"
-#include "sdcm/frodo/manager.hpp"
-#include "sdcm/frodo/registry_node.hpp"
-#include "sdcm/frodo/user.hpp"
-#include "sdcm/jini/manager.hpp"
-#include "sdcm/jini/registry.hpp"
-#include "sdcm/jini/user.hpp"
 #include "sdcm/net/failure_model.hpp"
-#include "sdcm/upnp/manager.hpp"
-#include "sdcm/upnp/user.hpp"
+#include "sdcm/obs/span_tree.hpp"
+#include "sdcm/obs/trace_jsonl.hpp"
 
 namespace {
 
@@ -57,16 +55,113 @@ constexpr TechniqueSummary kAttribution[] = {
     {"tcp.rex", "TCP connection setup gave up (REX)"},
 };
 
+// The change record every model roots its update fan-out under.
+constexpr const char* kChangeEvents[] = {
+    "frodo.service_changed", "jini.service_changed", "upnp.service_changed"};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: sdcm_logs <system> <lambda> <seed> [flags]\n"
+      "       sdcm_logs --diff <a.jsonl> <b.jsonl>\n"
+      "  systems: UPnP Jini-1R Jini-2R FRODO-3party FRODO-2party\n"
+      "  --full           print the full event log\n"
+      "  --tree[=SPAN]    print the causal propagation tree rooted at SPAN\n"
+      "                   (default: the run's service-change record)\n"
+      "  --histograms     print the metrics registry (needs -DSDCM_OBS=ON)\n"
+      "  --export=FILE    write the run's trace as JSONL ('-' = stdout)\n"
+      "  --diff A B       compare two exported traces: fingerprints and\n"
+      "                   the first diverging record (no simulation)\n");
+  return 2;
+}
+
+/// True when the two records describe the same simulated behaviour
+/// (the fingerprint's field set; span ids are derived metadata).
+bool same_behaviour(const sim::TraceRecord& a, const sim::TraceRecord& b) {
+  return a.at == b.at && a.node == b.node && a.category == b.category &&
+         a.event == b.event && a.detail == b.detail;
+}
+
+int diff_traces(const char* path_a, const char* path_b) {
+  sim::TraceLog logs[2];
+  const char* paths[2] = {path_a, path_b};
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(paths[i]);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", paths[i]);
+      return 1;
+    }
+    std::string error;
+    if (!obs::read_trace_jsonl(in, logs[i], error)) {
+      std::fprintf(stderr, "error: %s: %s\n", paths[i], error.c_str());
+      return 1;
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::printf("%s: %llu records, fingerprint 0x%016llx\n", paths[i],
+                static_cast<unsigned long long>(logs[i].appended()),
+                static_cast<unsigned long long>(logs[i].fingerprint()));
+  }
+  if (logs[0].fingerprint() == logs[1].fingerprint()) {
+    std::printf("traces are identical\n");
+    return 0;
+  }
+  const auto& a = logs[0].records();
+  const auto& b = logs[1].records();
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!same_behaviour(a[i], b[i])) {
+      std::printf("first divergence at record %zu:\n", i);
+      std::printf("  a: [%s] node %u %s  %s\n",
+                  sim::format_time(a[i].at).c_str(), a[i].node,
+                  a[i].event.c_str(), a[i].detail.c_str());
+      std::printf("  b: [%s] node %u %s  %s\n",
+                  sim::format_time(b[i].at).c_str(), b[i].node,
+                  b[i].event.c_str(), b[i].detail.c_str());
+      return 3;
+    }
+  }
+  std::printf("one trace is a prefix of the other; records %zu.. only in "
+              "%s\n",
+              common, a.size() > b.size() ? path_a : path_b);
+  return 3;
+}
+
+void print_registry(const obs::Registry& registry) {
+  if (registry.empty()) {
+    std::printf("  (empty - rebuild with -DSDCM_OBS=ON to instrument "
+                "hot paths)\n");
+    return;
+  }
+  for (const auto& [name, counter] : registry.counters()) {
+    std::printf("  %-36s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(counter.value()));
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    std::printf("  %-36s n=%llu min=%llu mean=%.1f p99<=%llu max=%llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(histogram.count()),
+                static_cast<unsigned long long>(histogram.min()),
+                histogram.mean(),
+                static_cast<unsigned long long>(
+                    histogram.quantile_upper(0.99)),
+                static_cast<unsigned long long>(histogram.max()));
+    for (const auto& bucket : histogram.buckets()) {
+      std::printf("    <= %-12llu %llu\n",
+                  static_cast<unsigned long long>(bucket.upper),
+                  static_cast<unsigned long long>(bucket.count));
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr,
-                 "usage: sdcm_logs <system> <lambda> <seed> [--full]\n"
-                 "  systems: UPnP Jini-1R Jini-2R FRODO-3party "
-                 "FRODO-2party\n");
-    return 2;
+  if (argc >= 2 && std::string_view(argv[1]) == "--diff") {
+    if (argc != 4) return usage();
+    return diff_traces(argv[2], argv[3]);
   }
+  if (argc < 4) return usage();
   const auto model = experiment::cli::model_from_name(argv[1]);
   if (!model) {
     std::fprintf(stderr, "unknown system '%s'\n", argv[1]);
@@ -74,18 +169,40 @@ int main(int argc, char** argv) {
   }
   const double lambda = std::atof(argv[2]);
   const auto seed = static_cast<std::uint64_t>(std::atoll(argv[3]));
-  const bool full = argc > 4 && std::string_view(argv[4]) == "--full";
 
-  // Re-run the scenario with tracing on, mirroring run_experiment but
-  // keeping the simulator alive for the log dump.
+  bool full = false;
+  bool tree = false;
+  bool histograms = false;
+  sim::SpanId tree_root = sim::kNoSpan;
+  std::string export_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--full") {
+      full = true;
+    } else if (arg == "--tree") {
+      tree = true;
+    } else if (arg.rfind("--tree=", 0) == 0) {
+      tree = true;
+      tree_root = static_cast<sim::SpanId>(
+          std::strtoull(arg.data() + 7, nullptr, 10));
+    } else if (arg == "--histograms") {
+      histograms = true;
+    } else if (arg.rfind("--export=", 0) == 0) {
+      export_path = std::string(arg.substr(9));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n\n", argv[i]);
+      return usage();
+    }
+  }
+
   experiment::ExperimentConfig config;
   config.model = *model;
   config.lambda = lambda;
   config.seed = seed;
   config.record_trace = true;
 
-  // run_experiment owns its simulator; for log access we reproduce the
-  // failure plan separately (same forked streams => identical plan).
+  // The failure plan is printed from a separate reproduction: identical
+  // forked streams draw the identical plan run_experiment_traced applies.
   sim::Simulator planner(seed);
   auto failure_rng = planner.rng().fork("experiment.failures");
   std::vector<sim::NodeId> node_ids;
@@ -117,7 +234,8 @@ int main(int argc, char** argv) {
                 ep.end() > sim::seconds(5400) ? "  (past end of run)" : "");
   }
 
-  const auto record = experiment::run_experiment(config);
+  const auto traced = experiment::run_experiment_traced(config);
+  const metrics::RunRecord& record = traced.record;
   std::printf("\nservice changes at %.0f, deadline 5400\n",
               sim::to_seconds(record.change_time));
   std::printf("\nper-user outcome:\n");
@@ -136,112 +254,85 @@ int main(int argc, char** argv) {
   std::printf("\nupdate messages: %llu   window messages (y): %llu\n",
               static_cast<unsigned long long>(record.update_messages),
               static_cast<unsigned long long>(record.window_messages));
+  std::printf("trace: %llu records, fingerprint 0x%016llx\n",
+              static_cast<unsigned long long>(traced.trace.appended()),
+              static_cast<unsigned long long>(record.trace_fingerprint));
 
-  // Recovery attribution: rerun with tracing and count technique events.
-  // (run_experiment discards its simulator; rebuild a traced run here via
-  // the scenario config - simplest is to rely on the deterministic seed
-  // and run the simulation once more through run_experiment with traces
-  // surfaced. Since the public API does not expose the trace, we count
-  // on the protocol-level counters instead: re-run manually.)
-  std::printf("\nrecovery-technique attribution "
-              "(trace events across an identical traced re-run):\n");
-  {
-    sim::Simulator simulator(seed);
-    simulator.trace().set_recording(true);
-    // Minimal inline topology mirror for the traced run.
-    net::Network network(simulator);
-    discovery::ConsistencyObserver observer;
-    std::vector<std::unique_ptr<discovery::Node>> nodes;
-    discovery::ServiceDescription sd;
-    sd.id = 1;
-    sd.device_type = "Printer";
-    sd.service_type = "ColorPrinter";
-    sd.attributes = {{"PaperSize", "A4"}, {"Location", "Study"}};
-    std::function<void()> change;
-    switch (*model) {
-      case experiment::SystemModel::kUpnp: {
-        auto manager = std::make_unique<upnp::UpnpManager>(
-            simulator, network, 10, upnp::UpnpConfig{}, &observer);
-        manager->add_service(sd);
-        change = [m = manager.get()] { m->change_service(1); };
-        nodes.push_back(std::move(manager));
-        for (int i = 0; i < 5; ++i) {
-          nodes.push_back(std::make_unique<upnp::UpnpUser>(
-              simulator, network, static_cast<sim::NodeId>(11 + i),
-              upnp::Requirement{"Printer", "ColorPrinter"},
-              upnp::UpnpConfig{}, &observer));
-        }
-        break;
-      }
-      case experiment::SystemModel::kJiniOneRegistry:
-      case experiment::SystemModel::kJiniTwoRegistries: {
-        nodes.push_back(std::make_unique<jini::JiniRegistry>(
-            simulator, network, 1, jini::JiniConfig{}));
-        if (*model == experiment::SystemModel::kJiniTwoRegistries) {
-          nodes.push_back(std::make_unique<jini::JiniRegistry>(
-              simulator, network, 2, jini::JiniConfig{}));
-        }
-        auto manager = std::make_unique<jini::JiniManager>(
-            simulator, network, 10, jini::JiniConfig{}, &observer);
-        manager->add_service(sd);
-        change = [m = manager.get()] { m->change_service(1); };
-        nodes.push_back(std::move(manager));
-        for (int i = 0; i < 5; ++i) {
-          nodes.push_back(std::make_unique<jini::JiniUser>(
-              simulator, network, static_cast<sim::NodeId>(11 + i),
-              jini::Template{"Printer", "ColorPrinter"}, jini::JiniConfig{},
-              &observer));
-        }
-        break;
-      }
-      case experiment::SystemModel::kFrodoThreeParty:
-      case experiment::SystemModel::kFrodoTwoParty: {
-        const bool two_party =
-            *model == experiment::SystemModel::kFrodoTwoParty;
-        nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
-            simulator, network, 1, 100, frodo::FrodoConfig{}));
-        if (two_party) {
-          nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
-              simulator, network, 2, 90, frodo::FrodoConfig{}));
-        }
-        const auto klass =
-            two_party ? frodo::DeviceClass::k300D : frodo::DeviceClass::k3D;
-        auto manager = std::make_unique<frodo::FrodoManager>(
-            simulator, network, 10, klass, frodo::FrodoConfig{}, &observer);
-        manager->add_service(sd);
-        change = [m = manager.get()] { m->change_service(1); };
-        nodes.push_back(std::move(manager));
-        for (int i = 0; i < 5; ++i) {
-          nodes.push_back(std::make_unique<frodo::FrodoUser>(
-              simulator, network, static_cast<sim::NodeId>(11 + i), klass,
-              frodo::Matching{"Printer", "ColorPrinter"},
-              frodo::FrodoConfig{}, &observer));
-        }
-        break;
-      }
+  std::printf("\nrecovery-technique attribution:\n");
+  for (const auto& entry : kAttribution) {
+    const std::size_t count = traced.trace.count_event(entry.event);
+    if (count > 0) {
+      std::printf("  %4zu x %-28s %s\n", count, entry.event, entry.meaning);
     }
-    for (auto& node : nodes) node->start();
-    auto rng2 = simulator.rng().fork("experiment.failures");
-    const auto plan2 = net::plan_failures(network.nodes(),
-                                          plan_config, rng2);
-    net::apply_failures(simulator, network, plan2);
-    auto change_rng = simulator.rng().fork("experiment.change");
-    const auto change_at =
-        change_rng.uniform_time(sim::seconds(100), sim::seconds(2700));
-    simulator.schedule_at(change_at, change);
-    simulator.run_until(sim::seconds(5400));
+  }
 
-    for (const auto& entry : kAttribution) {
-      const auto count = simulator.trace().with_event(entry.event).size();
-      if (count > 0) {
-        std::printf("  %4zu x %-28s %s\n", count, entry.event,
-                    entry.meaning);
+  if (tree) {
+    const auto forest = obs::build_span_forest(traced.trace.records());
+    std::size_t root_index = forest.nodes.size();
+    if (tree_root != sim::kNoSpan) {
+      const auto it = forest.by_span.find(tree_root);
+      if (it == forest.by_span.end()) {
+        std::fprintf(stderr, "error: no record has span %llu\n",
+                     static_cast<unsigned long long>(tree_root));
+        return 1;
+      }
+      root_index = it->second;
+    } else {
+      for (std::size_t i = 0; i < forest.nodes.size(); ++i) {
+        const std::string& event = forest.nodes[i].record->event;
+        for (const char* change : kChangeEvents) {
+          if (event == change) {
+            root_index = i;
+            break;
+          }
+        }
+        if (root_index != forest.nodes.size()) break;
+      }
+      if (root_index == forest.nodes.size()) {
+        std::fprintf(stderr,
+                     "error: no service-change record in this run's trace\n");
+        return 1;
       }
     }
-    if (full) {
-      std::printf("\n=== full event log ===\n");
-      simulator.trace().print(std::cout);
+    std::printf("\ncausal propagation tree (per-edge latency in us; edge "
+                "latencies\nalong a root-to-leaf path sum to that leaf's "
+                "total delay):\n");
+    obs::print_span_tree(std::cout, forest, root_index);
+    std::cout.flush();
+  }
+
+  if (histograms) {
+    std::printf("\nmetrics registry:\n");
+    print_registry(traced.obs);
+  }
+
+  if (!export_path.empty()) {
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (export_path != "-") {
+      file.open(export_path, std::ios::trunc);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write %s\n", export_path.c_str());
+        return 1;
+      }
+      out = &file;
     }
+    obs::JsonlTraceWriter writer(*out);
+    for (const sim::TraceRecord& r : traced.trace.records()) {
+      writer.on_record(r);
+    }
+    out->flush();
+    if (export_path != "-") {
+      std::fprintf(stderr, "wrote %s: %llu records, %llu bytes\n",
+                   export_path.c_str(),
+                   static_cast<unsigned long long>(writer.records_written()),
+                   static_cast<unsigned long long>(writer.bytes_written()));
+    }
+  }
+
+  if (full) {
+    std::printf("\n=== full event log ===\n");
+    traced.trace.print(std::cout);
   }
   return 0;
 }

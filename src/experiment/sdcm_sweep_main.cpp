@@ -120,6 +120,17 @@ int main(int argc, char** argv) {
     }
     sinks.add(&*jsonl);
   }
+  std::optional<TraceSink> traces;
+  if (!options->traces.empty()) {
+    try {
+      traces.emplace(options->traces);
+    } catch (const std::runtime_error& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+    config.trace_sink = &*traces;
+    if (progress) progress->watch_trace_sink(&*traces);
+  }
   config.sink = &sinks;
 
   if (config.shard.is_sharded()) {
@@ -141,6 +152,13 @@ int main(int argc, char** argv) {
   }
   if (!options->jsonl.empty() && options->jsonl != "-") {
     std::cerr << "wrote " << options->jsonl << '\n';
+  }
+  if (traces) {
+    std::fprintf(stderr,
+                 "wrote %s: %llu trace records, %.1f MB + manifest.jsonl\n",
+                 traces->directory().c_str(),
+                 static_cast<unsigned long long>(traces->records_written()),
+                 static_cast<double>(traces->bytes_flushed()) / 1e6);
   }
   report(result, *options);
   return 0;

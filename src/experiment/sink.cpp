@@ -5,10 +5,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <istream>
 #include <ostream>
+#include <stdexcept>
 #include <utility>
 
 namespace sdcm::experiment {
@@ -49,7 +51,7 @@ void ProgressSink::draw(bool final_line) {
                              .count();
   const double rate =
       elapsed > 0.0 ? static_cast<double>(done_) / elapsed : 0.0;
-  char buf[128];
+  char buf[192];
   if (rate > 0.0 && done_ < total_) {
     const double eta = static_cast<double>(total_ - done_) / rate;
     std::snprintf(buf, sizeof(buf),
@@ -62,6 +64,12 @@ void ProgressSink::draw(bool final_line) {
                   done_, total_, rate);
   }
   out_ << buf;
+  if (trace_sink_ != nullptr) {
+    std::snprintf(buf, sizeof(buf), "traces: %" PRIu64 " rec / %.1f MB   ",
+                  trace_sink_->records_written(),
+                  static_cast<double>(trace_sink_->bytes_flushed()) / 1e6);
+    out_ << buf;
+  }
   if (final_line) out_ << '\n';
   out_.flush();
 }
@@ -193,6 +201,92 @@ void JsonlSink::on_run(const RunEvent& event) {
   append_kernel(line, r.kernel);
   line += "}}\n";
   out_ << line;
+}
+
+// ---------------------------------------------------------------------
+// TraceSink
+// ---------------------------------------------------------------------
+
+TraceSink::TraceSink(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec) {
+    throw std::runtime_error("TraceSink: cannot create directory " +
+                             directory_ + ": " + ec.message());
+  }
+  const std::string manifest_path = directory_ + "/manifest.jsonl";
+  manifest_.open(manifest_path, std::ios::trunc);
+  if (!manifest_) {
+    throw std::runtime_error("TraceSink: cannot write " + manifest_path);
+  }
+}
+
+std::string TraceSink::run_file_name(SystemModel model,
+                                     std::size_t lambda_index, int run) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "_l%02zu_r%03d.jsonl", lambda_index, run);
+  return "trace_" + std::string(to_string(model)) + buf;
+}
+
+sim::TraceWriter* TraceSink::open_run(SystemModel model,
+                                      std::size_t lambda_index, int run) {
+  const std::string file = run_file_name(model, lambda_index, run);
+  auto opened = std::make_unique<OpenRun>(directory_ + "/" + file);
+  opened->file = file;
+  if (!opened->out) {
+    throw std::runtime_error("TraceSink: cannot write " + directory_ + "/" +
+                             file);
+  }
+  sim::TraceWriter* writer = &opened->writer;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  open_[RunKey{model, lambda_index, run}] = std::move(opened);
+  return writer;
+}
+
+void TraceSink::on_campaign_begin(const SweepConfig&, std::uint64_t) {}
+
+void TraceSink::on_run(const RunEvent& event) {
+  std::unique_ptr<OpenRun> done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        open_.find(RunKey{event.model, event.lambda_index, event.run});
+    if (it == open_.end()) return;  // run executed without open_run
+    done = std::move(it->second);
+    open_.erase(it);
+  }
+  done->out.flush();
+  records_.fetch_add(done->writer.records_written(),
+                     std::memory_order_relaxed);
+  bytes_.fetch_add(done->writer.bytes_written(), std::memory_order_relaxed);
+
+  std::string line = "{\"file\":";
+  append_quoted(line, done->file);
+  line += ",\"model\":";
+  append_quoted(line, to_string(event.model));
+  line += ",\"lambda\":";
+  append_double(line, event.lambda);
+  line += ",\"lambda_index\":";
+  append_u64(line, event.lambda_index);
+  line += ",\"run\":";
+  append_i64(line, event.run);
+  line += ",\"seed\":";
+  append_u64(line, event.seed);
+  line += ",\"records\":";
+  append_u64(line, done->writer.records_written());
+  line += ",\"bytes\":";
+  append_u64(line, done->writer.bytes_written());
+  line += ",\"trace_fingerprint\":";
+  append_u64(line, event.record->trace_fingerprint);
+  line += "}\n";
+  const std::lock_guard<std::mutex> lock(mutex_);
+  manifest_ << line;
+}
+
+void TraceSink::on_campaign_end(const CampaignSummary&) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  manifest_.flush();
 }
 
 // ---------------------------------------------------------------------

@@ -135,7 +135,9 @@ SweepResult run_sweep(const SweepConfig& config) {
   }
 
   RunSink* const sink = config.sink;
+  TraceSink* const trace_sink = config.trace_sink;
   if (sink != nullptr) sink->on_campaign_begin(config, jobs.size());
+  if (trace_sink != nullptr) trace_sink->on_campaign_begin(config, jobs.size());
 
   // One lock serializes the streaming reduction and the sink callbacks;
   // runs take milliseconds to seconds each, so contention is noise.
@@ -154,6 +156,10 @@ SweepResult run_sweep(const SweepConfig& config) {
         run_seed(config.master_seed, point.model, point.lambda_index, job.run);
     config.ablation.apply(run_config);
     if (config.customize) config.customize(run_config);
+    if (trace_sink != nullptr) {
+      run_config.trace_writer =
+          trace_sink->open_run(point.model, point.lambda_index, job.run);
+    }
 
     const auto run_start = std::chrono::steady_clock::now();
     metrics::RunRecord record = run_experiment(run_config);
@@ -168,7 +174,7 @@ SweepResult run_sweep(const SweepConfig& config) {
     result.summary.run_wall_ns_total += wall_ns;
     result.summary.sim_seconds_total += sim::to_seconds(record.deadline);
     sim::accumulate(result.summary.kernel, record.kernel);
-    if (sink != nullptr) {
+    if (sink != nullptr || trace_sink != nullptr) {
       RunEvent event;
       event.model = point.model;
       event.lambda = point.lambda;
@@ -178,7 +184,8 @@ SweepResult run_sweep(const SweepConfig& config) {
       event.seed = run_config.seed;
       event.wall_ns = wall_ns;
       event.record = &record;
-      sink->on_run(event);
+      if (sink != nullptr) sink->on_run(event);
+      if (trace_sink != nullptr) trace_sink->on_run(event);
     }
     if (config.keep_records) {
       point.records[static_cast<std::size_t>(job.run)] = std::move(record);
@@ -195,6 +202,7 @@ SweepResult run_sweep(const SweepConfig& config) {
           std::chrono::steady_clock::now() - campaign_start)
           .count());
   if (sink != nullptr) sink->on_campaign_end(result.summary);
+  if (trace_sink != nullptr) trace_sink->on_campaign_end(result.summary);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sdcm/obs/instrument.hpp"
+
 namespace sdcm::frodo {
 
 AckedChannel::AckedChannel(sim::Simulator& simulator, net::Network& network)
@@ -18,6 +20,11 @@ void AckedChannel::send(Token token, net::Message message, Options options,
                         std::function<void()> on_failed) {
   Pending pending;
   pending.message = std::move(message);
+  if (pending.message.span == sim::kNoSpan) {
+    // Capture the caller's causal context: retransmissions fire from
+    // timer context, and the stored message carries the span with it.
+    pending.message.span = sim_.trace().ambient();
+  }
   pending.options = options;
   pending.on_acked = std::move(on_acked);
   pending.on_failed = std::move(on_failed);
@@ -29,6 +36,9 @@ void AckedChannel::transmit(Token token) {
   const auto it = pending_.find(token);
   if (it == pending_.end()) return;
   Pending& pending = it->second;
+  SDCM_OBS_ONLY(if (pending.sent > 0) {
+    sim_.obs().counter("frodo.channel.retransmissions").inc();
+  });
   net_.send(pending.message);
   ++pending.sent;
 
@@ -39,8 +49,14 @@ void AckedChannel::transmit(Token token) {
       const auto fit = pending_.find(token);
       if (fit == pending_.end()) return;
       auto on_failed = std::move(fit->second.on_failed);
+      const sim::SpanId span = fit->second.message.span;
       pending_.erase(fit);
-      if (on_failed) on_failed();
+      if (on_failed) {
+        // Recovery actions taken on failure (SRN2 marking, PR1 staleness)
+        // descend from the exchange that failed.
+        sim::SpanScope scope(sim_.trace(), span);
+        on_failed();
+      }
     });
     return;
   }

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sdcm/obs/instrument.hpp"
+
 namespace sdcm::frodo {
 
 using discovery::ServiceDescription;
@@ -98,9 +100,9 @@ void FrodoManager::register_service(ServiceId service) {
                                  : MessageClass::kDiscovery;
   m.bytes = 48 + discovery::wire_size(state.sd);
   m.payload = Register{token, id(), device_class(), state.sd, state.critical};
-  trace(sim::TraceCategory::kDiscovery, "frodo.register.tx",
-        "service=" + std::to_string(service) +
-            " version=" + std::to_string(state.sd.version));
+  m.span = trace(sim::TraceCategory::kDiscovery, "frodo.register.tx",
+                 "service=" + std::to_string(service) +
+                     " version=" + std::to_string(state.sd.version));
   channel().send(token, std::move(m), srn1_options(), /*on_acked=*/{},
                  /*on_failed=*/[this, service] {
                    auto& st = services_.at(service);
@@ -152,8 +154,10 @@ void FrodoManager::renew_registration(ServiceId service) {
         // The renewal proves the Central is reachable again: deliver the
         // update it missed.
         if (st.central_stale && st.pending_central_update == 0) {
-          trace(sim::TraceCategory::kUpdate, "frodo.update.central_retry",
-                "service=" + std::to_string(service));
+          const sim::SpanId retry = trace(
+              sim::TraceCategory::kUpdate, "frodo.update.central_retry",
+              "service=" + std::to_string(service));
+          sim::SpanScope scope(simulator().trace(), retry);
           send_update_to_central(service);
         }
       },
@@ -193,9 +197,13 @@ void FrodoManager::change_service(ServiceId service,
     state.previous_change_gap = now() - state.last_change;
   }
   state.last_change = now();
-  trace(sim::TraceCategory::kUpdate, "frodo.service_changed",
-        "service=" + std::to_string(service) +
-            " version=" + std::to_string(state.sd.version));
+  const sim::SpanId change_span =
+      trace(sim::TraceCategory::kUpdate, "frodo.service_changed",
+            "service=" + std::to_string(service) +
+                " version=" + std::to_string(state.sd.version));
+  // Everything the change triggers - the Central update and the per-User
+  // notifications - descends from this record, making the fan-out a tree.
+  sim::SpanScope change_scope(simulator().trace(), change_span);
   if (observer_ != nullptr) {
     observer_->service_changed(state.sd.version, now());
   }
@@ -305,9 +313,10 @@ void FrodoManager::send_update_to_user(ServiceId service, NodeId user) {
     m.bytes = discovery::wire_size(state.sd);
     m.payload = ServiceUpdate{token, state.sd, state.critical, false};
   }
-  trace(sim::TraceCategory::kUpdate, "frodo.update.tx",
-        "user=" + std::to_string(user) + " version=" +
-            std::to_string(version) + (invalidate ? " invalidation" : ""));
+  m.span = trace(sim::TraceCategory::kUpdate, "frodo.update.tx",
+                 "user=" + std::to_string(user) + " version=" +
+                     std::to_string(version) +
+                     (invalidate ? " invalidation" : ""));
   channel().send(
       token, std::move(m),
       state.critical ? src1_options() : srn1_options(),
@@ -427,14 +436,16 @@ void FrodoManager::handle_subscription_renew(const Message& m) {
   if (!known) {
     if (!config().enable_pr4) return;
     // PR4: request the purged User to resubscribe.
-    trace(sim::TraceCategory::kSubscription, "frodo.resubscribe.request",
-          "user=" + std::to_string(renew.user));
     Message req;
     req.src = id();
     req.dst = renew.user;
     req.type = msg::kResubscribeRequest;
     req.klass = MessageClass::kControl;
     req.payload = ResubscribeRequest{renew.token, renew.service};
+    req.span = trace(sim::TraceCategory::kSubscription,
+                     "frodo.resubscribe.request",
+                     "user=" + std::to_string(renew.user));
+    SDCM_OBS_ONLY(simulator().obs().counter("recovery.frodo.pr4").inc());
     network().send(req);
     return;
   }
@@ -449,8 +460,11 @@ void FrodoManager::handle_subscription_renew(const Message& m) {
   const auto& state = services_.at(renew.service);
   if (config().enable_srn2 && sub.inconsistent_since != 0 &&
       sub.inconsistent_since == state.sd.version && sub.pending_update == 0) {
-    trace(sim::TraceCategory::kUpdate, "frodo.srn2.retry",
-          "user=" + std::to_string(renew.user));
+    const sim::SpanId retry =
+        trace(sim::TraceCategory::kUpdate, "frodo.srn2.retry",
+              "user=" + std::to_string(renew.user));
+    SDCM_OBS_ONLY(simulator().obs().counter("recovery.frodo.srn2").inc());
+    sim::SpanScope scope(simulator().trace(), retry);
     send_update_to_user(renew.service, renew.user);
   }
 }

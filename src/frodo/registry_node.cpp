@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "sdcm/obs/instrument.hpp"
+
 namespace sdcm::frodo {
 
 using discovery::ServiceDescription;
@@ -451,9 +453,13 @@ void FrodoRegistryNode::handle_service_update(const Message& m) {
   network().send(ack);
 
   if (newer) {
-    trace(sim::TraceCategory::kUpdate, "frodo.update.stored",
-          "service=" + std::to_string(update.sd.id) +
-              " version=" + std::to_string(update.sd.version));
+    const sim::SpanId stored =
+        trace(sim::TraceCategory::kUpdate, "frodo.update.stored",
+              "service=" + std::to_string(update.sd.id) +
+                  " version=" + std::to_string(update.sd.version));
+    // The Central's fan-out to the subscribed Users descends from the
+    // stored update, which itself descends from the Manager's send.
+    sim::SpanScope scope(simulator().trace(), stored);
     sync_backup();
     propagate_update(update.sd.id);
   }
@@ -476,9 +482,9 @@ void FrodoRegistryNode::propagate_update(ServiceId service) {
     m.klass = MessageClass::kUpdate;
     m.bytes = discovery::wire_size(reg.sd);
     m.payload = ServiceUpdate{token, reg.sd, reg.critical};
-    trace(sim::TraceCategory::kUpdate, "frodo.update.tx",
-          "user=" + std::to_string(user) +
-              " version=" + std::to_string(reg.sd.version));
+    m.span = trace(sim::TraceCategory::kUpdate, "frodo.update.tx",
+                   "user=" + std::to_string(user) +
+                       " version=" + std::to_string(reg.sd.version));
     // SRC1 for critical services (unlimited), SRN1 otherwise. There is no
     // SRN2 at the Central (Table 4: SRN2 is the 2-party Manager's); a
     // failed propagation is recovered by PR3 / PR1.
@@ -509,9 +515,14 @@ void FrodoRegistryNode::notify_interest(NodeId user, ServiceId service) {
                                : MessageClass::kDiscovery;
   m.bytes = 48 + discovery::wire_size(reg.sd);
   m.payload = ServiceNotification{token, reg.sd, reg.manager_class};
-  trace(sim::TraceCategory::kUpdate, "frodo.notify.tx",
-        "user=" + std::to_string(user) +
-            " version=" + std::to_string(reg.sd.version));
+  m.span = trace(sim::TraceCategory::kUpdate, "frodo.notify.tx",
+                 "user=" + std::to_string(user) +
+                     " version=" + std::to_string(reg.sd.version));
+  SDCM_OBS_ONLY(if (reg.sd.version > 1) {
+    // A version the User may have missed is being pushed by interest
+    // notification: that is PR1 doing recovery, not plain discovery.
+    simulator().obs().counter("recovery.frodo.pr1").inc();
+  });
   channel_.send(token, std::move(m),
                 {config_.srn1_retries, config_.srn1_spacing});
 }
@@ -595,14 +606,16 @@ void FrodoRegistryNode::handle_subscription_renew(const Message& m) {
   if (!config_.enable_pr3) return;
   // PR3: the Registry explicitly requests the purged User to resubscribe;
   // the resubscription response will carry the updated description.
-  trace(sim::TraceCategory::kSubscription, "frodo.resubscribe.request",
-        "user=" + std::to_string(renew.user));
   Message req;
   req.src = id();
   req.dst = renew.user;
   req.type = msg::kResubscribeRequest;
   req.klass = MessageClass::kControl;
   req.payload = ResubscribeRequest{renew.token, renew.service};
+  req.span = trace(sim::TraceCategory::kSubscription,
+                   "frodo.resubscribe.request",
+                   "user=" + std::to_string(renew.user));
+  SDCM_OBS_ONLY(simulator().obs().counter("recovery.frodo.pr3").inc());
   network().send(req);
 }
 

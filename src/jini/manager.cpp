@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "sdcm/net/tcp.hpp"
+#include "sdcm/obs/instrument.hpp"
 
 namespace sdcm::jini {
 
@@ -115,9 +116,9 @@ void JiniManager::register_service(NodeId registry, ServiceId service) {
                                        : MessageClass::kDiscovery;
   m.bytes = 48 + discovery::wire_size(svc_it->second);
   m.payload = Register{id(), svc_it->second};
-  trace(sim::TraceCategory::kUpdate, "jini.register.tx",
-        "registry=" + std::to_string(registry) +
-            " version=" + std::to_string(svc_it->second.version));
+  m.span = trace(sim::TraceCategory::kUpdate, "jini.register.tx",
+                 "registry=" + std::to_string(registry) +
+                     " version=" + std::to_string(svc_it->second.version));
   net::TcpConnection::open_and_send(
       network(), std::move(m), {},
       [this, registry] { purge_registry(registry, "register-rex"); },
@@ -175,6 +176,7 @@ void JiniManager::handle_renew_response(const Message& m) {
     // current description (PR1 when the version moved meanwhile).
     trace(sim::TraceCategory::kLease, "jini.renew.lapsed",
           "registry=" + std::to_string(registry));
+    SDCM_OBS_ONLY(simulator().obs().counter("recovery.jini.pr1").inc());
     register_service(registry, service);
   }
 }
@@ -191,9 +193,13 @@ void JiniManager::change_service(ServiceId service,
     it->second.attributes[key] = value;
   }
   ++it->second.version;
-  trace(sim::TraceCategory::kUpdate, "jini.service_changed",
-        "service=" + std::to_string(service) +
-            " version=" + std::to_string(it->second.version));
+  const sim::SpanId change_span =
+      trace(sim::TraceCategory::kUpdate, "jini.service_changed",
+            "service=" + std::to_string(service) +
+                " version=" + std::to_string(it->second.version));
+  // The re-registrations (and through them each registry's RemoteEvent
+  // fan-out) descend from this change record.
+  sim::SpanScope change_scope(simulator().trace(), change_span);
   if (observer_ != nullptr) {
     observer_->service_changed(it->second.version, now());
   }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "sdcm/net/tcp.hpp"
+#include "sdcm/obs/instrument.hpp"
 
 namespace sdcm::jini {
 
@@ -70,10 +71,14 @@ void JiniRegistry::handle_register(const Message& m) {
   const ServiceId service = reg.sd.id;
   simulator().reschedule_at(entry.expiry, entry.lease.expires_at(),
                             [this, service] { purge_registration(service); });
-  trace(sim::TraceCategory::kDiscovery, "jini.registered",
-        "service=" + std::to_string(service) +
-            " version=" + std::to_string(reg.sd.version) +
-            (inserted ? " new" : " renewal"));
+  const sim::SpanId stored =
+      trace(sim::TraceCategory::kDiscovery, "jini.registered",
+            "service=" + std::to_string(service) +
+                " version=" + std::to_string(reg.sd.version) +
+                (inserted ? " new" : " renewal"));
+  // The response and the RemoteEvent fan-out both descend from the
+  // stored registration.
+  sim::SpanScope scope(simulator().trace(), stored);
 
   Message reply;
   reply.src = id();
@@ -104,9 +109,9 @@ void JiniRegistry::fire_events(const ServiceDescription& sd) {
         sd.version > 1 ? MessageClass::kUpdate : MessageClass::kDiscovery;
     event.bytes = 48 + discovery::wire_size(sd);
     event.payload = RemoteEvent{sd};
-    trace(sim::TraceCategory::kUpdate, "jini.event.tx",
-          "user=" + std::to_string(user) +
-              " version=" + std::to_string(sd.version));
+    event.span = trace(sim::TraceCategory::kUpdate, "jini.event.tx",
+                       "user=" + std::to_string(user) +
+                           " version=" + std::to_string(sd.version));
     // Best-effort delivery: a REX abandons this event (the event lease is
     // kept); recovery is left to PR1/PR2/PR3.
     net::TcpConnection::open_and_send(
@@ -212,6 +217,7 @@ void JiniRegistry::handle_renew_event(const Message& m) {
     // discovery, event registration and lookup.
     trace(sim::TraceCategory::kSubscription, "jini.renew_event.unknown",
           "user=" + std::to_string(renew.user));
+    SDCM_OBS_ONLY(simulator().obs().counter("recovery.jini.pr3").inc());
     reply.payload = RenewEventResponse{false};
   }
   m.conn->send(std::move(reply));

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sdcm/obs/instrument.hpp"
+
 namespace sdcm::net {
 
 std::string_view to_string(MessageClass c) noexcept {
@@ -58,6 +60,13 @@ Network::Network(sim::Simulator& simulator, sim::SimDuration min_delay,
       rng_(simulator.rng().fork("network.delays")),
       loss_rng_(simulator.rng().fork("network.loss")) {
   assert(min_delay_ >= 0 && min_delay_ <= max_delay_);
+#if SDCM_OBS_ENABLED
+  // Fixed bounds bracketing Table 3's U(10 us, 100 us): anything outside
+  // [10, 100] on a healthy network is a modelling bug the obs
+  // integration test catches.
+  hop_delay_us_ = &sim_.obs().fixed_histogram(
+      "net.hop_delay_us", {9, 10, 25, 50, 75, 100});
+#endif
 }
 
 Network::Network(sim::Simulator& simulator)
@@ -84,7 +93,13 @@ const InterfaceState& Network::interface(NodeId id) const {
 }
 
 sim::SimDuration Network::draw_delay() {
-  return rng_.uniform_int(min_delay_, max_delay_);
+  const sim::SimDuration d = rng_.uniform_int(min_delay_, max_delay_);
+#if SDCM_OBS_ENABLED
+  if (hop_delay_us_ != nullptr) {
+    hop_delay_us_->record(static_cast<std::uint64_t>(d));
+  }
+#endif
+  return d;
 }
 
 void Network::set_message_loss_rate(double rate) {
@@ -104,11 +119,14 @@ void Network::multicast(const Message& msg, int redundant_copies) {
   assert(redundant_copies >= 1);
   Port& src = port(msg.src);
   sim::KernelStats& kstats = sim_.kernel_stats();
+  const sim::SpanId cause =
+      msg.span != sim::kNoSpan ? msg.span : sim_.trace().ambient();
   for (int copy = 0; copy < redundant_copies; ++copy) {
     if (!src.iface.tx_up()) {
       ++kstats.udp_dropped;
-      sim_.trace().record(sim_.now(), msg.src, sim::TraceCategory::kTransport,
-                          "net.drop.tx", msg.type);
+      sim_.trace().record_child(cause, sim_.now(), msg.src,
+                                sim::TraceCategory::kTransport, "net.drop.tx",
+                                msg.type);
       continue;
     }
     counters_.count(msg);
@@ -118,17 +136,19 @@ void Network::multicast(const Message& msg, int redundant_copies) {
       Message delivered = msg;
       delivered.dst = dst;
       delivered.via_multicast = true;
+      delivered.span = cause;
       const auto delay = draw_delay();
       const bool lost = lost_in_transit();
       sim_.schedule_in(delay, [this, lost, m = std::move(delivered)]() {
         Port& dport = port(m.dst);
         if (!dport.iface.rx_up() || lost) {
           ++sim_.kernel_stats().udp_dropped;
-          sim_.trace().record(sim_.now(), m.dst,
-                              sim::TraceCategory::kTransport, "net.drop.rx",
-                              m.type);
+          sim_.trace().record_child(m.span, sim_.now(), m.dst,
+                                    sim::TraceCategory::kTransport,
+                                    "net.drop.rx", m.type);
           return;
         }
+        sim::SpanScope scope(sim_.trace(), m.span);
         dport.handler(m);
       });
     }
@@ -140,13 +160,19 @@ bool Network::transmit(Message msg, bool deliver,
   Port& src = port(msg.src);
   const bool tcp = msg.klass == MessageClass::kTransport;
   sim::KernelStats& kstats = sim_.kernel_stats();
+  if (msg.span == sim::kNoSpan) msg.span = sim_.trace().ambient();
   const auto delay = draw_delay();
   if (!src.iface.tx_up()) {
     ++(tcp ? kstats.tcp_dropped : kstats.udp_dropped);
-    sim_.trace().record(sim_.now(), msg.src, sim::TraceCategory::kTransport,
-                        "net.drop.tx", msg.type);
+    sim_.trace().record_child(msg.span, sim_.now(), msg.src,
+                              sim::TraceCategory::kTransport, "net.drop.tx",
+                              msg.type);
     if (on_result) {
-      sim_.schedule_in(delay, [cb = std::move(on_result)]() { cb(false); });
+      sim_.schedule_in(delay, [this, span = msg.span,
+                               cb = std::move(on_result)]() {
+        sim::SpanScope scope(sim_.trace(), span);
+        cb(false);
+      });
     }
     return false;
   }
@@ -157,11 +183,13 @@ bool Network::transmit(Message msg, bool deliver,
                            cb = std::move(on_result)]() {
     Port& dport = port(m.dst);
     const bool ok = dport.iface.rx_up() && !lost;
+    sim::SpanScope scope(sim_.trace(), m.span);
     if (!ok) {
       sim::KernelStats& ks = sim_.kernel_stats();
       ++(tcp ? ks.tcp_dropped : ks.udp_dropped);
-      sim_.trace().record(sim_.now(), m.dst, sim::TraceCategory::kTransport,
-                          "net.drop.rx", m.type);
+      sim_.trace().record_child(m.span, sim_.now(), m.dst,
+                                sim::TraceCategory::kTransport, "net.drop.rx",
+                                m.type);
     } else if (deliver) {
       dport.handler(m);
     }
@@ -170,6 +198,12 @@ bool Network::transmit(Message msg, bool deliver,
   return true;
 }
 
-void Network::deliver_local(const Message& msg) { port(msg.dst).handler(msg); }
+void Network::deliver_local(const Message& msg) {
+  sim::TraceLog& trace = sim_.trace();
+  const sim::SpanId span =
+      msg.span != sim::kNoSpan ? msg.span : trace.ambient();
+  sim::SpanScope scope(trace, span);
+  port(msg.dst).handler(msg);
+}
 
 }  // namespace sdcm::net

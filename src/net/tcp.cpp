@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sdcm/obs/instrument.hpp"
+
 namespace sdcm::net {
 
 namespace {
@@ -25,12 +27,15 @@ TcpConnection::TcpConnection(Network& network, NodeId initiator,
 
 void TcpConnection::open(Network& network, NodeId initiator, NodeId responder,
                          OpenCallback on_open, RexCallback on_rex,
-                         Config config) {
+                         Config config, sim::SpanId span) {
   // Private constructor; std::make_shared cannot reach it.
   std::shared_ptr<TcpConnection> conn(
       new TcpConnection(network, initiator, responder, std::move(config)));
   conn->on_open_ = std::move(on_open);
   conn->on_rex_ = std::move(on_rex);
+  conn->span_ = span != sim::kNoSpan
+                    ? span
+                    : network.simulator().trace().ambient();
 
   // The initial SYN goes out now; one retransmission follows each
   // configured gap (Table 3: initial + 4 retransmissions at 6/24/24/24 s).
@@ -50,11 +55,15 @@ void TcpConnection::open(Network& network, NodeId initiator, NodeId responder,
       conn->net_.simulator().cancel(conn->next_attempt_timer_);
       conn->next_attempt_timer_ = sim::kInvalidEventId;
     }
-    conn->net_.simulator().trace().record(
-        conn->net_.simulator().now(), conn->initiator_,
+    conn->net_.simulator().trace().record_child(
+        conn->span_, conn->net_.simulator().now(), conn->initiator_,
         sim::TraceCategory::kTransport, "tcp.rex",
         "to=" + std::to_string(conn->responder_));
-    if (conn->on_rex_) conn->on_rex_();
+    SDCM_OBS_ONLY(conn->net_.simulator().obs().counter("tcp.rex").inc());
+    if (conn->on_rex_) {
+      sim::SpanScope scope(conn->net_.simulator().trace(), conn->span_);
+      conn->on_rex_();
+    }
   });
 
   conn->attempt_handshake(0);
@@ -65,28 +74,36 @@ void TcpConnection::open_and_send(Network& network, Message msg,
                                   Config config) {
   const NodeId src = msg.src;
   const NodeId dst = msg.dst;
+  if (msg.span == sim::kNoSpan) {
+    msg.span = network.simulator().trace().ambient();
+  }
+  const sim::SpanId span = msg.span;
   open(
       network, src, dst,
       [m = std::move(msg), cb = std::move(on_acked)](
           const std::shared_ptr<TcpConnection>& conn) mutable {
         conn->send(std::move(m), std::move(cb));
       },
-      std::move(on_rex), std::move(config));
+      std::move(on_rex), std::move(config), span);
 }
 
 void TcpConnection::attempt_handshake(std::size_t attempt) {
   if (opened_ || rexed_ || closed_) return;
   auto self = shared_from_this();
 
+  Message syn = transport_segment(initiator_, responder_, "tcp.syn");
+  syn.span = span_;
   net_.transmit(
-      transport_segment(initiator_, responder_, "tcp.syn"),
+      std::move(syn),
       /*deliver=*/false, [self](bool syn_delivered) {
         if (!syn_delivered || self->opened_ || self->rexed_ || self->closed_) {
           return;
         }
+        Message synack = transport_segment(self->responder_, self->initiator_,
+                                           "tcp.synack");
+        synack.span = self->span_;
         self->net_.transmit(
-            transport_segment(self->responder_, self->initiator_,
-                              "tcp.synack"),
+            std::move(synack),
             /*deliver=*/false, [self](bool synack_delivered) {
               if (!synack_delivered || self->opened_ || self->rexed_ ||
                   self->closed_) {
@@ -125,6 +142,12 @@ void TcpConnection::send(Message msg, AckCallback on_acked) {
          (msg.src == responder_ && msg.dst == initiator_));
   auto t = std::make_shared<Transfer>();
   t->msg = std::move(msg);
+  if (t->msg.span == sim::kNoSpan) {
+    // Capture the caller's causal context now: retransmissions fire from
+    // timer context, where the ambient span is gone.
+    const sim::SpanId ambient = net_.simulator().trace().ambient();
+    t->msg.span = ambient != sim::kNoSpan ? ambient : span_;
+  }
   t->on_acked = std::move(on_acked);
   t->rto = config_.initial_rto;
   transfer_attempt(t);
@@ -142,6 +165,8 @@ void TcpConnection::transfer_attempt(const std::shared_ptr<Transfer>& t) {
     // message counts must not inflate with TCP retries).
     segment.klass = MessageClass::kTransport;
     segment.type = t->msg.type + ".retx";
+    SDCM_OBS_ONLY(
+        net_.simulator().obs().counter("tcp.retransmissions").inc());
   }
 
   const bool left_source = net_.transmit(
@@ -155,8 +180,10 @@ void TcpConnection::transfer_attempt(const std::shared_ptr<Transfer>& t) {
           self->net_.deliver_local(app);
         }
         // Pure transport-level acknowledgement back to the sender.
+        Message ack = transport_segment(t->msg.dst, t->msg.src, "tcp.ack");
+        ack.span = t->msg.span;
         self->net_.transmit(
-            transport_segment(t->msg.dst, t->msg.src, "tcp.ack"),
+            std::move(ack),
             /*deliver=*/false, [self, t](bool ack_delivered) {
               if (self->closed_ || t->acked || !ack_delivered) return;
               t->acked = true;

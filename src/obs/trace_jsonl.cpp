@@ -1,0 +1,186 @@
+#include "sdcm/obs/trace_jsonl.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+namespace sdcm::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void append_quoted(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+/// Strict cursor over one record line. The format is rigid (fixed key
+/// order, exactly the seven fields the writer emits), so the parser is a
+/// matcher, not a general JSON reader.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view text) : text_(text) {}
+
+  bool literal(std::string_view expect) {
+    if (text_.compare(pos_, expect.size(), expect) != 0) return false;
+    pos_ += expect.size();
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    const std::size_t begin = pos_;
+    std::uint64_t v = 0;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    if (pos_ == begin) return false;
+    out = v;
+    return true;
+  }
+
+  bool i64(std::int64_t& out) {
+    const bool negative = pos_ < text_.size() && text_[pos_] == '-';
+    if (negative) ++pos_;
+    std::uint64_t magnitude = 0;
+    if (!u64(magnitude)) return false;
+    out = negative ? -static_cast<std::int64_t>(magnitude)
+                   : static_cast<std::int64_t>(magnitude);
+    return true;
+  }
+
+  bool quoted(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        c = text_[pos_];
+        if (c != '"' && c != '\\') return false;  // only escapes we emit
+      }
+      out += c;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == text_.size(); }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string trace_record_to_jsonl(const sim::TraceRecord& record) {
+  std::string line = "{\"at\":";
+  append_i64(line, record.at);
+  line += ",\"node\":";
+  append_u64(line, record.node);
+  line += ",\"category\":";
+  append_quoted(line, to_string(record.category));
+  line += ",\"span\":";
+  append_u64(line, record.span);
+  line += ",\"parent\":";
+  append_u64(line, record.parent);
+  line += ",\"event\":";
+  append_quoted(line, record.event);
+  line += ",\"detail\":";
+  append_quoted(line, record.detail);
+  line += '}';
+  return line;
+}
+
+std::optional<sim::TraceRecord> parse_trace_record(std::string_view line,
+                                                   std::string& error) {
+  LineParser p(line);
+  sim::TraceRecord record;
+  std::uint64_t node = 0;
+  std::string category;
+  const bool shape =
+      p.literal("{\"at\":") && p.i64(record.at) &&
+      p.literal(",\"node\":") && p.u64(node) &&
+      p.literal(",\"category\":") && p.quoted(category) &&
+      p.literal(",\"span\":") && p.u64(record.span) &&
+      p.literal(",\"parent\":") && p.u64(record.parent) &&
+      p.literal(",\"event\":") && p.quoted(record.event) &&
+      p.literal(",\"detail\":") && p.quoted(record.detail) &&
+      p.literal("}") && p.at_end();
+  if (!shape) {
+    error = "malformed trace record line";
+    return std::nullopt;
+  }
+  if (node > std::uint64_t{0xffffffff}) {
+    error = "node id out of range";
+    return std::nullopt;
+  }
+  record.node = static_cast<sim::NodeId>(node);
+  const auto cat = sim::category_from_string(category);
+  if (!cat) {
+    error = "unknown trace category '" + category + "'";
+    return std::nullopt;
+  }
+  record.category = *cat;
+  return record;
+}
+
+void JsonlTraceWriter::on_record(const sim::TraceRecord& record) {
+  std::string line = trace_record_to_jsonl(record);
+  line += '\n';
+  out_ << line;
+  ++records_;
+  bytes_ += line.size();
+}
+
+bool read_trace_jsonl(std::istream& in, sim::TraceLog& log,
+                      std::string& error) {
+  if (log.appended() != 0) {
+    error = "target trace log is not empty";
+    return false;
+  }
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto record = parse_trace_record(line, error);
+    if (!record) {
+      error = "line " + std::to_string(line_number) + ": " + error;
+      return false;
+    }
+    const sim::SpanId span =
+        log.record_child(record->parent, record->at, record->node,
+                         record->category, record->event, record->detail);
+    if (span != record->span) {
+      error = "line " + std::to_string(line_number) +
+              ": span id " + std::to_string(record->span) +
+              " does not match replay order (expected " +
+              std::to_string(span) + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sdcm::obs

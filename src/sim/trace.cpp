@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 namespace sdcm::sim {
 
@@ -27,32 +28,105 @@ std::string_view to_string(TraceCategory c) noexcept {
   return "unknown";
 }
 
-void TraceLog::record(SimTime at, NodeId node, TraceCategory category,
-                      std::string event, std::string detail) {
-  if (!recording_) return;
-  records_.push_back(
-      TraceRecord{at, node, category, std::move(event), std::move(detail)});
+std::optional<TraceCategory> category_from_string(
+    std::string_view s) noexcept {
+  for (const TraceCategory c :
+       {TraceCategory::kFailure, TraceCategory::kTransport,
+        TraceCategory::kDiscovery, TraceCategory::kSubscription,
+        TraceCategory::kUpdate, TraceCategory::kElection,
+        TraceCategory::kLease, TraceCategory::kInfo}) {
+    if (to_string(c) == s) return c;
+  }
+  return std::nullopt;
+}
+
+TraceLog::TraceLog(TraceLog&& other) noexcept
+    : recording_(other.recording_),
+      store_(other.store_),
+      records_(std::move(other.records_)),
+      next_span_(other.next_span_),
+      ambient_(other.ambient_),
+      hash_(other.hash_),
+      appended_(other.appended_),
+      writer_(other.writer_) {
+  // stats_ stays bound to the local block: the source's binding usually
+  // points into a Simulator whose lifetime we must not depend on.
+  other.clear();
+  other.writer_ = nullptr;
+}
+
+TraceLog& TraceLog::operator=(TraceLog&& other) noexcept {
+  if (this == &other) return *this;
+  recording_ = other.recording_;
+  store_ = other.store_;
+  records_ = std::move(other.records_);
+  next_span_ = other.next_span_;
+  ambient_ = other.ambient_;
+  hash_ = other.hash_;
+  appended_ = other.appended_;
+  writer_ = other.writer_;
+  stats_ = &local_stats_;
+  other.clear();
+  other.writer_ = nullptr;
+  return *this;
+}
+
+void TraceLog::mix(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 1099511628211ull;
+  }
+}
+
+SpanId TraceLog::record(SimTime at, NodeId node, TraceCategory category,
+                        std::string event, std::string detail) {
+  return record_child(ambient_, at, node, category, std::move(event),
+                      std::move(detail));
+}
+
+SpanId TraceLog::record_child(SpanId parent, SimTime at, NodeId node,
+                              TraceCategory category, std::string event,
+                              std::string detail) {
+  if (!recording_) return kNoSpan;
+  const SpanId span = ++next_span_;
+  TraceRecord r{at,     node,   category,         span,
+                parent, std::move(event), std::move(detail)};
+  // Span ids are excluded from the hash: they are derived metadata, and
+  // the golden fingerprints pin behaviour (see fingerprint()).
+  mix(&r.at, sizeof(r.at));
+  mix(&r.node, sizeof(r.node));
+  const auto category_byte = static_cast<std::uint8_t>(r.category);
+  mix(&category_byte, sizeof(category_byte));
+  mix(r.event.data(), r.event.size());
+  mix(r.detail.data(), r.detail.size());
+  ++appended_;
   ++stats_->trace_records;
+  if (writer_ != nullptr) writer_->on_record(r);
+  if (store_) records_.push_back(std::move(r));
+  return span;
+}
+
+void TraceLog::clear() noexcept {
+  records_.clear();
+  next_span_ = kNoSpan;
+  ambient_ = kNoSpan;
+  hash_ = 14695981039346656037ull;
+  appended_ = 0;
 }
 
 std::uint64_t TraceLog::fingerprint() const noexcept {
-  std::uint64_t h = 14695981039346656037ull;
-  const auto mix = [&h](const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ull;
-    }
-  };
-  for (const auto& r : records_) {
-    mix(&r.at, sizeof(r.at));
-    mix(&r.node, sizeof(r.node));
-    const auto category = static_cast<std::uint8_t>(r.category);
-    mix(&category, sizeof(category));
-    mix(r.event.data(), r.event.size());
-    mix(r.detail.data(), r.detail.size());
+  // Finalize by feeding the record count through the same FNV-1a stream
+  // (not a bare XOR, which a truncation could cancel bit-for-bit): a log
+  // can never collide with its own prefix.
+  std::uint64_t h = hash_;
+  const std::uint64_t count = appended_;
+  const auto* p = reinterpret_cast<const unsigned char*>(&count);
+  for (std::size_t i = 0; i < sizeof(count); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
   }
-  return h ^ records_.size();
+  return h;
 }
 
 std::vector<TraceRecord> TraceLog::with_event(std::string_view event) const {

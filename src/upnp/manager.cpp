@@ -91,9 +91,13 @@ void UpnpManager::change_service(ServiceId service,
 
 void UpnpManager::bumped(ServiceDescription& sd) {
   ++sd.version;
-  trace(sim::TraceCategory::kUpdate, "upnp.service_changed",
-        "service=" + std::to_string(sd.id) +
-            " version=" + std::to_string(sd.version));
+  const sim::SpanId change_span =
+      trace(sim::TraceCategory::kUpdate, "upnp.service_changed",
+            "service=" + std::to_string(sd.id) +
+                " version=" + std::to_string(sd.version));
+  // The GENA notifications (and through them each User's description
+  // re-fetch) descend from this change record.
+  sim::SpanScope change_scope(simulator().trace(), change_span);
   if (observer_ != nullptr) observer_->service_changed(sd.version, now());
 
   if (!config_.enable_notification) return;  // CM2-only study
@@ -115,8 +119,8 @@ void UpnpManager::notify_subscriber(ServiceId service, NodeId user) {
   m.klass = MessageClass::kUpdate;
   m.bytes = 64;  // invalidation only: "a change has occurred"
   m.payload = Notify{service, sd.version};
-  trace(sim::TraceCategory::kUpdate, "upnp.notify.tx",
-        "user=" + std::to_string(user));
+  m.span = trace(sim::TraceCategory::kUpdate, "upnp.notify.tx",
+                 "user=" + std::to_string(user));
   // GENA rule: an event that cannot be delivered cancels the subscription.
   net::TcpConnection::open_and_send(
       network(), std::move(m), /*on_acked=*/{},

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sdcm/net/tcp.hpp"
+#include "sdcm/obs/instrument.hpp"
 
 namespace sdcm::upnp {
 
@@ -102,7 +103,7 @@ void UpnpUser::fetch_description() {
   m.klass = sd_.has_value() ? MessageClass::kUpdate : MessageClass::kDiscovery;
   m.bytes = 64;
   m.payload = GetDescription{id(), service_};
-  trace(sim::TraceCategory::kUpdate, "upnp.get.tx");
+  m.span = trace(sim::TraceCategory::kUpdate, "upnp.get.tx");
   net::TcpConnection::open_and_send(
       network(), std::move(m), /*on_acked=*/{},
       /*on_rex=*/
@@ -235,6 +236,7 @@ void UpnpUser::handle_renew_response(const Message& m) {
     // not carry the current description, so a missed update stays missed
     // (the paper's Section 6.2 "never regains consistency" example).
     trace(sim::TraceCategory::kSubscription, "upnp.renew.rejected");
+    SDCM_OBS_ONLY(simulator().obs().counter("recovery.upnp.pr4").inc());
     subscribed_ = false;
     if (renew_timer_ != sim::kInvalidEventId) {
       simulator().cancel(renew_timer_);
@@ -252,9 +254,12 @@ void UpnpUser::handle_notify(const Message& m) {
   const auto& notify = m.as<Notify>();
   if (m.src != manager_ || notify.service != service_) return;
   refresh_cache_lease();
-  trace(sim::TraceCategory::kUpdate, "upnp.notify.rx",
-        "version=" + std::to_string(notify.version));
+  const sim::SpanId rx_span =
+      trace(sim::TraceCategory::kUpdate, "upnp.notify.rx",
+            "version=" + std::to_string(notify.version));
   // Invalidation only: fetch the changed description to become consistent.
+  // The fetch descends from the received notification.
+  sim::SpanScope scope(simulator().trace(), rx_span);
   if (!fetch_in_flight_ &&
       (!sd_.has_value() || notify.version > sd_->version)) {
     fetch_description();

@@ -1,0 +1,91 @@
+// TraceSink under a real sweep: every run's trace streams to its own
+// JSONL file whose round-tripped fingerprint matches an identical
+// standalone run, and the manifest indexes all of them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sdcm/experiment/sink.hpp"
+#include "sdcm/experiment/sweep.hpp"
+#include "sdcm/obs/trace_jsonl.hpp"
+
+namespace sdcm::experiment {
+namespace {
+
+TEST(TraceSink, RunFileNamesAreStable) {
+  EXPECT_EQ(TraceSink::run_file_name(SystemModel::kFrodoThreeParty, 6, 7),
+            "trace_FRODO-3party_l06_r007.jsonl");
+  EXPECT_EQ(TraceSink::run_file_name(SystemModel::kUpnp, 0, 0),
+            "trace_UPnP_l00_r000.jsonl");
+}
+
+TEST(TraceSink, StreamsEveryRunOfASweepWithExactFingerprints) {
+  const std::string dir = ::testing::TempDir() + "sdcm_trace_sink_test";
+  TraceSink traces(dir);
+
+  SweepConfig config;
+  config.models = {SystemModel::kUpnp, SystemModel::kFrodoTwoParty};
+  config.lambdas = {0.0, 0.3};
+  config.runs = 2;
+  config.threads = 2;
+  config.trace_sink = &traces;
+  const SweepResult result = run_sweep(config);
+  EXPECT_EQ(result.summary.runs_completed, 8u);
+  EXPECT_GT(traces.records_written(), 0u);
+  EXPECT_GT(traces.bytes_flushed(), 0u);
+
+  std::uint64_t records_total = 0;
+  std::string manifest_text;
+  {
+    std::ifstream manifest(dir + "/manifest.jsonl");
+    ASSERT_TRUE(manifest.is_open());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(manifest, line)) {
+      ++lines;
+      manifest_text += line;
+      manifest_text += '\n';
+    }
+    EXPECT_EQ(lines, 8u);
+  }
+
+  for (const SystemModel model : config.models) {
+    for (std::size_t li = 0; li < config.lambdas.size(); ++li) {
+      for (int run = 0; run < config.runs; ++run) {
+        const std::string name = TraceSink::run_file_name(model, li, run);
+        EXPECT_NE(manifest_text.find("\"" + name + "\""), std::string::npos);
+
+        std::ifstream in(dir + "/" + name);
+        ASSERT_TRUE(in.is_open()) << name;
+        sim::TraceLog log;
+        std::string error;
+        ASSERT_TRUE(obs::read_trace_jsonl(in, log, error))
+            << name << ": " << error;
+        records_total += log.appended();
+
+        // The streamed file carries the exact trace of the identical
+        // standalone run.
+        ExperimentConfig standalone;
+        standalone.model = model;
+        standalone.lambda = config.lambdas[li];
+        standalone.seed = run_seed(config.master_seed, model, li, run);
+        standalone.users = config.users;
+        standalone.record_trace = true;
+        config.ablation.apply(standalone);
+        const auto record = run_experiment(standalone);
+        EXPECT_EQ(log.fingerprint(), record.trace_fingerprint) << name;
+      }
+    }
+  }
+  EXPECT_EQ(records_total, traces.records_written());
+}
+
+TEST(TraceSink, ThrowsWhenDirectoryCannotBeCreated) {
+  EXPECT_THROW(TraceSink("/dev/null/nope"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sdcm::experiment

@@ -94,7 +94,7 @@ TEST_F(AdaptiveFixture, BurstsCoalesceIntoOneFetch) {
   }
   simulator.run_until(seconds(1000));
   EXPECT_EQ(user->cached()->version, 6u);
-  EXPECT_EQ(simulator.trace().with_event("frodo.invalidation.fetch").size(),
+  EXPECT_EQ(simulator.trace().count_event("frodo.invalidation.fetch"),
             1u);
 }
 
@@ -113,7 +113,7 @@ TEST_F(AdaptiveFixture, AdaptiveUsesDataForSettledServices) {
   manager->change_service(1);
   simulator.run_until(seconds(1901));
   EXPECT_EQ(user->cached()->version, 3u);
-  EXPECT_EQ(simulator.trace().with_event("frodo.invalidation.fetch").size(),
+  EXPECT_EQ(simulator.trace().count_event("frodo.invalidation.fetch"),
             0u);
 }
 
@@ -131,7 +131,7 @@ TEST_F(AdaptiveFixture, AdaptiveSwitchesToInvalidationWhenHot) {
   EXPECT_EQ(user->cached()->version, 2u);  // only the stub arrived so far
   simulator.run_until(seconds(1000));
   EXPECT_EQ(user->cached()->version, 3u);  // fetched after the delay
-  EXPECT_EQ(simulator.trace().with_event("frodo.invalidation.fetch").size(),
+  EXPECT_EQ(simulator.trace().count_event("frodo.invalidation.fetch"),
             1u);
 }
 

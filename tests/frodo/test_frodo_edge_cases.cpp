@@ -127,9 +127,9 @@ TEST_F(EdgeFixture, NotificationRequestIsVersionGated) {
   // Any notification so far is about version 1 (interest filed with
   // known_version = 0 before the search reply landed) - discovery
   // traffic, never update traffic.
-  for (const auto& r : simulator.trace().with_event("frodo.notify.tx")) {
+  simulator.trace().for_each_event("frodo.notify.tx", [](const auto& r) {
     EXPECT_NE(r.detail.find("version=1"), std::string::npos) << r.detail;
-  }
+  });
 
   // A change does NOT trigger interest notifications (the subscription
   // propagation covers subscribed users).

@@ -59,8 +59,11 @@ TEST(Figure1, ThreePartyNotificationSequence) {
   // renewals precedes the updates.
   const auto& trace = simulator.trace();
   const auto time_of = [&trace](std::string_view event) {
-    const auto hits = trace.with_event(std::string(event));
-    return hits.empty() ? sim::SimTime{-1} : hits.front().at;
+    sim::SimTime first = -1;
+    trace.for_each_event(event, [&first](const sim::TraceRecord& r) {
+      if (first < 0) first = r.at;
+    });
+    return first;
   };
   const auto subscribed_at = time_of("frodo.subscribed");
   const auto changed_at = time_of("frodo.service_changed");

@@ -44,6 +44,10 @@ TEST(TraceEquivalence, DifferentSeedsDiverge) {
 // the commit that introduced this test; the slab/indexed-heap kernel
 // must reproduce every value. Regenerate only for a change that is
 // *supposed* to alter simulated behaviour, never for a kernel refactor.
+// Re-pinned when fingerprint() switched its finalization from XOR-ing
+// the record count to feeding it through the FNV stream (same records,
+// same per-record bytes; spans verified trace-neutral against the old
+// values before the switch).
 TEST(TraceEquivalence, GoldenFingerprintsMatchSeedKernel) {
   struct Golden {
     SystemModel model;
@@ -51,16 +55,16 @@ TEST(TraceEquivalence, GoldenFingerprintsMatchSeedKernel) {
     std::uint64_t fingerprint;
   };
   const Golden goldens[] = {
-      {SystemModel::kUpnp, 0.0, 0x29b4b6da3e343fe2ull},
-      {SystemModel::kJiniOneRegistry, 0.0, 0x8c642bd1661612cfull},
-      {SystemModel::kJiniTwoRegistries, 0.0, 0x3b46cf9e3789ab55ull},
-      {SystemModel::kFrodoThreeParty, 0.0, 0xb3b2d194d96e3c83ull},
-      {SystemModel::kFrodoTwoParty, 0.0, 0x06c35bd2196a91efull},
-      {SystemModel::kUpnp, 0.30, 0x8ad017583d363214ull},
-      {SystemModel::kJiniOneRegistry, 0.30, 0x6ef9eb321267b798ull},
-      {SystemModel::kJiniTwoRegistries, 0.30, 0x8a08430ccc01a606ull},
-      {SystemModel::kFrodoThreeParty, 0.30, 0x3caf531a680c378dull},
-      {SystemModel::kFrodoTwoParty, 0.30, 0x5780999d4f04385full},
+      {SystemModel::kUpnp, 0.0, 0x8587b25597319022ull},
+      {SystemModel::kJiniOneRegistry, 0.0, 0x839aeb1f2f8942afull},
+      {SystemModel::kJiniTwoRegistries, 0.0, 0x5e0dd2a83aa0a7f5ull},
+      {SystemModel::kFrodoThreeParty, 0.0, 0x1cef4cec8100aae3ull},
+      {SystemModel::kFrodoTwoParty, 0.0, 0x87736006a90ce5cfull},
+      {SystemModel::kUpnp, 0.30, 0x65cbfb51dc35a04aull},
+      {SystemModel::kJiniOneRegistry, 0.30, 0x3f03159e13e24c73ull},
+      {SystemModel::kJiniTwoRegistries, 0.30, 0xbb8427d88bf4ea32ull},
+      {SystemModel::kFrodoThreeParty, 0.30, 0x4b8c006e0f26f752ull},
+      {SystemModel::kFrodoTwoParty, 0.30, 0x40ac0999be87ba3full},
   };
   for (const auto& golden : goldens) {
     const auto run = traced_run(golden.model, golden.lambda, 42);

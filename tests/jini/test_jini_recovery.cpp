@@ -81,7 +81,7 @@ TEST_F(JiniRecoveryFixture, PR2LookupAfterRediscoveryRetrievesUpdate) {
   simulator.run_until(seconds(5400));
   EXPECT_EQ(user->cached()->version, 2u);
   // The remote event to the down user REXed at the registry.
-  EXPECT_GE(simulator.trace().with_event("jini.event.rex").size(), 1u);
+  EXPECT_GE(simulator.trace().count_event("jini.event.rex"), 1u);
   // Recovery must have happened within ~announce period of recovery.
   ASSERT_TRUE(observer.reach_time(11, 2).has_value());
   EXPECT_LT(*observer.reach_time(11, 2), seconds(1300));
@@ -98,8 +98,8 @@ TEST_F(JiniRecoveryFixture, PR3EventLeaseErrorForcesRediscovery) {
   simulator.schedule_at(seconds(1000), [&] { manager->change_service(1); });
   simulator.run_until(seconds(5400));
   EXPECT_EQ(user->cached()->version, 2u);
-  EXPECT_GE(simulator.trace().with_event("jini.event.lapsed").size() +
-                simulator.trace().with_event("jini.registry.purged").size(),
+  EXPECT_GE(simulator.trace().count_event("jini.event.lapsed") +
+                simulator.trace().count_event("jini.registry.purged"),
             1u);
 }
 

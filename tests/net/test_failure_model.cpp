@@ -151,8 +151,8 @@ TEST(ApplyFailures, EmitsTraceRecords) {
   ep.duration = seconds(10);
   apply_failures(simulator, network, std::array{ep});
   simulator.run_until(seconds(30));
-  EXPECT_EQ(simulator.trace().with_event("interface.down").size(), 1u);
-  EXPECT_EQ(simulator.trace().with_event("interface.up").size(), 1u);
+  EXPECT_EQ(simulator.trace().count_event("interface.down"), 1u);
+  EXPECT_EQ(simulator.trace().count_event("interface.up"), 1u);
 }
 
 TEST(ApplyFailures, NoneModeIsIgnored) {

@@ -174,9 +174,10 @@ TEST_F(TcpFixture, RetransmissionBackoffGrows25Percent) {
 
   // Expected retransmission offsets: 1, 2.25, 3.8125, ... ms (cumulative
   // sums of 1, 1.25, 1.5625, ...).
-  const auto drops = simulator.trace().with_event("net.drop.rx");
   std::vector<sim::SimTime> retx_times;
-  for (const auto& r : drops) retx_times.push_back(r.at - t0);
+  simulator.trace().for_each_event("net.drop.rx", [&](const auto& r) {
+    retx_times.push_back(r.at - t0);
+  });
   ASSERT_GE(retx_times.size(), 4u);
   // First copy arrives ~[10,100] us after t0; first retx ~1 ms later.
   double expected_send = 0.0;
@@ -200,10 +201,9 @@ TEST_F(TcpFixture, CloseStopsRetransmissions) {
   conn->send(app_msg(1, 2, "notify"));
   simulator.run_until(seconds(2));
   conn->close();
-  const auto drops_at_close = simulator.trace().with_event("net.drop.rx").size();
+  const auto drops_at_close = simulator.trace().count_event("net.drop.rx");
   simulator.run_until(seconds(30));
-  EXPECT_EQ(simulator.trace().with_event("net.drop.rx").size(),
-            drops_at_close);
+  EXPECT_EQ(simulator.trace().count_event("net.drop.rx"), drops_at_close);
   EXPECT_FALSE(conn->is_open());
 }
 

@@ -1,0 +1,143 @@
+#include "sdcm/obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sdcm::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(FixedHistogram, AssignsValuesToBoundedBuckets) {
+  Histogram h(std::vector<std::uint64_t>{10, 100, 1000});
+  h.record(5);     // (0, 10]
+  h.record(10);    // boundary lands in (0, 10]
+  h.record(11);    // (10, 100]
+  h.record(1000);  // (100, 1000]
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_TRUE(h.is_fixed());
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].upper, 10u);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_EQ(buckets[1].upper, 100u);
+  EXPECT_EQ(buckets[1].count, 1u);
+  EXPECT_EQ(buckets[2].upper, 1000u);
+  EXPECT_EQ(buckets[2].count, 1u);
+}
+
+TEST(FixedHistogram, OverflowBucketCatchesValuesAboveLastBound) {
+  Histogram h(std::vector<std::uint64_t>{10});
+  h.record(11);
+  const auto buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].upper, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.max(), 11u);
+}
+
+TEST(Histogram, SummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reads as all-zero
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile_upper(0.5), 0u);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // quantile_upper is an upper bound, tight to the bucket resolution
+  // (exact here below sub_buckets, within 1/32 above).
+  EXPECT_GE(h.quantile_upper(0.5), 50u);
+  EXPECT_LE(h.quantile_upper(0.5), 52u);
+  EXPECT_EQ(h.quantile_upper(1.0), 100u);
+}
+
+TEST(Histogram, LogLinearBucketUpperBoundsValueWithinRelativeError) {
+  // HDR guarantee: the bucket's inclusive upper bound never understates
+  // the recorded value and overstates it by at most 1/sub_buckets.
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{31},
+        std::uint64_t{32}, std::uint64_t{33}, std::uint64_t{63},
+        std::uint64_t{64}, std::uint64_t{1000}, std::uint64_t{123456},
+        std::uint64_t{5400000000}}) {
+    Histogram h;  // sub_buckets = 32
+    h.record(v);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 1u) << "value " << v;
+    EXPECT_GE(buckets[0].upper, v);
+    EXPECT_LE(buckets[0].upper, v + v / 32 + 1) << "value " << v;
+  }
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.record(7);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_TRUE(h.buckets().empty());
+  Histogram fixed(std::vector<std::uint64_t>{10});
+  fixed.record(3);
+  fixed.reset();
+  EXPECT_TRUE(fixed.buckets().empty());
+}
+
+TEST(Registry, FindsOrCreatesByNameInDeterministicOrder) {
+  Registry registry;
+  EXPECT_TRUE(registry.empty());
+  registry.counter("z").inc();
+  registry.counter("a").inc(2);
+  registry.histogram("m").record(1);
+  EXPECT_FALSE(registry.empty());
+  std::vector<std::string> names;
+  for (const auto& [name, counter] : registry.counters()) {
+    names.push_back(name);
+  }
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // name order, not insertion order
+  EXPECT_EQ(names[1], "z");
+  EXPECT_EQ(registry.find_counter("a")->value(), 2u);
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  EXPECT_EQ(registry.find_histogram("m")->count(), 1u);
+}
+
+TEST(Registry, NodeAddressesAreStableAcrossInserts) {
+  // Hot paths cache the pointer once; later inserts must not move it.
+  Registry registry;
+  Counter* cached = &registry.counter("hot");
+  Histogram* cached_h = &registry.histogram("hot_h");
+  for (int i = 0; i < 100; ++i) {
+    std::string c_name = "c";
+    c_name += std::to_string(i);
+    std::string h_name = "h";
+    h_name += std::to_string(i);
+    registry.counter(c_name);
+    registry.histogram(h_name);
+  }
+  EXPECT_EQ(cached, &registry.counter("hot"));
+  EXPECT_EQ(cached_h, &registry.histogram("hot_h"));
+}
+
+TEST(Registry, FixedHistogramBoundsApplyOnlyOnCreation) {
+  Registry registry;
+  Histogram& h = registry.fixed_histogram("d", {10, 20});
+  Histogram& again = registry.fixed_histogram("d", {999});
+  EXPECT_EQ(&h, &again);
+  h.record(15);
+  EXPECT_EQ(h.buckets()[0].upper, 20u);
+}
+
+}  // namespace
+}  // namespace sdcm::obs

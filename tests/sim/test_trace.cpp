@@ -76,5 +76,125 @@ TEST(Trace, ClearEmptiesTheLog) {
   EXPECT_TRUE(log.records().empty());
 }
 
+TEST(TraceSpans, RecordAssignsMonotonicSpans) {
+  TraceLog log;
+  const SpanId a = log.record(1, 1, TraceCategory::kInfo, "a");
+  const SpanId b = log.record(2, 1, TraceCategory::kInfo, "b");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(log.records()[0].span, a);
+  EXPECT_EQ(log.records()[0].parent, kNoSpan);
+  EXPECT_EQ(log.records()[1].parent, kNoSpan);
+}
+
+TEST(TraceSpans, SpanScopeParentsAmbientRecords) {
+  TraceLog log;
+  const SpanId root = log.record(1, 1, TraceCategory::kUpdate, "root");
+  {
+    SpanScope scope(log, root);
+    const SpanId child = log.record(2, 2, TraceCategory::kUpdate, "child");
+    EXPECT_EQ(log.records()[1].parent, root);
+    {
+      SpanScope inner(log, child);
+      log.record(3, 3, TraceCategory::kUpdate, "grandchild");
+      EXPECT_EQ(log.records()[2].parent, child);
+    }
+    // Inner scope restored the outer ambient span.
+    log.record(4, 2, TraceCategory::kUpdate, "sibling");
+    EXPECT_EQ(log.records()[3].parent, root);
+  }
+  log.record(5, 1, TraceCategory::kUpdate, "after");
+  EXPECT_EQ(log.records()[4].parent, kNoSpan);
+}
+
+TEST(TraceSpans, RecordChildTakesExplicitParent) {
+  TraceLog log;
+  const SpanId root = log.record(1, 1, TraceCategory::kInfo, "root");
+  SpanScope scope(log, root);
+  const SpanId other = log.record_child(kNoSpan, 2, 2,
+                                        TraceCategory::kInfo, "detached");
+  EXPECT_EQ(log.records()[1].parent, kNoSpan);
+  log.record_child(other, 3, 3, TraceCategory::kInfo, "adopted");
+  EXPECT_EQ(log.records()[2].parent, other);
+}
+
+TEST(TraceSpans, DisabledRecordingReturnsNoSpan) {
+  TraceLog log;
+  log.set_recording(false);
+  EXPECT_EQ(log.record(0, 1, TraceCategory::kInfo, "x"), kNoSpan);
+}
+
+TEST(Trace, ForEachEventMatchesExactly) {
+  TraceLog log;
+  log.record(1, 1, TraceCategory::kInfo, "tcp.rex");
+  log.record(2, 1, TraceCategory::kInfo, "tcp.rex.giveup");
+  log.record(3, 2, TraceCategory::kInfo, "tcp.rex");
+  std::vector<SimTime> times;
+  log.for_each_event("tcp.rex",
+                     [&](const TraceRecord& r) { times.push_back(r.at); });
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 1);
+  EXPECT_EQ(times[1], 3);
+  EXPECT_EQ(log.count_event("tcp.rex"), 2u);
+  EXPECT_EQ(log.count_event("tcp.rex.giveup"), 1u);
+  EXPECT_EQ(log.count_event("tcp"), 0u);
+}
+
+namespace {
+/// Collects streamed records for the writer tests.
+struct CollectingWriter final : TraceWriter {
+  std::vector<TraceRecord> seen;
+  void on_record(const TraceRecord& record) override {
+    seen.push_back(record);
+  }
+};
+}  // namespace
+
+TEST(TraceStreaming, WriterSeesEveryRecordInOrder) {
+  TraceLog log;
+  CollectingWriter writer;
+  log.set_writer(&writer);
+  log.record(1, 1, TraceCategory::kUpdate, "a", "d1");
+  log.record(2, 2, TraceCategory::kFailure, "b");
+  ASSERT_EQ(writer.seen.size(), 2u);
+  EXPECT_EQ(writer.seen[0].detail, "d1");
+  EXPECT_EQ(writer.seen[1].span, 2u);
+}
+
+TEST(TraceStreaming, StoreOffKeepsFingerprintAndCount) {
+  TraceLog stored;
+  TraceLog streamed;
+  CollectingWriter writer;
+  streamed.set_store(false);
+  streamed.set_writer(&writer);
+  for (auto* log : {&stored, &streamed}) {
+    log->record(seconds(1), 1, TraceCategory::kUpdate, "change", "v=2");
+    log->record(seconds(2), 11, TraceCategory::kUpdate, "notify", "v=2");
+  }
+  EXPECT_TRUE(streamed.records().empty());
+  EXPECT_EQ(streamed.appended(), 2u);
+  EXPECT_EQ(streamed.fingerprint(), stored.fingerprint());
+  ASSERT_EQ(writer.seen.size(), 2u);
+  EXPECT_EQ(writer.seen[1].node, 11u);
+}
+
+TEST(TraceFingerprint, CoversBehaviouralFieldsAndCount) {
+  TraceLog a;
+  TraceLog b;
+  a.record(1, 1, TraceCategory::kInfo, "x");
+  b.record(1, 1, TraceCategory::kInfo, "x");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // Reading the fingerprint must not perturb it.
+  EXPECT_EQ(a.fingerprint(), a.fingerprint());
+  b.record(2, 1, TraceCategory::kInfo, "y");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Span parentage is excluded: the same behavioural sequence hashes
+  // identically whether the second record is a root or a child.
+  TraceLog c;
+  const SpanId root = c.record(1, 1, TraceCategory::kInfo, "x");
+  c.record_child(root, 2, 1, TraceCategory::kInfo, "y");
+  EXPECT_EQ(b.fingerprint(), c.fingerprint());
+}
+
 }  // namespace
 }  // namespace sdcm::sim

@@ -86,7 +86,7 @@ TEST_F(UpnpEdgeFixture, AnnouncementRefreshesCacheWithoutRefetch) {
   EXPECT_TRUE(user.has_manager());
   // Exactly one GET over the whole failure-free run.
   EXPECT_EQ(network.counters().of_type(msg::kGetDescription), 1u);
-  EXPECT_EQ(simulator.trace().with_event("upnp.manager.purged").size(), 0u);
+  EXPECT_EQ(simulator.trace().count_event("upnp.manager.purged"), 0u);
 }
 
 TEST_F(UpnpEdgeFixture, LateUserDiscoversViaPeriodicAnnouncement) {

@@ -65,8 +65,7 @@ TEST_F(UpnpRecoveryFixture, PaperSection62ExampleUserNeverRegainsConsistency) {
   EXPECT_EQ(user->cached()->version, 1u);  // stale forever
   EXPECT_FALSE(observer.reach_time(2, 2).has_value());
   // The failed notification did purge the User at the Manager...
-  EXPECT_EQ(simulator.trace().with_event("upnp.subscriber.purged").size(),
-            1u);
+  EXPECT_EQ(simulator.trace().count_event("upnp.subscriber.purged"), 1u);
   // ...and the User did resubscribe via PR4 afterwards.
   EXPECT_TRUE(user->is_subscribed());
 }
@@ -149,7 +148,7 @@ TEST_F(UpnpRecoveryFixture, GetRexRetriesUntilDescriptionArrives) {
   ASSERT_TRUE(user->cached().has_value());
   EXPECT_EQ(user->cached()->version, 1u);
   EXPECT_TRUE(user->is_subscribed());
-  EXPECT_GE(simulator.trace().with_event("upnp.get.rex").size(), 1u);
+  EXPECT_GE(simulator.trace().count_event("upnp.get.rex"), 1u);
 }
 
 TEST_F(UpnpRecoveryFixture, UserOutageDuringDiscoveryRecoversViaAnnouncement) {

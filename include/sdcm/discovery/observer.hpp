@@ -30,6 +30,29 @@ class ConsistencyObserver {
   /// are ignored, so protocol code can report unconditionally.
   void user_reached(NodeId user, ServiceVersion version, sim::SimTime at);
 
+  // Oracle hooks. Protocol models call these unconditionally at the
+  // moment the event happens; each is a no-op unless the matching
+  // std::function below is installed (the consistency oracle in
+  // src/check installs all of them, the metrics layer installs none).
+
+  /// `user` now acts on `version` of the monitored service (its local
+  /// cached description was overwritten). Unlike user_reached this fires
+  /// on every store, including regressions — that is the point.
+  void user_version(NodeId user, ServiceVersion version, sim::SimTime at);
+
+  /// `holder` granted or renewed `user`'s subscription/event lease,
+  /// now expiring at `expires_at`.
+  void lease_granted(NodeId holder, NodeId user, sim::SimTime expires_at,
+                     sim::SimTime at);
+
+  /// `holder` dropped `user`'s lease (expiry purge, cancellation, or a
+  /// wholesale table wipe on shutdown/demotion).
+  void lease_dropped(NodeId holder, NodeId user, sim::SimTime at);
+
+  /// `holder` sent `user` an update notification carrying `version`.
+  void notification_sent(NodeId holder, NodeId user, ServiceVersion version,
+                         sim::SimTime at);
+
   [[nodiscard]] const std::vector<NodeId>& users() const noexcept {
     return users_;
   }
@@ -51,6 +74,16 @@ class ConsistencyObserver {
   /// experiment harness uses it to snapshot message counters at the
   /// moment consistency is attained (the Update Efficiency window).
   std::function<void(NodeId, ServiceVersion, sim::SimTime)> on_user_reached;
+
+  // Oracle hook sinks, matching the member functions above. Separate
+  // from on_user_reached so the harness and the oracle coexist.
+  std::function<void(ServiceVersion, sim::SimTime)> on_service_changed;
+  std::function<void(NodeId, ServiceVersion, sim::SimTime)> on_user_version;
+  std::function<void(NodeId, NodeId, sim::SimTime, sim::SimTime)>
+      on_lease_granted;
+  std::function<void(NodeId, NodeId, sim::SimTime)> on_lease_dropped;
+  std::function<void(NodeId, NodeId, ServiceVersion, sim::SimTime)>
+      on_notification_sent;
 
  private:
   std::vector<NodeId> users_;

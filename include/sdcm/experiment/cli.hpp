@@ -25,6 +25,9 @@ struct Options {
   std::string traces;
   /// Shard logs to merge instead of running a sweep (--merge=a,b,...).
   std::vector<std::string> merge_inputs;
+  /// Run the consistency oracle on every run (CheckSink); the process
+  /// exits 1 when any invariant is violated.
+  bool check = false;
   /// Live progress on stderr (--no-progress disables).
   bool progress = true;
   bool help = false;
@@ -41,6 +44,7 @@ struct Options {
 ///   --no-frodo-pr1 --no-frodo-srn2 --no-frodo-pr3 --no-frodo-pr4
 ///   --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5
 ///   --placement=fit|truncated  --episodes=N  --loss=P
+///   --check        run the consistency oracle on every run
 ///   --no-progress
 ///   --help
 std::optional<Options> parse(int argc, const char* const* argv,

@@ -11,6 +11,10 @@
 #include "sdcm/sim/trace.hpp"
 #include "sdcm/upnp/config.hpp"
 
+namespace sdcm::check {
+class ConsistencyOracle;
+}
+
 namespace sdcm::experiment {
 
 /// The five simulated systems of Section 5.
@@ -66,6 +70,19 @@ struct ExperimentConfig {
   /// in-memory storage but still maintains the fingerprint. Not owned;
   /// must outlive the run.
   sim::TraceWriter* trace_writer = nullptr;
+  /// Online consistency oracle (src/check). When set, the run installs
+  /// it as the trace writer (tee-ing to `trace_writer`), wire probe and
+  /// observer hook sink, and arms it with the failure plan. Recording is
+  /// forced on for the run; the oracle itself never records, so trace
+  /// fingerprints are unchanged. Not owned; must outlive the run, and
+  /// the caller collects the verdict via oracle->finish().
+  check::ConsistencyOracle* oracle = nullptr;
+  /// How the failure plan is applied to interfaces; kRefcounted keeps
+  /// overlapping episodes down until the last one ends (the fixed
+  /// behavior), kLegacyBoolean reproduces the pre-fix plain flips for
+  /// regression tests.
+  net::FailureApplication failure_application =
+      net::FailureApplication::kRefcounted;
 
   /// Per-protocol model parameters; edit for ablation experiments
   /// (e.g. frodo.enable_pr1 = false reproduces Figure 7's control).

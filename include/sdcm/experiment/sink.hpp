@@ -14,6 +14,7 @@
 #include <tuple>
 #include <vector>
 
+#include "sdcm/check/oracle.hpp"
 #include "sdcm/experiment/sweep.hpp"
 #include "sdcm/obs/trace_jsonl.hpp"
 
@@ -116,6 +117,62 @@ class TraceSink final : public RunSink {
   std::map<RunKey, std::unique_ptr<OpenRun>> open_;
   std::atomic<std::uint64_t> records_{0};
   std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Runs the consistency oracle over every run of a campaign. Wire it
+/// via SweepConfig::check_sink (NOT the regular `sink` chain - like
+/// TraceSink the engine drives it itself): the engine calls open_run on
+/// the worker thread before each run and installs the returned oracle
+/// as the run's ExperimentConfig::oracle; on_run then finishes the
+/// oracle and folds its report into the campaign verdict. Convergence
+/// is never required for UPnP runs (the model legitimately strands
+/// users whose subscription lapsed mid-outage).
+class CheckSink final : public RunSink {
+ public:
+  /// One oracle violation, tagged with the run it came from.
+  struct CampaignViolation {
+    SystemModel model{};
+    double lambda = 0.0;
+    int run = 0;
+    std::uint64_t seed = 0;
+    check::Violation violation;
+  };
+
+  explicit CheckSink(check::OracleConfig base = {});
+
+  /// Creates the run's oracle and returns it for installation as the
+  /// run's ExperimentConfig::oracle. Thread-safe; the oracle stays
+  /// valid until the matching on_run.
+  [[nodiscard]] check::ConsistencyOracle* open_run(SystemModel model,
+                                                   std::size_t lambda_index,
+                                                   int run);
+
+  void on_run(const RunEvent& event) override;
+
+  [[nodiscard]] std::uint64_t runs_checked() const noexcept {
+    return runs_checked_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t violation_total() const noexcept {
+    return violation_total_.load(std::memory_order_relaxed);
+  }
+  /// Stored violations (each run caps its own; see OracleConfig). Only
+  /// read after run_sweep returns.
+  [[nodiscard]] const std::vector<CampaignViolation>& violations()
+      const noexcept {
+    return violations_;
+  }
+  /// Human-readable campaign verdict, one line per stored violation.
+  void write_report(std::ostream& out) const;
+
+ private:
+  using RunKey = std::tuple<SystemModel, std::size_t, int>;
+
+  check::OracleConfig base_;
+  mutable std::mutex mutex_;  // guards open_ and violations_
+  std::map<RunKey, std::unique_ptr<check::ConsistencyOracle>> open_;
+  std::vector<CampaignViolation> violations_;
+  std::atomic<std::uint64_t> runs_checked_{0};
+  std::atomic<std::uint64_t> violation_total_{0};
 };
 
 /// Live progress on a stream (stderr in sdcm_sweep): done/total,

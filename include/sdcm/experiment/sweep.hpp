@@ -15,6 +15,7 @@ namespace sdcm::experiment {
 
 class RunSink;    // sink.hpp
 class TraceSink;  // sink.hpp
+class CheckSink;  // sink.hpp
 
 /// The declarative per-run overrides of the paper's ablation studies:
 /// every recovery-technique toggle (Table 4), the failure-episode
@@ -83,6 +84,11 @@ struct SweepConfig {
   /// thread before each run, callbacks after the regular `sink`'s - so
   /// do not also register it in the `sink` chain.
   TraceSink* trace_sink = nullptr;
+  /// Runs the consistency oracle over every run (non-owning; may be
+  /// null). Driven by the engine like trace_sink: open_run before each
+  /// run, callbacks after the regular `sink`'s. Composes with
+  /// trace_sink - the oracle tees the trace stream downstream.
+  CheckSink* check_sink = nullptr;
 
   static std::vector<double> paper_lambda_grid();
 

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -22,21 +23,30 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw (simulation errors are bugs;
-  /// the pool std::terminates on escape, which is what we want in a
-  /// reproducibility harness).
+  /// Enqueues a task. Throws std::runtime_error after stop(): silently
+  /// enqueueing work that will never run would hide scheduling bugs.
+  /// A task that throws does not kill its worker; the first exception is
+  /// captured and rethrown from the next wait_idle().
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them threw (if any), clearing it.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
-  /// Runs `body(i)` for i in [0, n) across the pool and waits.
+  /// Runs `body(i)` for i in [0, n) across the pool and waits for
+  /// exactly those n calls — not for unrelated work, so concurrent
+  /// parallel_for callers do not block on each other. Rethrows the first
+  /// exception the body threw; remaining iterations still run.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body);
+
+  /// Drains the queue and joins the workers. Idempotent; called by the
+  /// destructor. Subsequent submit() calls throw.
+  void stop();
 
  private:
   void worker_loop();
@@ -47,6 +57,7 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
   bool stopping_ = false;
 };
 

@@ -9,6 +9,10 @@
 #include "sdcm/frodo/config.hpp"
 #include "sdcm/frodo/messages.hpp"
 
+namespace sdcm::discovery {
+class ConsistencyObserver;
+}
+
 namespace sdcm::frodo {
 
 /// A 300D node with an active Registry component: participates in leader
@@ -28,8 +32,11 @@ class FrodoRegistryNode : public discovery::Node {
  public:
   enum class Role : std::uint8_t { kElecting, kCentral, kBackup, kStandby };
 
+  /// `observer` (optional, non-owning) receives lease and notification
+  /// hooks for the consistency oracle.
   FrodoRegistryNode(sim::Simulator& simulator, net::Network& network,
-                    NodeId id, Capability capability, FrodoConfig config = {});
+                    NodeId id, Capability capability, FrodoConfig config = {},
+                    discovery::ConsistencyObserver* observer = nullptr);
 
   /// FRODO's technique set (Table 2). PR5 is listed as
   /// application-dependent and lives in FrodoUser; SRN2 in the 2-party
@@ -111,6 +118,7 @@ class FrodoRegistryNode : public discovery::Node {
   };
 
   FrodoConfig config_;
+  discovery::ConsistencyObserver* observer_ = nullptr;
   Capability capability_;
   AckedChannel channel_;
 

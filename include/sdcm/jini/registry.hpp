@@ -8,6 +8,10 @@
 #include "sdcm/jini/config.hpp"
 #include "sdcm/jini/messages.hpp"
 
+namespace sdcm::discovery {
+class ConsistencyObserver;
+}
+
 namespace sdcm::jini {
 
 /// Jini lookup service (the paper's Registry).
@@ -24,8 +28,11 @@ namespace sdcm::jini {
 /// always lookup after requesting notification (PR2).
 class JiniRegistry : public discovery::Node {
  public:
+  /// `observer` (optional, non-owning) receives lease and notification
+  /// hooks for the consistency oracle.
   JiniRegistry(sim::Simulator& simulator, net::Network& network, NodeId id,
-               JiniConfig config = {});
+               JiniConfig config = {},
+               discovery::ConsistencyObserver* observer = nullptr);
 
   /// Techniques of the Jini model (Table 2): SRN1/SRC1 via TCP, SRC2 at
   /// the protocol level, PR1 (future-only), PR2, PR3.
@@ -73,6 +80,7 @@ class JiniRegistry : public discovery::Node {
   };
 
   JiniConfig config_;
+  discovery::ConsistencyObserver* observer_ = nullptr;
   std::map<ServiceId, Registration> registrations_;
   std::map<NodeId, EventRegistration> events_;
   sim::PeriodicTimer announce_timer_;

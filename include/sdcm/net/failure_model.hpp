@@ -72,15 +72,37 @@ struct FailurePlanConfig {
 /// (DESIGN.md interpretation decision 1; validated against the paper's
 /// Section 6.2 example trace where lambda = 0.15 gives 810 s outages).
 /// lambda == 0 yields an empty plan.
+///
+/// Under kFitInside the per-episode duration is capped at the episode's
+/// window, so episodes of one node never overlap; the cap only binds
+/// when lambda > 1 - min_start/horizon (~0.98 at the paper's defaults),
+/// where the requested downtime physically cannot fit after min_start
+/// and the plan saturates at episodes * window instead.
 std::vector<FailureEpisode> plan_failures(std::span<const NodeId> nodes,
                                           const FailurePlanConfig& config,
                                           sim::Random& rng);
 
+/// How apply_failures realizes a plan whose episodes overlap on one node
+/// (possible under kTruncated placement, or in hand-built plans).
+enum class FailureApplication : std::uint8_t {
+  /// Track the nesting depth per node per direction: an interface comes
+  /// back up only when every episode covering it has ended.
+  kRefcounted,
+  /// Plain boolean flips, kept for regression tests: an earlier
+  /// episode's "up" transition re-enables the interface in the middle of
+  /// a later, still-running episode.
+  kLegacyBoolean,
+};
+
 /// Schedules the interface down/up transitions for a plan on the
 /// simulator, with trace records in the kFailure category (the paper's
 /// log excerpts, e.g. "Manager Tx down at 381, up at 1191", correspond to
-/// these records).
-void apply_failures(sim::Simulator& simulator, Network& network,
-                    std::span<const FailureEpisode> plan);
+/// these records). The trace records mark episode bounds and are
+/// identical in both application modes; only the interface state differs
+/// when episodes overlap.
+void apply_failures(
+    sim::Simulator& simulator, Network& network,
+    std::span<const FailureEpisode> plan,
+    FailureApplication application = FailureApplication::kRefcounted);
 
 }  // namespace sdcm::net

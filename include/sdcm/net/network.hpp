@@ -11,6 +11,21 @@
 
 namespace sdcm::net {
 
+/// Out-of-band observer of every interface consultation the network
+/// makes: one on_send per wire copy, with the transmitter state the
+/// network saw, and one on_arrival per delivery attempt, with the
+/// receiver state and the loss-model verdict. Purely observational —
+/// implementations must not mutate the simulation (the consistency
+/// oracle in src/check is the intended consumer). deliver_local bypasses
+/// interfaces and is not probed.
+class WireProbe {
+ public:
+  virtual ~WireProbe() = default;
+  virtual void on_send(const Message& msg, bool tx_up, sim::SimTime at) = 0;
+  virtual void on_arrival(const Message& msg, bool rx_up, bool lost,
+                          sim::SimTime at) = 0;
+};
+
 /// Abstract local-area network: every attached node can unicast or
 /// multicast to every other with a uniform 10-100 us transmission delay
 /// (Table 3). There is no topology and no routing; the paper's LAN is a
@@ -90,6 +105,10 @@ class Network {
     return loss_rate_;
   }
 
+  /// Installs (or clears, with nullptr) the wire probe. Non-owning; the
+  /// probe must outlive the network or be cleared first.
+  void set_wire_probe(WireProbe* probe) noexcept { probe_ = probe; }
+
   /// One-way delay sample; exposed so the TCP model can base its first
   /// retransmission timeout on the configured round-trip time.
   [[nodiscard]] sim::SimDuration draw_delay();
@@ -113,6 +132,7 @@ class Network {
   /// sdcm/obs/instrument.hpp); unconditional member so the class layout
   /// never depends on the toggle.
   obs::Histogram* hop_delay_us_ = nullptr;
+  WireProbe* probe_ = nullptr;
   double loss_rate_ = 0.0;
   sim::Random rng_;
   sim::Random loss_rng_;

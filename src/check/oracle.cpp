@@ -1,0 +1,376 @@
+#include "sdcm/check/oracle.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+namespace sdcm::check {
+
+namespace {
+
+/// Parses "version=N" out of a trace detail, respecting token
+/// boundaries so e.g. "from_version=2" never matches.
+std::optional<discovery::ServiceVersion> parse_version(
+    std::string_view detail) {
+  constexpr std::string_view kKey = "version=";
+  std::size_t pos = 0;
+  while ((pos = detail.find(kKey, pos)) != std::string_view::npos) {
+    if (pos == 0 || detail[pos - 1] == ' ') {
+      const std::string_view digits = detail.substr(pos + kKey.size());
+      discovery::ServiceVersion v = 0;
+      bool any = false;
+      for (const char c : digits) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0) break;
+        v = v * 10 + static_cast<discovery::ServiceVersion>(c - '0');
+        any = true;
+      }
+      if (any) return v;
+      return std::nullopt;
+    }
+    pos += kKey.size();
+  }
+  return std::nullopt;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+std::string_view to_string(Invariant invariant) noexcept {
+  switch (invariant) {
+    case Invariant::kConvergence: return "convergence";
+    case Invariant::kMonotonicity: return "monotonicity";
+    case Invariant::kCausality: return "causality";
+    case Invariant::kLeaseHygiene: return "lease-hygiene";
+    case Invariant::kInterface: return "interface";
+  }
+  return "unknown";
+}
+
+std::string Violation::describe() const {
+  std::ostringstream os;
+  os << "[" << to_string(invariant) << "] t=" << sim::to_seconds(at)
+     << "s node=" << node;
+  if (span != sim::kNoSpan) os << " span=" << span;
+  os << ": " << detail;
+  return os.str();
+}
+
+ConsistencyOracle::ConsistencyOracle(OracleConfig config)
+    : config_(config) {}
+
+void ConsistencyOracle::add_violation(Invariant invariant, SimTime at,
+                                      NodeId node, SpanId span,
+                                      std::string detail) {
+  ++report_.violation_total;
+  if (report_.violations.size() < config_.max_stored_violations) {
+    report_.violations.push_back(
+        Violation{invariant, at, node, span, std::move(detail)});
+  }
+}
+
+void ConsistencyOracle::begin_run(discovery::ConsistencyObserver& observer,
+                                  net::Network& network, SimTime deadline) {
+  report_ = OracleReport{};
+  deadline_ = deadline;
+  armed_ = false;
+  last_episode_end_ = 0;
+  outages_.clear();
+  users_.clear();
+  last_span_ = sim::kNoSpan;
+  spans_.clear();
+  known_versions_.clear();
+  latest_change_ = 0;
+  user_versions_.clear();
+  leases_.clear();
+
+  observer.on_service_changed =
+      [this](discovery::ServiceVersion version, SimTime at) {
+        note_change(version, at);
+      };
+  observer.on_user_version = [this](NodeId user,
+                                    discovery::ServiceVersion version,
+                                    SimTime at) {
+    on_user_version(user, version, at);
+  };
+  observer.on_lease_granted = [this](NodeId holder, NodeId user,
+                                     SimTime expires_at, SimTime at) {
+    on_lease_granted(holder, user, expires_at, at);
+  };
+  observer.on_lease_dropped = [this](NodeId holder, NodeId user,
+                                     SimTime at) {
+    on_lease_dropped(holder, user, at);
+  };
+  observer.on_notification_sent = [this](NodeId holder, NodeId user,
+                                         discovery::ServiceVersion version,
+                                         SimTime at) {
+    on_notification_sent(holder, user, version, at);
+  };
+  network.set_wire_probe(this);
+}
+
+void ConsistencyOracle::arm(std::span<const net::FailureEpisode> plan,
+                            std::span<const NodeId> users) {
+  users_.assign(users.begin(), users.end());
+  outages_.clear();
+  last_episode_end_ = 0;
+  for (const net::FailureEpisode& ep : plan) {
+    if (ep.mode == net::FailureMode::kNone || ep.duration <= 0) continue;
+    const bool tx = ep.mode == net::FailureMode::kTransmitter ||
+                    ep.mode == net::FailureMode::kBoth;
+    const bool rx = ep.mode == net::FailureMode::kReceiver ||
+                    ep.mode == net::FailureMode::kBoth;
+    auto& node_outages = outages_[ep.node];
+    if (tx) node_outages[0].push_back(Interval{ep.start, ep.end()});
+    if (rx) node_outages[1].push_back(Interval{ep.start, ep.end()});
+    last_episode_end_ = std::max(last_episode_end_, ep.end());
+  }
+  for (auto& [node, directions] : outages_) {
+    for (auto& intervals : directions) {
+      std::sort(intervals.begin(), intervals.end(),
+                [](const Interval& a, const Interval& b) {
+                  return a.start < b.start;
+                });
+      std::vector<Interval> merged;
+      for (const Interval& iv : intervals) {
+        if (!merged.empty() && iv.start <= merged.back().end) {
+          merged.back().end = std::max(merged.back().end, iv.end);
+        } else {
+          merged.push_back(iv);
+        }
+      }
+      intervals = std::move(merged);
+    }
+  }
+  armed_ = true;
+}
+
+void ConsistencyOracle::note_change(discovery::ServiceVersion version,
+                                    SimTime at) {
+  (void)at;
+  known_versions_.insert(version);
+  latest_change_ = std::max(latest_change_, version);
+}
+
+void ConsistencyOracle::on_record(const sim::TraceRecord& r) {
+  if (downstream_ != nullptr) downstream_->on_record(r);
+  ++report_.records_checked;
+
+  // Structural span-forest checks, streaming (same invariants as
+  // obs::check_span_forest, without materializing the forest).
+  if (r.span == sim::kNoSpan) {
+    add_violation(Invariant::kCausality, r.at, r.node, r.span,
+                  "record without a span id (recording misconfigured?)");
+    return;
+  }
+  if (r.span <= last_span_) {
+    add_violation(Invariant::kCausality, r.at, r.node, r.span,
+                  "span ids not strictly increasing");
+  }
+  last_span_ = std::max(last_span_, r.span);
+
+  bool from_change = false;
+  if (r.parent != sim::kNoSpan) {
+    if (r.parent >= r.span) {
+      add_violation(Invariant::kCausality, r.at, r.node, r.span,
+                    "parent span id not smaller than child");
+    }
+    const auto it = spans_.find(r.parent);
+    if (it == spans_.end()) {
+      add_violation(Invariant::kCausality, r.at, r.node, r.span,
+                    "parent span never recorded");
+    } else {
+      if (it->second.at > r.at) {
+        add_violation(Invariant::kCausality, r.at, r.node, r.span,
+                      "record predates its causal parent");
+      }
+      from_change = it->second.from_change;
+    }
+  }
+
+  const bool is_change = r.category == sim::TraceCategory::kUpdate &&
+                         ends_with(r.event, ".service_changed");
+  if (is_change) {
+    from_change = true;
+    if (const auto v = parse_version(r.detail)) note_change(*v, r.at);
+  }
+  spans_.emplace(r.span, SpanMeta{r.at, from_change});
+
+  // A FRODO user that purges its manager deliberately discards its
+  // version knowledge and rediscovers; re-learning an older version
+  // from a stale backup afterwards is designed behaviour, not a silent
+  // regress. Reset the monotonicity floor for that user.
+  if (r.event == "frodo.manager.purged") user_versions_.erase(r.node);
+
+  if (r.category == sim::TraceCategory::kUpdate && !is_change) {
+    // Temporal rule: update-layer traffic carrying version N >= 2 must
+    // postdate the change that created version N.
+    if (const auto v = parse_version(r.detail)) {
+      if (*v >= 2 && !known_versions_.contains(*v)) {
+        add_violation(Invariant::kCausality, r.at, r.node, r.span,
+                      "update record carries version " + std::to_string(*v) +
+                          " before any such change (" + r.event + ")");
+      }
+    }
+    // Structural rule, where the propagation tree is unambiguous: a GENA
+    // notification exists only because a change did - it must descend
+    // from the service_changed root. (Pull-based paths like CM2 polling
+    // legitimately have timer roots, so this is scoped to upnp.notify.)
+    if (r.event == "upnp.notify.tx" && !from_change) {
+      add_violation(Invariant::kCausality, r.at, r.node, r.span,
+                    "notification does not descend from a service_changed "
+                    "root (" +
+                        r.event + ")");
+    }
+  }
+}
+
+void ConsistencyOracle::check_interface(NodeId node, bool direction_is_tx,
+                                        bool up, SimTime at,
+                                        std::string_view what) {
+  if (!armed_) return;
+  const auto it = outages_.find(node);
+  const std::vector<Interval>* intervals = nullptr;
+  if (it != outages_.end()) {
+    intervals = &it->second[direction_is_tx ? 0 : 1];
+  }
+  bool inside_open = false;   // strictly inside a planned outage
+  bool covered_closed = false;  // inside or on the boundary
+  if (intervals != nullptr) {
+    for (const Interval& iv : *intervals) {
+      if (iv.start > at) break;
+      if (at <= iv.end) {
+        covered_closed = true;
+        inside_open = at > iv.start && at < iv.end;
+      }
+    }
+  }
+  // Boundary instants are unchecked: the transition event and wire
+  // activity at the same timestamp may run in either order.
+  if (up && inside_open) {
+    add_violation(Invariant::kInterface, at, node, sim::kNoSpan,
+                  std::string(what) +
+                      " interface is up strictly inside a planned outage");
+  } else if (!up && !covered_closed) {
+    add_violation(Invariant::kInterface, at, node, sim::kNoSpan,
+                  std::string(what) +
+                      " interface is down outside every planned outage");
+  }
+}
+
+void ConsistencyOracle::on_send(const net::Message& msg, bool tx_up,
+                               SimTime at) {
+  ++report_.wire_sends;
+  check_interface(msg.src, /*direction_is_tx=*/true, tx_up, at, "tx");
+}
+
+void ConsistencyOracle::on_arrival(const net::Message& msg, bool rx_up,
+                                   bool lost, SimTime at) {
+  (void)lost;
+  ++report_.wire_arrivals;
+  check_interface(msg.dst, /*direction_is_tx=*/false, rx_up, at, "rx");
+}
+
+void ConsistencyOracle::on_user_version(NodeId user,
+                                        discovery::ServiceVersion version,
+                                        SimTime at) {
+  ++report_.version_observations;
+  auto& current = user_versions_[user];
+  if (version < current) {
+    add_violation(Invariant::kMonotonicity, at, user, sim::kNoSpan,
+                  "user regressed from version " + std::to_string(current) +
+                      " to " + std::to_string(version));
+  }
+  current = std::max(current, version);
+  if (version >= 2 && !known_versions_.contains(version)) {
+    add_violation(Invariant::kCausality, at, user, sim::kNoSpan,
+                  "user holds version " + std::to_string(version) +
+                      " before any such change");
+  }
+}
+
+void ConsistencyOracle::on_lease_granted(NodeId holder, NodeId user,
+                                         SimTime expires_at, SimTime at) {
+  (void)at;
+  ++report_.leases_tracked;
+  leases_[{holder, user}] = LeaseState{expires_at, true};
+}
+
+void ConsistencyOracle::on_lease_dropped(NodeId holder, NodeId user,
+                                         SimTime at) {
+  const auto it = leases_.find({holder, user});
+  if (it == leases_.end() || !it->second.active) {
+    add_violation(Invariant::kLeaseHygiene, at, holder, sim::kNoSpan,
+                  "dropped a lease for user " + std::to_string(user) +
+                      " that was never granted");
+    return;
+  }
+  // A drop may be early (cancellation, REX, demotion) but a drop *after*
+  // expiry must happen promptly - a late purge means expired state
+  // lingered and was acted upon.
+  if (at > it->second.expires_at + config_.lease_expiry_slack) {
+    add_violation(
+        Invariant::kLeaseHygiene, at, holder, sim::kNoSpan,
+        "lease for user " + std::to_string(user) + " purged " +
+            std::to_string(sim::to_seconds(at - it->second.expires_at)) +
+            "s after expiry");
+  }
+  it->second.active = false;
+}
+
+void ConsistencyOracle::on_notification_sent(
+    NodeId holder, NodeId user, discovery::ServiceVersion version,
+    SimTime at) {
+  ++report_.notifications_checked;
+  (void)version;
+  const auto it = leases_.find({holder, user});
+  if (it == leases_.end() || !it->second.active) {
+    add_violation(Invariant::kLeaseHygiene, at, holder, sim::kNoSpan,
+                  "notification to user " + std::to_string(user) +
+                      " without an active lease");
+    return;
+  }
+  if (at > it->second.expires_at) {
+    add_violation(Invariant::kLeaseHygiene, at, holder, sim::kNoSpan,
+                  "notification to user " + std::to_string(user) +
+                      " after its lease expired");
+  }
+}
+
+OracleReport ConsistencyOracle::finish() {
+  // Leaked leases: still active long after expiry at end of run means
+  // the holder's purge path never ran.
+  for (const auto& [key, lease] : leases_) {
+    if (lease.active &&
+        lease.expires_at + config_.lease_expiry_slack < deadline_) {
+      add_violation(Invariant::kLeaseHygiene, deadline_, key.first,
+                    sim::kNoSpan,
+                    "lease for user " + std::to_string(key.second) +
+                        " expired in-run but was never dropped");
+    }
+  }
+
+  // Convergence: after a quiet tail, every tracked user acts on the
+  // latest version. Gated on the run shape (see OracleConfig).
+  if (config_.require_convergence && latest_change_ >= 2 &&
+      last_episode_end_ + config_.convergence_grace <= deadline_) {
+    for (const NodeId user : users_) {
+      const auto it = user_versions_.find(user);
+      const discovery::ServiceVersion held =
+          it == user_versions_.end() ? 0 : it->second;
+      if (held < latest_change_) {
+        add_violation(Invariant::kConvergence, deadline_, user, sim::kNoSpan,
+                      "user holds version " + std::to_string(held) +
+                          " at deadline, latest change is " +
+                          std::to_string(latest_change_));
+      }
+    }
+  }
+  return report_;
+}
+
+}  // namespace sdcm::check

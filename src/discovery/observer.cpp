@@ -13,6 +13,29 @@ void ConsistencyObserver::track_user(NodeId user) {
 void ConsistencyObserver::service_changed(ServiceVersion version,
                                           sim::SimTime at) {
   changes_.emplace(version, at);
+  if (on_service_changed) on_service_changed(version, at);
+}
+
+void ConsistencyObserver::user_version(NodeId user, ServiceVersion version,
+                                       sim::SimTime at) {
+  if (on_user_version) on_user_version(user, version, at);
+}
+
+void ConsistencyObserver::lease_granted(NodeId holder, NodeId user,
+                                        sim::SimTime expires_at,
+                                        sim::SimTime at) {
+  if (on_lease_granted) on_lease_granted(holder, user, expires_at, at);
+}
+
+void ConsistencyObserver::lease_dropped(NodeId holder, NodeId user,
+                                        sim::SimTime at) {
+  if (on_lease_dropped) on_lease_dropped(holder, user, at);
+}
+
+void ConsistencyObserver::notification_sent(NodeId holder, NodeId user,
+                                            ServiceVersion version,
+                                            sim::SimTime at) {
+  if (on_notification_sent) on_notification_sent(holder, user, version, at);
 }
 
 void ConsistencyObserver::user_reached(NodeId user, ServiceVersion version,

@@ -75,6 +75,8 @@ std::string usage() {
          "  --loss=P           per-message loss probability (default 0)\n"
          "  --no-frodo-pr1 --no-frodo-srn2 --no-frodo-pr3 --no-frodo-pr4\n"
          "  --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5   ablations\n"
+         "  --check            run the consistency oracle on every run;\n"
+         "                     exit 1 on any invariant violation\n"
          "  --no-progress      disable the live stderr progress line\n"
          "  --help\n";
   return oss.str();
@@ -242,6 +244,8 @@ std::optional<Options> parse(int argc, const char* const* argv,
       options.sweep.ablation.upnp_pr4 = false;
     } else if (key == "--no-upnp-pr5") {
       options.sweep.ablation.upnp_pr5 = false;
+    } else if (key == "--check") {
+      options.check = true;
     } else if (key == "--no-progress") {
       options.progress = false;
     } else {

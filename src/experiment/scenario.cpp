@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sdcm/check/oracle.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/frodo/manager.hpp"
 #include "sdcm/frodo/registry_node.hpp"
@@ -91,10 +92,10 @@ Topology build_topology(const ExperimentConfig& config,
     case SystemModel::kJiniOneRegistry:
     case SystemModel::kJiniTwoRegistries: {
       topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
-          simulator, network, kRegistryId, config.jini));
+          simulator, network, kRegistryId, config.jini, &observer));
       if (config.model == SystemModel::kJiniTwoRegistries) {
         topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
-            simulator, network, kSecondRegistryId, config.jini));
+            simulator, network, kSecondRegistryId, config.jini, &observer));
       }
       auto manager = std::make_unique<jini::JiniManager>(
           simulator, network, kManagerId, config.jini, &observer);
@@ -113,12 +114,13 @@ Topology build_topology(const ExperimentConfig& config,
     case SystemModel::kFrodoTwoParty: {
       const bool two_party = config.model == SystemModel::kFrodoTwoParty;
       topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
-          simulator, network, kRegistryId, /*capability=*/100, config.frodo));
+          simulator, network, kRegistryId, /*capability=*/100, config.frodo,
+          &observer));
       if (two_party) {
         // Topology (b) adds a 300D Backup (8 nodes, all 300D).
         topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
             simulator, network, kSecondRegistryId, /*capability=*/90,
-            config.frodo));
+            config.frodo, &observer));
       }
       const auto device_class =
           two_party ? frodo::DeviceClass::k300D : frodo::DeviceClass::k3D;
@@ -147,14 +149,23 @@ Topology build_topology(const ExperimentConfig& config,
 metrics::RunRecord run_impl(const ExperimentConfig& config,
                             sim::Simulator& simulator, bool keep_records) {
   const bool store = config.record_trace || keep_records;
-  simulator.trace().set_recording(store || config.trace_writer != nullptr);
+  simulator.trace().set_recording(store || config.trace_writer != nullptr ||
+                                  config.oracle != nullptr);
   simulator.trace().set_store(store);
-  if (config.trace_writer != nullptr) {
+  if (config.oracle != nullptr) {
+    // The oracle tees to the configured writer so --check composes with
+    // --traces.
+    config.oracle->set_downstream(config.trace_writer);
+    simulator.trace().set_writer(config.oracle);
+  } else if (config.trace_writer != nullptr) {
     simulator.trace().set_writer(config.trace_writer);
   }
   net::Network network(simulator);
   network.set_message_loss_rate(config.message_loss_rate);
   discovery::ConsistencyObserver observer;
+  if (config.oracle != nullptr) {
+    config.oracle->begin_run(observer, network, config.duration);
+  }
 
   Topology topo = build_topology(config, simulator, network, observer);
   for (auto& node : topo.nodes) node->start();
@@ -169,7 +180,10 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
   plan_config.episodes = config.failure_episodes;
   const auto plan =
       net::plan_failures(network.nodes(), plan_config, failure_rng);
-  net::apply_failures(simulator, network, plan);
+  if (config.oracle != nullptr) {
+    config.oracle->arm(plan, observer.users());
+  }
+  net::apply_failures(simulator, network, plan, config.failure_application);
 
   // One change at a uniformly random time in [change_min, change_max].
   auto change_rng = simulator.rng().fork("experiment.change");

@@ -131,6 +131,11 @@ int main(int argc, char** argv) {
     config.trace_sink = &*traces;
     if (progress) progress->watch_trace_sink(&*traces);
   }
+  std::optional<CheckSink> checks;
+  if (options->check) {
+    checks.emplace();
+    config.check_sink = &*checks;
+  }
   config.sink = &sinks;
 
   if (config.shard.is_sharded()) {
@@ -161,5 +166,9 @@ int main(int argc, char** argv) {
                  static_cast<double>(traces->bytes_flushed()) / 1e6);
   }
   report(result, *options);
+  if (checks) {
+    checks->write_report(std::cerr);
+    if (checks->violation_total() > 0) return 1;
+  }
   return 0;
 }

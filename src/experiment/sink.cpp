@@ -204,6 +204,58 @@ void JsonlSink::on_run(const RunEvent& event) {
 }
 
 // ---------------------------------------------------------------------
+// CheckSink
+// ---------------------------------------------------------------------
+
+CheckSink::CheckSink(check::OracleConfig base) : base_(base) {}
+
+check::ConsistencyOracle* CheckSink::open_run(SystemModel model,
+                                              std::size_t lambda_index,
+                                              int run) {
+  check::OracleConfig config = base_;
+  if (model == SystemModel::kUpnp) config.require_convergence = false;
+  auto oracle = std::make_unique<check::ConsistencyOracle>(config);
+  check::ConsistencyOracle* out = oracle.get();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  open_[RunKey{model, lambda_index, run}] = std::move(oracle);
+  return out;
+}
+
+void CheckSink::on_run(const RunEvent& event) {
+  std::unique_ptr<check::ConsistencyOracle> oracle;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it =
+        open_.find(RunKey{event.model, event.lambda_index, event.run});
+    if (it == open_.end()) return;  // run executed without open_run
+    oracle = std::move(it->second);
+    open_.erase(it);
+  }
+  check::OracleReport report = oracle->finish();
+  runs_checked_.fetch_add(1, std::memory_order_relaxed);
+  violation_total_.fetch_add(report.violation_total,
+                             std::memory_order_relaxed);
+  if (report.violations.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (check::Violation& violation : report.violations) {
+    violations_.push_back(CampaignViolation{event.model, event.lambda,
+                                            event.run, event.seed,
+                                            std::move(violation)});
+  }
+}
+
+void CheckSink::write_report(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "check: " << runs_checked() << " runs checked, "
+      << violation_total() << " violation(s)\n";
+  for (const CampaignViolation& v : violations_) {
+    out << "  " << to_string(v.model) << " lambda=" << v.lambda << " run="
+        << v.run << " seed=" << v.seed << "  " << v.violation.describe()
+        << '\n';
+  }
+}
+
+// ---------------------------------------------------------------------
 // TraceSink
 // ---------------------------------------------------------------------
 

@@ -136,8 +136,10 @@ SweepResult run_sweep(const SweepConfig& config) {
 
   RunSink* const sink = config.sink;
   TraceSink* const trace_sink = config.trace_sink;
+  CheckSink* const check_sink = config.check_sink;
   if (sink != nullptr) sink->on_campaign_begin(config, jobs.size());
   if (trace_sink != nullptr) trace_sink->on_campaign_begin(config, jobs.size());
+  if (check_sink != nullptr) check_sink->on_campaign_begin(config, jobs.size());
 
   // One lock serializes the streaming reduction and the sink callbacks;
   // runs take milliseconds to seconds each, so contention is noise.
@@ -160,6 +162,10 @@ SweepResult run_sweep(const SweepConfig& config) {
       run_config.trace_writer =
           trace_sink->open_run(point.model, point.lambda_index, job.run);
     }
+    if (check_sink != nullptr) {
+      run_config.oracle =
+          check_sink->open_run(point.model, point.lambda_index, job.run);
+    }
 
     const auto run_start = std::chrono::steady_clock::now();
     metrics::RunRecord record = run_experiment(run_config);
@@ -174,7 +180,7 @@ SweepResult run_sweep(const SweepConfig& config) {
     result.summary.run_wall_ns_total += wall_ns;
     result.summary.sim_seconds_total += sim::to_seconds(record.deadline);
     sim::accumulate(result.summary.kernel, record.kernel);
-    if (sink != nullptr || trace_sink != nullptr) {
+    if (sink != nullptr || trace_sink != nullptr || check_sink != nullptr) {
       RunEvent event;
       event.model = point.model;
       event.lambda = point.lambda;
@@ -186,6 +192,7 @@ SweepResult run_sweep(const SweepConfig& config) {
       event.record = &record;
       if (sink != nullptr) sink->on_run(event);
       if (trace_sink != nullptr) trace_sink->on_run(event);
+      if (check_sink != nullptr) check_sink->on_run(event);
     }
     if (config.keep_records) {
       point.records[static_cast<std::size_t>(job.run)] = std::move(record);
@@ -203,6 +210,7 @@ SweepResult run_sweep(const SweepConfig& config) {
           .count());
   if (sink != nullptr) sink->on_campaign_end(result.summary);
   if (trace_sink != nullptr) trace_sink->on_campaign_end(result.summary);
+  if (check_sink != nullptr) check_sink->on_campaign_end(result.summary);
   return result;
 }
 

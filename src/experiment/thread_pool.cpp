@@ -1,6 +1,9 @@
 #include "sdcm/experiment/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
 
 namespace sdcm::experiment {
 
@@ -14,18 +17,25 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     const std::scoped_lock lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   task_ready_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::scoped_lock lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit called after stop()");
+    }
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -35,6 +45,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -47,9 +62,19 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // in_flight_ is decremented whether or not the task threw, so a
+    // throwing task can never strand wait_idle().
     {
       const std::scoped_lock lock(mutex_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = std::move(error);
+      }
       --in_flight_;
       if (in_flight_ == 0) idle_.notify_all();
     }
@@ -58,10 +83,35 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Each call waits on its own completion count, not the pool-wide
+  // in_flight_, so overlapping parallel_for calls finish independently.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+  const auto batch = std::make_shared<Batch>();
+  batch->remaining = n;
   for (std::size_t i = 0; i < n; ++i) {
-    submit([&body, i] { body(i); });
+    submit([&body, batch, i] {
+      std::exception_ptr error;
+      try {
+        body(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      const std::scoped_lock lock(batch->mutex);
+      if (error != nullptr && batch->error == nullptr) {
+        batch->error = std::move(error);
+      }
+      if (--batch->remaining == 0) batch->done.notify_all();
+    });
   }
-  wait_idle();
+  std::unique_lock lock(batch->mutex);
+  batch->done.wait(lock, [&batch] { return batch->remaining == 0; });
+  if (batch->error != nullptr) std::rethrow_exception(batch->error);
 }
 
 }  // namespace sdcm::experiment

@@ -317,6 +317,9 @@ void FrodoManager::send_update_to_user(ServiceId service, NodeId user) {
                  "user=" + std::to_string(user) + " version=" +
                      std::to_string(version) +
                      (invalidate ? " invalidation" : ""));
+  if (observer_ != nullptr) {
+    observer_->notification_sent(id(), user, version, now());
+  }
   channel().send(
       token, std::move(m),
       state.critical ? src1_options() : srn1_options(),
@@ -406,6 +409,9 @@ void FrodoManager::handle_subscription_request(const Message& m) {
   sub.lease = discovery::Lease{now(), config().subscription_lease};
   sub.inconsistent_since = 0;
   arm_subscription_expiry(req.service, req.user);
+  if (observer_ != nullptr) {
+    observer_->lease_granted(id(), req.user, sub.lease.expires_at(), now());
+  }
   trace(sim::TraceCategory::kSubscription, "frodo.subscribed",
         "user=" + std::to_string(req.user));
 
@@ -453,6 +459,9 @@ void FrodoManager::handle_subscription_renew(const Message& m) {
   auto& sub = subs_it->second.at(renew.user);
   sub.lease.renew(now());
   arm_subscription_expiry(renew.service, renew.user);
+  if (observer_ != nullptr) {
+    observer_->lease_granted(id(), renew.user, sub.lease.expires_at(), now());
+  }
   // Renewals are not acknowledged (Figure 1).
 
   // SRN2: the renewal proves the User is reachable again - retry the
@@ -506,6 +515,7 @@ void FrodoManager::purge_subscriber(ServiceId service, NodeId user,
     channel().cancel(sub->second.pending_update);
   }
   it->second.erase(sub);
+  if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
   trace(sim::TraceCategory::kSubscription, "frodo.subscriber.purged",
         "user=" + std::to_string(user) + " reason=" + reason);
 }

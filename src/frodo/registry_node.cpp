@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "sdcm/discovery/observer.hpp"
 #include "sdcm/obs/instrument.hpp"
 
 namespace sdcm::frodo {
@@ -34,9 +35,11 @@ bool outranks(std::uint64_t epoch_a, Capability cap_a, NodeId id_a,
 
 FrodoRegistryNode::FrodoRegistryNode(sim::Simulator& simulator,
                                      net::Network& network, NodeId id,
-                                     Capability capability, FrodoConfig config)
+                                     Capability capability, FrodoConfig config,
+                                     discovery::ConsistencyObserver* observer)
     : Node(simulator, network, id, "frodo-registry"),
       config_(config),
+      observer_(observer),
       capability_(capability),
       channel_(simulator, network) {}
 
@@ -103,9 +106,13 @@ void FrodoRegistryNode::become_central(std::uint64_t epoch) {
       arm_registration_expiry(rec.sd.id);
     }
     for (const auto& rec : synced_.subscriptions) {
-      subscriptions_[rec.service][rec.user].lease =
-          discovery::Lease{now(), config_.subscription_lease};
+      auto& sub = subscriptions_[rec.service][rec.user];
+      sub.lease = discovery::Lease{now(), config_.subscription_lease};
       arm_subscription_expiry(rec.service, rec.user);
+      if (observer_ != nullptr) {
+        observer_->lease_granted(id(), rec.user, sub.lease.expires_at(),
+                                 now());
+      }
     }
     for (const auto& rec : synced_.interests) {
       interests_[rec.user] = rec.matching;
@@ -263,6 +270,13 @@ void FrodoRegistryNode::handle_central_announce(const Message& m) {
       known_central_ = ann.central;
       known_epoch_ = ann.epoch;
       registrations_.clear();
+      if (observer_ != nullptr) {
+        for (const auto& [service, subs] : subscriptions_) {
+          for (const auto& entry : subs) {
+            observer_->lease_dropped(id(), entry.first, now());
+          }
+        }
+      }
       subscriptions_.clear();
       interests_.clear();
       backup_ = sim::kNoNode;
@@ -485,6 +499,9 @@ void FrodoRegistryNode::propagate_update(ServiceId service) {
     m.span = trace(sim::TraceCategory::kUpdate, "frodo.update.tx",
                    "user=" + std::to_string(user) +
                        " version=" + std::to_string(reg.sd.version));
+    if (observer_ != nullptr) {
+      observer_->notification_sent(id(), user, reg.sd.version, now());
+    }
     // SRC1 for critical services (unlimited), SRN1 otherwise. There is no
     // SRN2 at the Central (Table 4: SRN2 is the 2-party Manager's); a
     // failed propagation is recovered by PR3 / PR1.
@@ -568,6 +585,9 @@ void FrodoRegistryNode::handle_subscription_request(const Message& m) {
   auto& sub = subscriptions_[req.service][req.user];
   sub.lease = discovery::Lease{now(), config_.subscription_lease};
   arm_subscription_expiry(req.service, req.user);
+  if (observer_ != nullptr) {
+    observer_->lease_granted(id(), req.user, sub.lease.expires_at(), now());
+  }
   trace(sim::TraceCategory::kSubscription, "frodo.subscribed",
         "user=" + std::to_string(req.user));
   sync_backup();
@@ -600,6 +620,10 @@ void FrodoRegistryNode::handle_subscription_renew(const Message& m) {
     auto& sub = subs_it->second.at(renew.user);
     sub.lease.renew(now());
     arm_subscription_expiry(renew.service, renew.user);
+    if (observer_ != nullptr) {
+      observer_->lease_granted(id(), renew.user, sub.lease.expires_at(),
+                               now());
+    }
     // 3-party renewals are not acknowledged (Figure 1).
     return;
   }
@@ -674,6 +698,7 @@ void FrodoRegistryNode::purge_registration(ServiceId service) {
   if (subs_it != subscriptions_.end()) {
     for (auto& [user, sub] : subs_it->second) {
       if (sub.expiry != sim::kInvalidEventId) simulator().cancel(sub.expiry);
+      if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
       recipients.insert(user);
     }
     subscriptions_.erase(subs_it);
@@ -697,6 +722,7 @@ void FrodoRegistryNode::purge_subscription(ServiceId service, NodeId user) {
   const auto it = subscriptions_.find(service);
   if (it == subscriptions_.end()) return;
   if (it->second.erase(user) > 0) {
+    if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
     trace(sim::TraceCategory::kLease, "frodo.subscription.purged",
           "user=" + std::to_string(user));
     sync_backup();

@@ -247,6 +247,7 @@ void FrodoUser::store_sd(const ServiceDescription& sd, bool critical) {
   }
   if (sd_.has_value() && sd_->version >= sd.version) return;
   sd_ = sd;
+  if (observer_ != nullptr) observer_->user_version(id(), sd.version, now());
   trace(sim::TraceCategory::kUpdate, "frodo.description.stored",
         "version=" + std::to_string(sd.version));
   // SRC2: a critical service requires the complete view; request any

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "sdcm/discovery/observer.hpp"
 #include "sdcm/net/tcp.hpp"
 #include "sdcm/obs/instrument.hpp"
 
@@ -12,8 +13,11 @@ using net::Message;
 using net::MessageClass;
 
 JiniRegistry::JiniRegistry(sim::Simulator& simulator, net::Network& network,
-                           NodeId id, JiniConfig config)
-    : Node(simulator, network, id, "jini-registry"), config_(config) {}
+                           NodeId id, JiniConfig config,
+                           discovery::ConsistencyObserver* observer)
+    : Node(simulator, network, id, "jini-registry"),
+      config_(config),
+      observer_(observer) {}
 
 void JiniRegistry::start() {
   announce();
@@ -112,6 +116,9 @@ void JiniRegistry::fire_events(const ServiceDescription& sd) {
     event.span = trace(sim::TraceCategory::kUpdate, "jini.event.tx",
                        "user=" + std::to_string(user) +
                            " version=" + std::to_string(sd.version));
+    if (observer_ != nullptr) {
+      observer_->notification_sent(id(), user, sd.version, now());
+    }
     // Best-effort delivery: a REX abandons this event (the event lease is
     // kept); recovery is left to PR1/PR2/PR3.
     net::TcpConnection::open_and_send(
@@ -182,6 +189,9 @@ void JiniRegistry::handle_event_register(const Message& m) {
   const NodeId user = req.user;
   simulator().reschedule_at(entry.expiry, entry.lease.expires_at(),
                             [this, user] { purge_event(user); });
+  if (observer_ != nullptr) {
+    observer_->lease_granted(id(), user, entry.lease.expires_at(), now());
+  }
   trace(sim::TraceCategory::kSubscription, "jini.event_registered",
         "user=" + std::to_string(user));
   // NB: no notification about already-registered matching services - the
@@ -211,6 +221,10 @@ void JiniRegistry::handle_renew_event(const Message& m) {
     const NodeId user = renew.user;
     simulator().reschedule_at(it->second.expiry, it->second.lease.expires_at(),
                               [this, user] { purge_event(user); });
+    if (observer_ != nullptr) {
+      observer_->lease_granted(id(), user, it->second.lease.expires_at(),
+                               now());
+    }
     reply.payload = RenewEventResponse{true};
   } else {
     // PR3 as Jini implements it: a bare error; the User must redo registry
@@ -232,6 +246,7 @@ void JiniRegistry::purge_registration(ServiceId service) {
 
 void JiniRegistry::purge_event(NodeId user) {
   if (events_.erase(user) > 0) {
+    if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
     trace(sim::TraceCategory::kLease, "jini.event.purged",
           "user=" + std::to_string(user));
   }

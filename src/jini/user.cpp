@@ -200,7 +200,10 @@ void JiniUser::store(const ServiceDescription& sd) {
   sd_ = sd;
   trace(sim::TraceCategory::kUpdate, "jini.description.stored",
         "version=" + std::to_string(sd.version));
-  if (observer_ != nullptr) observer_->user_reached(id(), sd.version, now());
+  if (observer_ != nullptr) {
+    observer_->user_version(id(), sd.version, now());
+    observer_->user_reached(id(), sd.version, now());
+  }
 }
 
 }  // namespace sdcm::jini

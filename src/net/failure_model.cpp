@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <memory>
 
 namespace sdcm::net {
 
@@ -27,15 +29,21 @@ std::vector<FailureEpisode> plan_failures(std::span<const NodeId> nodes,
   const sim::SimDuration duration = sim::seconds_f(total_down / episodes);
   const sim::SimTime window =
       (config.horizon - config.min_start) / episodes;
+  // A fit-inside episode cannot exceed its window; when the cap binds
+  // (lambda > 1 - min_start/horizon) the plan saturates rather than spill
+  // an episode into the next window, where the next episode's "up"
+  // transition would cut this one short.
+  const sim::SimDuration fit_duration = std::min(duration, window);
 
   plan.reserve(nodes.size() * static_cast<std::size_t>(episodes));
   for (const NodeId node : nodes) {
     for (int e = 0; e < episodes; ++e) {
+      const bool fit = config.placement == FailurePlacement::kFitInside;
       const sim::SimTime window_start = config.min_start + e * window;
       sim::SimTime latest_start;
-      if (config.placement == FailurePlacement::kFitInside) {
+      if (fit) {
         latest_start =
-            std::max(window_start, window_start + window - duration);
+            std::max(window_start, window_start + window - fit_duration);
       } else {
         latest_start = window_start + window;
       }
@@ -45,7 +53,7 @@ std::vector<FailureEpisode> plan_failures(std::span<const NodeId> nodes,
           static_cast<std::int64_t>(FailureMode::kTransmitter),
           static_cast<std::int64_t>(FailureMode::kBoth)));
       ep.start = rng.uniform_time(window_start, latest_start);
-      ep.duration = duration;
+      ep.duration = fit ? fit_duration : duration;
       plan.push_back(ep);
     }
   }
@@ -53,29 +61,54 @@ std::vector<FailureEpisode> plan_failures(std::span<const NodeId> nodes,
 }
 
 void apply_failures(sim::Simulator& simulator, Network& network,
-                    std::span<const FailureEpisode> plan) {
+                    std::span<const FailureEpisode> plan,
+                    FailureApplication application) {
+  // Nesting depth of concurrent episodes per node per direction, shared
+  // by every transition of this plan and kept alive by the lambdas.
+  struct DownDepth {
+    int tx = 0;
+    int rx = 0;
+  };
+  const auto depth = std::make_shared<std::map<NodeId, DownDepth>>();
+  const bool refcounted = application == FailureApplication::kRefcounted;
   for (const FailureEpisode& ep : plan) {
     if (ep.mode == FailureMode::kNone || ep.duration <= 0) continue;
     const bool tx = ep.mode == FailureMode::kTransmitter ||
                     ep.mode == FailureMode::kBoth;
     const bool rx =
         ep.mode == FailureMode::kReceiver || ep.mode == FailureMode::kBoth;
-    simulator.schedule_at(ep.start, [&simulator, &network, ep, tx, rx]() {
-      auto& iface = network.interface(ep.node);
-      if (tx) iface.set_tx(false);
-      if (rx) iface.set_rx(false);
-      simulator.trace().record(
-          simulator.now(), ep.node, sim::TraceCategory::kFailure,
-          "interface.down", std::string(to_string(ep.mode)));
-    });
-    simulator.schedule_at(ep.end(), [&simulator, &network, ep, tx, rx]() {
-      auto& iface = network.interface(ep.node);
-      if (tx) iface.set_tx(true);
-      if (rx) iface.set_rx(true);
-      simulator.trace().record(
-          simulator.now(), ep.node, sim::TraceCategory::kFailure,
-          "interface.up", std::string(to_string(ep.mode)));
-    });
+    simulator.schedule_at(
+        ep.start, [&simulator, &network, ep, tx, rx, depth]() {
+          auto& iface = network.interface(ep.node);
+          auto& nesting = (*depth)[ep.node];
+          if (tx) {
+            ++nesting.tx;
+            iface.set_tx(false);
+          }
+          if (rx) {
+            ++nesting.rx;
+            iface.set_rx(false);
+          }
+          simulator.trace().record(
+              simulator.now(), ep.node, sim::TraceCategory::kFailure,
+              "interface.down", std::string(to_string(ep.mode)));
+        });
+    simulator.schedule_at(
+        ep.end(), [&simulator, &network, ep, tx, rx, depth, refcounted]() {
+          auto& iface = network.interface(ep.node);
+          auto& nesting = (*depth)[ep.node];
+          if (tx) {
+            --nesting.tx;
+            if (!refcounted || nesting.tx <= 0) iface.set_tx(true);
+          }
+          if (rx) {
+            --nesting.rx;
+            if (!refcounted || nesting.rx <= 0) iface.set_rx(true);
+          }
+          simulator.trace().record(
+              simulator.now(), ep.node, sim::TraceCategory::kFailure,
+              "interface.up", std::string(to_string(ep.mode)));
+        });
   }
 }
 

@@ -122,6 +122,9 @@ void Network::multicast(const Message& msg, int redundant_copies) {
   const sim::SpanId cause =
       msg.span != sim::kNoSpan ? msg.span : sim_.trace().ambient();
   for (int copy = 0; copy < redundant_copies; ++copy) {
+    if (probe_ != nullptr) {
+      probe_->on_send(msg, src.iface.tx_up(), sim_.now());
+    }
     if (!src.iface.tx_up()) {
       ++kstats.udp_dropped;
       sim_.trace().record_child(cause, sim_.now(), msg.src,
@@ -141,6 +144,9 @@ void Network::multicast(const Message& msg, int redundant_copies) {
       const bool lost = lost_in_transit();
       sim_.schedule_in(delay, [this, lost, m = std::move(delivered)]() {
         Port& dport = port(m.dst);
+        if (probe_ != nullptr) {
+          probe_->on_arrival(m, dport.iface.rx_up(), lost, sim_.now());
+        }
         if (!dport.iface.rx_up() || lost) {
           ++sim_.kernel_stats().udp_dropped;
           sim_.trace().record_child(m.span, sim_.now(), m.dst,
@@ -162,6 +168,9 @@ bool Network::transmit(Message msg, bool deliver,
   sim::KernelStats& kstats = sim_.kernel_stats();
   if (msg.span == sim::kNoSpan) msg.span = sim_.trace().ambient();
   const auto delay = draw_delay();
+  if (probe_ != nullptr) {
+    probe_->on_send(msg, src.iface.tx_up(), sim_.now());
+  }
   if (!src.iface.tx_up()) {
     ++(tcp ? kstats.tcp_dropped : kstats.udp_dropped);
     sim_.trace().record_child(msg.span, sim_.now(), msg.src,
@@ -182,6 +191,9 @@ bool Network::transmit(Message msg, bool deliver,
   sim_.schedule_in(delay, [this, m = std::move(msg), deliver, lost, tcp,
                            cb = std::move(on_result)]() {
     Port& dport = port(m.dst);
+    if (probe_ != nullptr) {
+      probe_->on_arrival(m, dport.iface.rx_up(), lost, sim_.now());
+    }
     const bool ok = dport.iface.rx_up() && !lost;
     sim::SpanScope scope(sim_.trace(), m.span);
     if (!ok) {

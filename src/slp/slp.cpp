@@ -246,6 +246,7 @@ void UserAgent::on_message(const Message& m) {
     trace(sim::TraceCategory::kUpdate, "slp.description.stored",
           "version=" + std::to_string(rply.sd.version));
     if (observer_ != nullptr) {
+      observer_->user_version(id(), rply.sd.version, now());
       observer_->user_reached(id(), rply.sd.version, now());
     }
   }

@@ -43,6 +43,13 @@ void UpnpManager::shutdown() {
     m.payload = ByeBye{id(), service};
     network().multicast(m, config_.multicast_redundancy);
   }
+  if (observer_ != nullptr) {
+    for (const auto& [service, users] : subs_) {
+      for (const auto& entry : users) {
+        observer_->lease_dropped(id(), entry.first, now());
+      }
+    }
+  }
   subs_.clear();
   trace(sim::TraceCategory::kDiscovery, "upnp.shutdown");
 }
@@ -121,6 +128,9 @@ void UpnpManager::notify_subscriber(ServiceId service, NodeId user) {
   m.payload = Notify{service, sd.version};
   m.span = trace(sim::TraceCategory::kUpdate, "upnp.notify.tx",
                  "user=" + std::to_string(user));
+  if (observer_ != nullptr) {
+    observer_->notification_sent(id(), user, sd.version, now());
+  }
   // GENA rule: an event that cannot be delivered cancels the subscription.
   net::TcpConnection::open_and_send(
       network(), std::move(m), /*on_acked=*/{},
@@ -141,6 +151,7 @@ void UpnpManager::purge_subscriber(ServiceId service, NodeId user,
     simulator().cancel(sub->second.expiry);
   }
   it->second.erase(sub);
+  if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
   trace(sim::TraceCategory::kSubscription, "upnp.subscriber.purged",
         "user=" + std::to_string(user) + " reason=" + reason);
 }
@@ -219,6 +230,9 @@ void UpnpManager::handle_subscribe(const Message& m) {
   simulator().reschedule_at(
       entry.expiry, entry.lease.expires_at(),
       [this, service, user] { purge_subscriber(service, user, "expired"); });
+  if (observer_ != nullptr) {
+    observer_->lease_granted(id(), user, entry.lease.expires_at(), now());
+  }
   trace(sim::TraceCategory::kSubscription, "upnp.subscribed",
         "user=" + std::to_string(user));
 
@@ -247,6 +261,9 @@ void UpnpManager::handle_renew(const Message& m) {
     simulator().reschedule_at(
         entry.expiry, entry.lease.expires_at(),
         [this, service, user] { purge_subscriber(service, user, "expired"); });
+    if (observer_ != nullptr) {
+      observer_->lease_granted(id(), user, entry.lease.expires_at(), now());
+    }
     reply.payload = RenewResponse{renew.service, true};
   } else {
     // PR4: tell the purged User to resubscribe (if enabled; the ablation

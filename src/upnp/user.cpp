@@ -134,6 +134,7 @@ void UpnpUser::handle_description(const Message& m) {
   trace(sim::TraceCategory::kUpdate, "upnp.description.stored",
         "version=" + std::to_string(desc.sd.version));
   if (observer_ != nullptr) {
+    observer_->user_version(id(), desc.sd.version, now());
     observer_->user_reached(id(), desc.sd.version, now());
   }
   if (!subscribed_ && !subscribe_in_flight_) subscribe();

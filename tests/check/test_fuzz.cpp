@@ -1,0 +1,205 @@
+#include "sdcm/check/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace sdcm;
+using check::FuzzCase;
+using check::FuzzConfig;
+using check::FuzzPlan;
+using check::FuzzResult;
+using experiment::SystemModel;
+
+std::string describe_all(const check::OracleReport& report) {
+  std::string out;
+  for (const check::Violation& violation : report.violations) {
+    out += violation.describe() + "\n";
+  }
+  return out;
+}
+
+/// The pinned regression: under the legacy boolean failure application,
+/// two overlapping truncated episodes re-enable a node's interfaces
+/// mid-outage; the refcounted application keeps them down.
+FuzzCase pinned_overlap_case() {
+  FuzzCase pinned;
+  pinned.model = SystemModel::kUpnp;
+  pinned.seed = 25;
+  pinned.plan.lambda = 0.9;
+  pinned.plan.episodes = 2;
+  pinned.plan.placement = net::FailurePlacement::kTruncated;
+  pinned.plan.message_loss_rate = 0.0;
+  pinned.plan.converge_shape = false;
+  return pinned;
+}
+
+TEST(FuzzPlanDraw, IsDeterministic) {
+  FuzzConfig config;
+  const check::FuzzPlan a =
+      check::draw_fuzz_plan(SystemModel::kUpnp, 17, config);
+  const check::FuzzPlan b =
+      check::draw_fuzz_plan(SystemModel::kUpnp, 17, config);
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.message_loss_rate, b.message_loss_rate);
+  EXPECT_EQ(a.converge_shape, b.converge_shape);
+}
+
+TEST(FuzzPlanDraw, VariesAcrossSeedsAndModels) {
+  FuzzConfig config;
+  bool seed_varies = false;
+  const check::FuzzPlan base =
+      check::draw_fuzz_plan(SystemModel::kUpnp, 1, config);
+  for (std::uint64_t seed = 2; seed <= 32 && !seed_varies; ++seed) {
+    const check::FuzzPlan other =
+        check::draw_fuzz_plan(SystemModel::kUpnp, seed, config);
+    seed_varies = other.lambda != base.lambda ||
+                  other.episodes != base.episodes ||
+                  other.placement != base.placement ||
+                  other.message_loss_rate != base.message_loss_rate ||
+                  other.converge_shape != base.converge_shape;
+  }
+  EXPECT_TRUE(seed_varies);
+
+  // Same seed, different model: the model name is folded into the
+  // stream, so plans differ somewhere over a modest seed range.
+  bool model_varies = false;
+  for (std::uint64_t seed = 1; seed <= 32 && !model_varies; ++seed) {
+    const check::FuzzPlan upnp =
+        check::draw_fuzz_plan(SystemModel::kUpnp, seed, config);
+    const check::FuzzPlan jini =
+        check::draw_fuzz_plan(SystemModel::kJiniOneRegistry, seed, config);
+    model_varies = upnp.lambda != jini.lambda ||
+                   upnp.episodes != jini.episodes ||
+                   upnp.placement != jini.placement ||
+                   upnp.message_loss_rate != jini.message_loss_rate ||
+                   upnp.converge_shape != jini.converge_shape;
+  }
+  EXPECT_TRUE(model_varies);
+}
+
+TEST(FuzzRegression, LegacyBooleanFailuresViolateInterfaceInvariant) {
+  FuzzConfig config;
+  config.failure_application = net::FailureApplication::kLegacyBoolean;
+  const check::OracleReport report =
+      check::run_fuzz_case(pinned_overlap_case(), config);
+  ASSERT_FALSE(report.ok());
+  bool interface_violation = false;
+  for (const check::Violation& violation : report.violations) {
+    if (violation.invariant == check::Invariant::kInterface) {
+      interface_violation = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(interface_violation) << describe_all(report);
+}
+
+TEST(FuzzRegression, RefcountedFailuresPassTheSameCase) {
+  FuzzConfig config;
+  config.failure_application = net::FailureApplication::kRefcounted;
+  const check::OracleReport report =
+      check::run_fuzz_case(pinned_overlap_case(), config);
+  EXPECT_TRUE(report.ok()) << describe_all(report);
+}
+
+TEST(FuzzShrink, MinimizedCaseStillFailsAndKeepsTheOverlap) {
+  FuzzConfig config;
+  config.failure_application = net::FailureApplication::kLegacyBoolean;
+  FuzzCase original = pinned_overlap_case();
+  original.plan.message_loss_rate = 0.2;  // noise the shrinker must strip
+  int shrink_runs = 0;
+  const FuzzCase minimized =
+      check::shrink_fuzz_case(original, config, shrink_runs);
+  EXPECT_GT(shrink_runs, 0);
+  EXPECT_EQ(minimized.plan.message_loss_rate, 0.0);
+  // The bug needs at least two overlapping episodes; the shrinker must
+  // not "minimize" its way past the failure.
+  EXPECT_GE(minimized.plan.episodes, 2);
+  EXPECT_EQ(minimized.plan.placement, net::FailurePlacement::kTruncated);
+  const check::OracleReport report = check::run_fuzz_case(minimized, config);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(FuzzSweep, CleanSweepFindsNothing) {
+  FuzzConfig config;
+  config.models = {SystemModel::kUpnp, SystemModel::kFrodoThreeParty};
+  config.seed_begin = 1;
+  config.seed_end = 5;
+  const FuzzResult result = check::run_fuzz(config);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.cases_run, 8u);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(FuzzSweep, LegacySweepFindsAndShrinksTheOverlapBug) {
+  FuzzConfig config;
+  config.models = {SystemModel::kUpnp};
+  config.seed_begin = 25;
+  config.seed_end = 26;
+  config.failure_application = net::FailureApplication::kLegacyBoolean;
+  std::ostringstream log;
+  config.log = &log;
+  const FuzzResult result = check::run_fuzz(config);
+  ASSERT_EQ(result.findings.size(), 1u);
+  const check::FuzzFinding& finding = result.findings.front();
+  EXPECT_EQ(finding.original.model, SystemModel::kUpnp);
+  EXPECT_EQ(finding.original.seed, 25u);
+  EXPECT_FALSE(finding.report.ok());
+  EXPECT_GT(finding.shrink_runs, 0);
+  EXPECT_LE(finding.minimized.plan.episodes, finding.original.plan.episodes);
+  EXPECT_FALSE(log.str().empty());
+}
+
+TEST(FuzzConfigShaping, ConvergeShapeExtendsRunAndGatesOracle) {
+  FuzzCase shaped;
+  shaped.model = SystemModel::kFrodoThreeParty;
+  shaped.plan.converge_shape = true;
+  FuzzConfig config;
+  const experiment::ExperimentConfig experiment_config =
+      check::fuzz_experiment_config(shaped, config);
+  EXPECT_EQ(experiment_config.failure_horizon,
+            experiment_config.duration / 2);
+  // Convergence is opt-in: the models do not guarantee it.
+  EXPECT_FALSE(check::fuzz_oracle_config(shaped, config).require_convergence);
+  config.require_convergence = true;
+  EXPECT_TRUE(check::fuzz_oracle_config(shaped, config).require_convergence);
+
+  // UPnP's polling model offers no convergence bound: never required.
+  shaped.model = SystemModel::kUpnp;
+  EXPECT_FALSE(check::fuzz_oracle_config(shaped, config).require_convergence);
+}
+
+TEST(FuzzRegression, RetransmissionAbandonmentStrandsAFrodoUser) {
+  // FRODO-3party seed 238, converge-shaped: the registry's push to one
+  // user exhausts its retransmission budget while the user's receiver
+  // is down, nothing re-pushes after recovery, and the user holds
+  // version 1 forever despite a quiet second half. This is a genuine
+  // property of the reproduced model, surfaced by the fuzzer; it is
+  // why require_convergence is opt-in.
+  FuzzCase stranded;
+  stranded.model = SystemModel::kFrodoThreeParty;
+  stranded.seed = 238;
+  stranded.plan.lambda = 0.15;
+  stranded.plan.episodes = 1;
+  stranded.plan.placement = net::FailurePlacement::kFitInside;
+  stranded.plan.message_loss_rate = 0.0;
+  stranded.plan.converge_shape = true;
+
+  FuzzConfig config;
+  const check::OracleReport lenient =
+      check::run_fuzz_case(stranded, config);
+  EXPECT_TRUE(lenient.ok()) << describe_all(lenient);
+
+  config.require_convergence = true;
+  const check::OracleReport strict = check::run_fuzz_case(stranded, config);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.violations[0].invariant, check::Invariant::kConvergence);
+}
+
+}  // namespace

@@ -124,6 +124,50 @@ TEST(Sweep, StreamingSummariesMatchBatchBitForBit) {
   }
 }
 
+TEST(Sweep, StreamingMatchesBatchWithMultiEpisodePlansAndLoss) {
+  // Same bit-for-bit bar under the harsher fault shapes the fuzzer
+  // exercises: three truncated episodes per node plus message loss.
+  SweepConfig config;
+  config.models = {SystemModel::kJiniTwoRegistries, SystemModel::kUpnp};
+  config.lambdas = {0.3, 0.9};
+  config.runs = 4;
+  config.threads = 4;
+  config.keep_records = true;
+  config.ablation.episodes = 3;
+  config.ablation.placement = net::FailurePlacement::kTruncated;
+  config.ablation.message_loss_rate = 0.1;
+  const auto result = run_sweep(config);
+  ASSERT_EQ(result.size(), 4u);
+  for (const auto& p : result.points) {
+    const auto batch = metrics::update_metrics::summarize(
+        p.records, metrics::update_metrics::kPaperGlobalMinimumMessages,
+        minimum_update_messages(p.model, config.users));
+    EXPECT_EQ(p.metrics.responsiveness, batch.responsiveness);
+    EXPECT_EQ(p.metrics.effectiveness, batch.effectiveness);
+    EXPECT_EQ(p.metrics.efficiency, batch.efficiency);
+    EXPECT_EQ(p.metrics.degradation, batch.degradation);
+  }
+}
+
+TEST(Sweep, CheckSinkOraclesEveryRunAndStaysClean) {
+  SweepConfig config;
+  config.models = {SystemModel::kFrodoThreeParty, SystemModel::kUpnp};
+  config.lambdas = {0.3, 0.9};
+  config.runs = 3;
+  config.threads = 4;
+  config.ablation.episodes = 2;
+  CheckSink checks;
+  config.check_sink = &checks;
+  const auto result = run_sweep(config);
+  EXPECT_EQ(result.summary.runs_completed, 12u);
+  EXPECT_EQ(checks.runs_checked(), 12u);
+  EXPECT_EQ(checks.violation_total(), 0u);
+  EXPECT_TRUE(checks.violations().empty());
+  std::ostringstream report;
+  checks.write_report(report);
+  EXPECT_NE(report.str().find("12 runs checked"), std::string::npos);
+}
+
 TEST(Sweep, CustomizeHookAppliesAfterAblationSpec) {
   SweepConfig config;
   config.models = {SystemModel::kFrodoTwoParty};

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace sdcm::experiment {
@@ -59,6 +61,67 @@ TEST(ThreadPool, DestructionDrainsCleanly) {
     pool.wait_idle();
   }
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotHangAndRethrows) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  // Pre-fix, the throwing task leaked its in_flight_ increment and
+  // wait_idle() hung forever (or std::terminate tore the worker down).
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(count.load(), 20);
+  // The error is cleared once rethrown; the pool remains usable.
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 21);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&ran](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("body boom");
+                                   }
+                                   ran.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  // Remaining iterations still ran; only index 13 is missing.
+  EXPECT_EQ(ran.load(), 99);
+}
+
+TEST(ThreadPool, ConcurrentParallelForsDoNotBlockEachOther) {
+  ThreadPool pool(4);
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  std::thread other([&] {
+    pool.parallel_for(200, [&second](std::size_t) { second.fetch_add(1); });
+  });
+  pool.parallel_for(200, [&first](std::size_t) { first.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(first.load(), 200);
+  EXPECT_EQ(second.load(), 200);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.stop();
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, StopIsIdempotent) {
+  ThreadPool pool(2);
+  pool.stop();
+  pool.stop();
+  SUCCEED();
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <iterator>
 #include <iostream>
 #include <span>
 #include <string>
@@ -46,7 +47,8 @@ inline void check(bool ok, std::string_view claim) {
 inline experiment::SweepResult paper_sweep(
     std::function<void(experiment::ExperimentConfig&)> customize = {},
     std::vector<experiment::SystemModel> models = {
-        experiment::kAllModels, experiment::kAllModels + 5},
+        std::begin(experiment::kAllModels),
+        std::end(experiment::kAllModels)},
     const experiment::AblationSpec& ablation = {}) {
   experiment::SweepConfig config;
   config.models = std::move(models);
@@ -62,7 +64,8 @@ inline experiment::SweepResult paper_sweep(
 inline experiment::SweepResult paper_sweep(
     const experiment::AblationSpec& ablation,
     std::vector<experiment::SystemModel> models = {
-        experiment::kAllModels, experiment::kAllModels + 5}) {
+        std::begin(experiment::kAllModels),
+        std::end(experiment::kAllModels)}) {
   return paper_sweep({}, std::move(models), ablation);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -40,7 +41,7 @@ std::string to_string(const FuzzCase& fuzz_case);
 
 struct FuzzConfig {
   std::vector<experiment::SystemModel> models{
-      experiment::kAllModels, experiment::kAllModels + 5};
+      std::begin(experiment::kAllModels), std::end(experiment::kAllModels)};
   /// Seeds swept per model: [seed_begin, seed_end).
   std::uint64_t seed_begin = 1;
   std::uint64_t seed_end = 9;

@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared lease-entry lifecycle. Every leased table in the tree - UPnP
+// subscriptions, Jini registrations and event registrations, FRODO
+// registrations and subscriptions - kept a {Lease, expiry EventId} pair
+// and repeated the same grant/renew/cancel dance against the simulator.
+// LeaseEntry centralises that wiring. The event-queue operation sequence
+// (cancel-then-schedule via Simulator::reschedule_at) is byte-identical
+// to the idiom it replaces, so porting a protocol onto LeaseEntry is
+// trace-fingerprint-neutral.
+
+#include <utility>
+
+#include "sdcm/discovery/service.hpp"
+#include "sdcm/sim/simulator.hpp"
+
+namespace sdcm::discovery {
+
+/// A lease plus its armed expiry event. Embed inside per-peer table
+/// entries; the owner remains responsible for erasing the entry from its
+/// map in the expiry callback (after calling `cancel` is unnecessary -
+/// the event has already fired).
+struct LeaseEntry {
+  Lease lease;
+  sim::EventId expiry = sim::kInvalidEventId;
+
+  /// Grants a fresh lease of `duration` starting now and (re)arms the
+  /// expiry callback at its end. Any previously armed expiry is
+  /// cancelled first.
+  template <typename Callback>
+  void grant(sim::Simulator& simulator, sim::SimDuration duration,
+             Callback&& on_expiry) {
+    lease = Lease{simulator.now(), duration};
+    simulator.reschedule_at(expiry, lease.expires_at(),
+                            std::forward<Callback>(on_expiry));
+  }
+
+  /// Extends the current lease from now for another full duration and
+  /// re-arms the expiry callback.
+  template <typename Callback>
+  void renew(sim::Simulator& simulator, Callback&& on_expiry) {
+    lease.renew(simulator.now());
+    simulator.reschedule_at(expiry, lease.expires_at(),
+                            std::forward<Callback>(on_expiry));
+  }
+
+  /// (Re)arms the expiry callback at the current lease's end without
+  /// touching the lease itself - the primitive grant/renew build on,
+  /// exposed for owners that set the lease separately (e.g. FRODO's
+  /// Backup takeover re-arming inherited leases).
+  template <typename Callback>
+  void arm(sim::Simulator& simulator, Callback&& on_expiry) {
+    simulator.reschedule_at(expiry, lease.expires_at(),
+                            std::forward<Callback>(on_expiry));
+  }
+
+  /// Disarms the expiry event (e.g. on explicit purge). Safe when the
+  /// event already fired or was never armed.
+  void cancel(sim::Simulator& simulator) {
+    if (expiry != sim::kInvalidEventId) {
+      simulator.cancel(expiry);
+      expiry = sim::kInvalidEventId;
+    }
+  }
+
+  [[nodiscard]] sim::SimTime expires_at() const noexcept {
+    return lease.expires_at();
+  }
+};
+
+}  // namespace sdcm::discovery

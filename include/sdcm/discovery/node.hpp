@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 
 #include "sdcm/net/network.hpp"
 #include "sdcm/sim/simulator.hpp"
@@ -51,6 +52,31 @@ class Node {
                           std::string event, std::string detail = {}) {
     return sim_.trace().record_child(parent, sim_.now(), id_, category,
                                      std::move(event), std::move(detail));
+  }
+
+  /// Builds an outgoing message stamped with this node as the source.
+  /// Shared by every protocol module so envelope construction lives in
+  /// one place (the plugin layer) instead of per-module copies.
+  [[nodiscard]] net::Message make_message(std::string type,
+                                          net::MessageClass klass) const {
+    net::Message m;
+    m.src = id_;
+    m.type = std::move(type);
+    m.klass = klass;
+    return m;
+  }
+
+  /// Multicasts `m` with `copies` redundant wire copies (each copy is
+  /// counted and delivered independently).
+  void send_multicast(const net::Message& m, int copies = 1) {
+    net_.multicast(m, copies);
+  }
+
+  /// Unicast datagram to `dst` (UDP model; TCP exchanges go through
+  /// net::TcpConnection).
+  void send_unicast(net::Message m, NodeId dst) {
+    m.dst = dst;
+    net_.send(m);
   }
 
  private:

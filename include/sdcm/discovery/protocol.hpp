@@ -1,0 +1,105 @@
+#pragma once
+
+// Typed protocol-behavior interface: the axes a service-discovery
+// protocol varies on, per the paper's Section 3 taxonomy (announcement
+// style, registry topology, consistency mechanism, recovery set) and the
+// Service Discovery Survey's classification. Each protocol module
+// publishes one ProtocolSpec; the experiment layer's protocol registry
+// binds a spec to a topology builder and the paper's per-model constants
+// (see sdcm/experiment/protocol_registry.hpp). Adding a protocol is a
+// declarative composition: pick a value on each axis, implement the
+// nodes, register the descriptor.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sdcm/discovery/recovery.hpp"
+
+namespace sdcm::discovery {
+
+/// How a Manager's presence (and its service descriptions) reach the
+/// network unsolicited.
+enum class AnnouncePolicy : std::uint8_t {
+  /// No unsolicited announcements; discovery is query-only.
+  kNone,
+  /// The Manager multicasts presence on a fixed period (UPnP ssdp:alive,
+  /// FRODO helo).
+  kManagerPeriodic,
+  /// The Registry multicasts its own presence; Managers register with it
+  /// rather than announcing services directly (Jini, SLP DAAdvert).
+  kRegistryPeriodic,
+  /// Every peer multicasts full service records on a *jittered* period
+  /// (mDNS/DNS-SD; phoenix-discovery's broadcast mesh) - the
+  /// announcement doubles as anti-entropy repair.
+  kPeerJittered,
+};
+
+/// Who holds the update-notification relationship (Section 3's 2-party /
+/// 3-party split).
+enum class SubscriptionStyle : std::uint8_t {
+  /// No subscriptions at all - consistency comes from polling or from
+  /// periodic full-record announcements.
+  kNone,
+  /// User subscribes directly with the Manager (UPnP GENA, FRODO 2-party).
+  kTwoParty,
+  /// User subscribes with a Registry that relays Manager updates (Jini
+  /// remote events, FRODO 3-party).
+  kThreeParty,
+};
+
+/// How a User's cached copy of a service description ages out.
+enum class CachePolicy : std::uint8_t {
+  /// Cache entries never expire on their own; they are replaced when a
+  /// newer version arrives or dropped on explicit goodbye.
+  kReplaceOnNewer,
+  /// Cache entries are leased: a purge timer drops the entry unless the
+  /// provider is heard from again (UPnP PR5 cache lease, mDNS TTL).
+  kLeasedTtl,
+};
+
+/// The transport(s) a protocol uses for its point-to-point exchanges.
+enum class TransportChoice : std::uint8_t {
+  /// Everything rides UDP (multicast + unicast datagrams): FRODO, mDNS.
+  kUdpOnly,
+  /// Unicast exchanges open modelled TCP connections (UPnP HTTP/GENA,
+  /// Jini method invocations); multicasts remain UDP.
+  kTcpUnicast,
+};
+
+/// The declarative behaviour sheet of one protocol model. Values are
+/// published by each module (upnp::protocol_spec(), ...) and surfaced
+/// through the experiment-layer registry, so tools introspect protocol
+/// behaviour instead of switching on the model enum.
+struct ProtocolSpec {
+  AnnouncePolicy announce = AnnouncePolicy::kNone;
+  SubscriptionStyle subscription = SubscriptionStyle::kNone;
+  CachePolicy cache = CachePolicy::kReplaceOnNewer;
+  /// Registration/subscription state is lease-bounded (Gray & Cheriton
+  /// leases; false for lease-less designs such as mDNS).
+  bool leased = true;
+  /// Recovery techniques of Table 1 the protocol composes.
+  TechniqueSet recovery;
+  TransportChoice transport = TransportChoice::kUdpOnly;
+  /// Whether the design re-converges on its own once connectivity is
+  /// restored (the oracle's require_convergence expectation): true for
+  /// protocols whose announcements/notifications eventually repair any
+  /// missed update, false where a User can be stranded forever (the
+  /// paper's Section 6.2 UPnP example).
+  bool guarantees_convergence = false;
+
+  friend constexpr bool operator==(const ProtocolSpec&,
+                                   const ProtocolSpec&) = default;
+};
+
+std::string_view to_string(AnnouncePolicy p) noexcept;
+std::string_view to_string(SubscriptionStyle s) noexcept;
+std::string_view to_string(CachePolicy c) noexcept;
+std::string_view to_string(TransportChoice t) noexcept;
+
+/// One-line rendering of a spec for docs/traces, e.g.
+/// "announce=peer-jittered sub=none cache=ttl lease=no transport=udp
+/// recovery={PR5} converges=yes".
+std::string describe(const ProtocolSpec& spec);
+
+}  // namespace sdcm::discovery

@@ -5,6 +5,7 @@
 
 #include "sdcm/frodo/config.hpp"
 #include "sdcm/jini/config.hpp"
+#include "sdcm/mdns/mdns.hpp"
 #include "sdcm/metrics/update_metrics.hpp"
 #include "sdcm/net/failure_model.hpp"
 #include "sdcm/obs/registry.hpp"
@@ -17,25 +18,31 @@ class ConsistencyOracle;
 
 namespace sdcm::experiment {
 
-/// The five simulated systems of Section 5.
+/// The five simulated systems of Section 5, plus extension protocols
+/// registered through the protocol-behavior plugin layer (see
+/// sdcm/experiment/protocol_registry.hpp). kMdns is a fully
+/// decentralized mDNS/DNS-SD-style model with no Registry node at all.
 enum class SystemModel : std::uint8_t {
   kUpnp,
   kJiniOneRegistry,
   kJiniTwoRegistries,
   kFrodoThreeParty,
   kFrodoTwoParty,
+  kMdns,
 };
 
 inline constexpr SystemModel kAllModels[] = {
-    SystemModel::kUpnp, SystemModel::kJiniOneRegistry,
+    SystemModel::kUpnp,           SystemModel::kJiniOneRegistry,
     SystemModel::kJiniTwoRegistries, SystemModel::kFrodoThreeParty,
-    SystemModel::kFrodoTwoParty};
+    SystemModel::kFrodoTwoParty,  SystemModel::kMdns};
 
+/// Registry-backed lookups (single source of truth lives in the protocol
+/// registry; these forwarders keep the historical call sites compiling).
 std::string_view to_string(SystemModel model) noexcept;
 
 /// The system's own zero-failure update-message count m' (Figure 6's
-/// legend: Jini-1R 7, Jini-2R 14, UPnP 15, FRODO 7/7), computed for the
-/// given user count.
+/// legend: Jini-1R 7, Jini-2R 14, UPnP 15, FRODO 7/7; mDNS spends a
+/// constant update_repeats = 2), computed for the given user count.
 std::uint64_t minimum_update_messages(SystemModel model, int users) noexcept;
 
 /// Configuration of one simulation run, defaulted to the paper's
@@ -89,6 +96,7 @@ struct ExperimentConfig {
   upnp::UpnpConfig upnp{};
   jini::JiniConfig jini{};
   frodo::FrodoConfig frodo{};
+  mdns::MdnsConfig mdns{};
 };
 
 /// Builds the topology for `config.model`, injects the failure plan,

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <optional>
 #include <span>
 #include <string>
@@ -54,7 +55,8 @@ struct ShardSpec {
 /// A full Section 5 experiment: every selected system model simulated at
 /// every failure rate, X runs per point.
 struct SweepConfig {
-  std::vector<SystemModel> models{kAllModels, kAllModels + 5};
+  std::vector<SystemModel> models{std::begin(kAllModels),
+                                  std::end(kAllModels)};
   /// Failure rates; default 0.00 .. 0.90 in 0.05 steps (19 points).
   std::vector<double> lambdas = paper_lambda_grid();
   /// Runs per (model, lambda) point. The paper simulates 30 logs per

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "sdcm/discovery/lease_table.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/frodo/client.hpp"
 
@@ -90,9 +91,7 @@ class FrodoManager : public FrodoClient {
     /// SRC2 history: every version ever served.
     std::map<ServiceVersion, discovery::ServiceDescription> history;
   };
-  struct Subscription {
-    discovery::Lease lease;
-    sim::EventId expiry = sim::kInvalidEventId;
+  struct Subscription : discovery::LeaseEntry {
     /// SRN2 bookkeeping: set when an update notification exhausted its
     /// retransmissions; holds the version the User is missing.
     ServiceVersion inconsistent_since = 0;

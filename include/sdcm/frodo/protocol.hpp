@@ -1,0 +1,29 @@
+#pragma once
+
+// FRODO's plugin-layer behaviour sheet (sdcm/discovery/protocol.hpp).
+// The 3-party topology subscribes Users through the elected Registry;
+// the 2-party topology (300D devices with a Backup) lets Users
+// subscribe directly with the Manager. Everything rides UDP with
+// protocol-level acknowledgements; the full Table 1 recovery set plus
+// leader election makes convergence guaranteed in both variants.
+
+#include "sdcm/discovery/protocol.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+
+namespace sdcm::frodo {
+
+[[nodiscard]] inline discovery::ProtocolSpec protocol_spec(
+    bool two_party) noexcept {
+  discovery::ProtocolSpec spec;
+  spec.announce = discovery::AnnouncePolicy::kManagerPeriodic;
+  spec.subscription = two_party ? discovery::SubscriptionStyle::kTwoParty
+                                : discovery::SubscriptionStyle::kThreeParty;
+  spec.cache = discovery::CachePolicy::kReplaceOnNewer;
+  spec.leased = true;
+  spec.recovery = FrodoRegistryNode::techniques();
+  spec.transport = discovery::TransportChoice::kUdpOnly;
+  spec.guarantees_convergence = true;
+  return spec;
+}
+
+}  // namespace sdcm::frodo

@@ -3,6 +3,7 @@
 #include <map>
 #include <string_view>
 
+#include "sdcm/discovery/lease_table.hpp"
 #include "sdcm/discovery/node.hpp"
 #include "sdcm/discovery/recovery.hpp"
 #include "sdcm/frodo/acked_channel.hpp"
@@ -103,19 +104,14 @@ class FrodoRegistryNode : public discovery::Node {
   void arm_registration_expiry(ServiceId service);
   void arm_subscription_expiry(ServiceId service, NodeId user);
 
-  struct Registration {
+  struct Registration : discovery::LeaseEntry {
     discovery::ServiceDescription sd;
     DeviceClass manager_class = DeviceClass::k3D;
     bool critical = false;
-    discovery::Lease lease;
-    sim::EventId expiry = sim::kInvalidEventId;
     /// SRC2: retained history of changed descriptions, by version.
     std::map<ServiceVersion, discovery::ServiceDescription> history;
   };
-  struct Subscription {
-    discovery::Lease lease;
-    sim::EventId expiry = sim::kInvalidEventId;
-  };
+  struct Subscription : discovery::LeaseEntry {};
 
   FrodoConfig config_;
   discovery::ConsistencyObserver* observer_ = nullptr;

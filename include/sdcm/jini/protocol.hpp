@@ -1,0 +1,27 @@
+#pragma once
+
+// Jini's plugin-layer behaviour sheet (sdcm/discovery/protocol.hpp):
+// Registry (lookup service) announcements, 3-party remote-event
+// subscriptions relayed through the Registry, leased registrations and
+// event registrations, method invocations over the TCP model. The
+// Registry's notification retries plus PR1-PR3 rediscovery repair every
+// missed update, so convergence is guaranteed.
+
+#include "sdcm/discovery/protocol.hpp"
+#include "sdcm/jini/registry.hpp"
+
+namespace sdcm::jini {
+
+[[nodiscard]] inline discovery::ProtocolSpec protocol_spec() noexcept {
+  discovery::ProtocolSpec spec;
+  spec.announce = discovery::AnnouncePolicy::kRegistryPeriodic;
+  spec.subscription = discovery::SubscriptionStyle::kThreeParty;
+  spec.cache = discovery::CachePolicy::kReplaceOnNewer;
+  spec.leased = true;
+  spec.recovery = JiniRegistry::techniques();
+  spec.transport = discovery::TransportChoice::kTcpUnicast;
+  spec.guarantees_convergence = true;
+  return spec;
+}
+
+}  // namespace sdcm::jini

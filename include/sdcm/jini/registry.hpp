@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "sdcm/discovery/lease_table.hpp"
 #include "sdcm/discovery/node.hpp"
 #include "sdcm/discovery/recovery.hpp"
 #include "sdcm/discovery/service.hpp"
@@ -68,15 +69,11 @@ class JiniRegistry : public discovery::Node {
   void purge_event(NodeId user);
   void fire_events(const discovery::ServiceDescription& sd);
 
-  struct Registration {
+  struct Registration : discovery::LeaseEntry {
     discovery::ServiceDescription sd;
-    discovery::Lease lease;
-    sim::EventId expiry = sim::kInvalidEventId;
   };
-  struct EventRegistration {
+  struct EventRegistration : discovery::LeaseEntry {
     Template tmpl;
-    discovery::Lease lease;
-    sim::EventId expiry = sim::kInvalidEventId;
   };
 
   JiniConfig config_;

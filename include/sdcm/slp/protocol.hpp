@@ -1,0 +1,26 @@
+#pragma once
+
+// SLP's plugin-layer behaviour sheet (sdcm/discovery/protocol.hpp).
+// SLP is an extension module (not a SystemModel): hybrid DA/peer
+// fallback, DAAdvert announcements, no update notification at all -
+// the UA's periodic SrvRqst poll (CM2) plus the DA fallback (PR2) are
+// its only freshness mechanisms. Polling always refetches the current
+// description, so convergence is guaranteed.
+
+#include "sdcm/discovery/protocol.hpp"
+
+namespace sdcm::slp {
+
+[[nodiscard]] inline discovery::ProtocolSpec protocol_spec() noexcept {
+  discovery::ProtocolSpec spec;
+  spec.announce = discovery::AnnouncePolicy::kRegistryPeriodic;
+  spec.subscription = discovery::SubscriptionStyle::kNone;
+  spec.cache = discovery::CachePolicy::kReplaceOnNewer;
+  spec.leased = true;  // DA registrations are leased
+  spec.recovery = {discovery::RecoveryTechnique::kPR2};
+  spec.transport = discovery::TransportChoice::kUdpOnly;
+  spec.guarantees_convergence = true;
+  return spec;
+}
+
+}  // namespace sdcm::slp

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "sdcm/discovery/lease_table.hpp"
 #include "sdcm/discovery/node.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/discovery/recovery.hpp"
@@ -75,10 +76,9 @@ class UpnpManager : public discovery::Node {
                         const char* reason);
   void bumped(discovery::ServiceDescription& sd);
 
-  struct Subscription {
-    discovery::Lease lease;
-    sim::EventId expiry = sim::kInvalidEventId;
-  };
+  /// Leased GENA subscription; lifecycle from the plugin layer's
+  /// shared LeaseEntry (grant/renew/cancel).
+  struct Subscription : discovery::LeaseEntry {};
 
   UpnpConfig config_;
   discovery::ConsistencyObserver* observer_;

@@ -1,0 +1,27 @@
+#pragma once
+
+// UPnP's plugin-layer behaviour sheet (sdcm/discovery/protocol.hpp):
+// periodic Manager ssdp:alive announcements, direct 2-party GENA
+// subscriptions, PR5-leased User caches, HTTP/GENA unicasts over the
+// TCP model. Invalidation-only notifications mean a missed update can
+// strand a User forever (Section 6.2), so convergence is NOT
+// guaranteed.
+
+#include "sdcm/discovery/protocol.hpp"
+#include "sdcm/upnp/manager.hpp"
+
+namespace sdcm::upnp {
+
+[[nodiscard]] inline discovery::ProtocolSpec protocol_spec() noexcept {
+  discovery::ProtocolSpec spec;
+  spec.announce = discovery::AnnouncePolicy::kManagerPeriodic;
+  spec.subscription = discovery::SubscriptionStyle::kTwoParty;
+  spec.cache = discovery::CachePolicy::kLeasedTtl;
+  spec.leased = true;
+  spec.recovery = UpnpManager::techniques();
+  spec.transport = discovery::TransportChoice::kTcpUnicast;
+  spec.guarantees_convergence = false;
+  return spec;
+}
+
+}  // namespace sdcm::upnp

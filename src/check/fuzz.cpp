@@ -6,6 +6,7 @@
 #include <ostream>
 #include <utility>
 
+#include "sdcm/experiment/protocol_registry.hpp"
 #include "sdcm/obs/span_tree.hpp"
 #include "sdcm/obs/trace_jsonl.hpp"
 #include "sdcm/sim/random.hpp"
@@ -100,9 +101,13 @@ experiment::ExperimentConfig fuzz_experiment_config(
 OracleConfig fuzz_oracle_config(const FuzzCase& fuzz_case,
                                 const FuzzConfig& config) {
   OracleConfig out = config.oracle;
+  // Convergence may only be demanded of protocols whose registry
+  // descriptor guarantees it (UPnP's invalidation-only notifications do
+  // not; the decentralized mDNS model and the rest do).
   out.require_convergence =
       config.require_convergence && fuzz_case.plan.converge_shape &&
-      fuzz_case.model != experiment::SystemModel::kUpnp;
+      experiment::protocol_descriptor(fuzz_case.model)
+          .spec.guarantees_convergence;
   return out;
 }
 

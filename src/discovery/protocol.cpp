@@ -1,0 +1,69 @@
+#include "sdcm/discovery/protocol.hpp"
+
+namespace sdcm::discovery {
+
+std::string_view to_string(AnnouncePolicy p) noexcept {
+  switch (p) {
+    case AnnouncePolicy::kNone: return "none";
+    case AnnouncePolicy::kManagerPeriodic: return "manager-periodic";
+    case AnnouncePolicy::kRegistryPeriodic: return "registry-periodic";
+    case AnnouncePolicy::kPeerJittered: return "peer-jittered";
+  }
+  return "?";
+}
+
+std::string_view to_string(SubscriptionStyle s) noexcept {
+  switch (s) {
+    case SubscriptionStyle::kNone: return "none";
+    case SubscriptionStyle::kTwoParty: return "2-party";
+    case SubscriptionStyle::kThreeParty: return "3-party";
+  }
+  return "?";
+}
+
+std::string_view to_string(CachePolicy c) noexcept {
+  switch (c) {
+    case CachePolicy::kReplaceOnNewer: return "replace-on-newer";
+    case CachePolicy::kLeasedTtl: return "leased-ttl";
+  }
+  return "?";
+}
+
+std::string_view to_string(TransportChoice t) noexcept {
+  switch (t) {
+    case TransportChoice::kUdpOnly: return "udp";
+    case TransportChoice::kTcpUnicast: return "tcp-unicast";
+  }
+  return "?";
+}
+
+std::string describe(const ProtocolSpec& spec) {
+  std::string out;
+  out += "announce=";
+  out += to_string(spec.announce);
+  out += " sub=";
+  out += to_string(spec.subscription);
+  out += " cache=";
+  out += to_string(spec.cache);
+  out += spec.leased ? " lease=yes" : " lease=no";
+  out += " transport=";
+  out += to_string(spec.transport);
+  out += " recovery={";
+  bool first = true;
+  for (const auto t :
+       {RecoveryTechnique::kSRC1, RecoveryTechnique::kSRC2,
+        RecoveryTechnique::kSRN1, RecoveryTechnique::kSRN2,
+        RecoveryTechnique::kPR1, RecoveryTechnique::kPR2,
+        RecoveryTechnique::kPR3, RecoveryTechnique::kPR4,
+        RecoveryTechnique::kPR5}) {
+    if (!spec.recovery.contains(t)) continue;
+    if (!first) out += ',';
+    out += to_string(t);
+    first = false;
+  }
+  out += '}';
+  out += spec.guarantees_convergence ? " converges=yes" : " converges=no";
+  return out;
+}
+
+}  // namespace sdcm::discovery

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "sdcm/experiment/protocol_registry.hpp"
+
 namespace sdcm::experiment::cli {
 
 namespace {
@@ -41,10 +43,8 @@ bool parse_int(std::string_view text, long& out) {
 }  // namespace
 
 std::optional<SystemModel> model_from_name(std::string_view name) {
-  for (const auto model : kAllModels) {
-    if (to_string(model) == name) return model;
-  }
-  return std::nullopt;
+  // Single source of truth: the protocol registry's name map.
+  return experiment::model_from_name(name);
 }
 
 std::string usage() {
@@ -52,9 +52,10 @@ std::string usage() {
   oss << "sdcm_sweep - run the paper's consistency-maintenance experiment\n"
          "\n"
          "usage: sdcm_sweep [flags]\n"
-         "  --models=A,B,...   systems to simulate (default: all five)\n"
-         "                     names: UPnP Jini-1R Jini-2R FRODO-3party "
-         "FRODO-2party\n"
+         "  --models=A,B,...   systems to simulate (default: all)\n"
+         "                     names: "
+      << model_name_list() << "\n"
+      << 
          "  --lambdas=lo:hi:step  failure-rate grid (default 0.0:0.9:0.05)\n"
          "  --lambdas=a,b,c    explicit rates\n"
          "  --runs=N           simulation runs per point (default 30)\n"

@@ -1,0 +1,254 @@
+#include "sdcm/experiment/protocol_registry.hpp"
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <utility>
+
+#include "sdcm/frodo/manager.hpp"
+#include "sdcm/frodo/protocol.hpp"
+#include "sdcm/frodo/registry_node.hpp"
+#include "sdcm/frodo/user.hpp"
+#include "sdcm/jini/manager.hpp"
+#include "sdcm/jini/protocol.hpp"
+#include "sdcm/jini/registry.hpp"
+#include "sdcm/jini/user.hpp"
+#include "sdcm/mdns/mdns.hpp"
+#include "sdcm/upnp/manager.hpp"
+#include "sdcm/upnp/protocol.hpp"
+#include "sdcm/upnp/user.hpp"
+
+namespace sdcm::experiment {
+
+using discovery::ServiceDescription;
+
+std::string_view to_string(AblationToggle toggle) noexcept {
+  switch (toggle) {
+    case AblationToggle::kFrodoPr1: return "frodo-pr1";
+    case AblationToggle::kFrodoSrn2: return "frodo-srn2";
+    case AblationToggle::kFrodoPr3: return "frodo-pr3";
+    case AblationToggle::kFrodoPr4: return "frodo-pr4";
+    case AblationToggle::kFrodoPr5: return "frodo-pr5";
+    case AblationToggle::kUpnpPr4: return "upnp-pr4";
+    case AblationToggle::kUpnpPr5: return "upnp-pr5";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The single monitored service of Section 5's experiment design.
+ServiceDescription monitored_service() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  sd.attributes = {{"PaperSize", "A4"}, {"Location", "Study"}};
+  return sd;
+}
+
+// Per-model m' formulas (Table 2 / Figure 6 legend).
+std::uint64_t min_messages_upnp(int users) {
+  return 3 * static_cast<std::uint64_t>(users);  // invalidation: 3 per User
+}
+std::uint64_t min_messages_jini_1r(int users) {
+  return static_cast<std::uint64_t>(users) + 2;
+}
+std::uint64_t min_messages_jini_2r(int users) {
+  return 2 * (static_cast<std::uint64_t>(users) + 2);
+}
+std::uint64_t min_messages_frodo(int users) {
+  return static_cast<std::uint64_t>(users) + 2;
+}
+std::uint64_t min_messages_mdns(int /*users*/) {
+  // The change burst is update_repeats multicasts, independent of the
+  // user population (MdnsConfig::update_repeats default).
+  return 2;
+}
+
+// Topology builders. Attach order is the failure-plan assignment order:
+// registries, then the Manager, then the Users - do not reorder.
+
+Topology build_upnp(const ExperimentConfig& config, sim::Simulator& simulator,
+                    net::Network& network,
+                    discovery::ConsistencyObserver& observer) {
+  Topology topo;
+  const auto sd = monitored_service();
+  auto manager = std::make_unique<upnp::UpnpManager>(
+      simulator, network, kManagerId, config.upnp, &observer);
+  manager->add_service(sd);
+  topo.change_service = [m = manager.get()] { m->change_service(1); };
+  topo.nodes.push_back(std::move(manager));
+  for (int i = 0; i < config.users; ++i) {
+    topo.nodes.push_back(std::make_unique<upnp::UpnpUser>(
+        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
+        upnp::Requirement{sd.device_type, sd.service_type}, config.upnp,
+        &observer));
+  }
+  return topo;
+}
+
+Topology build_jini(const ExperimentConfig& config, sim::Simulator& simulator,
+                    net::Network& network,
+                    discovery::ConsistencyObserver& observer) {
+  Topology topo;
+  const auto sd = monitored_service();
+  topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
+      simulator, network, kRegistryId, config.jini, &observer));
+  if (config.model == SystemModel::kJiniTwoRegistries) {
+    topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
+        simulator, network, kSecondRegistryId, config.jini, &observer));
+  }
+  auto manager = std::make_unique<jini::JiniManager>(
+      simulator, network, kManagerId, config.jini, &observer);
+  manager->add_service(sd);
+  topo.change_service = [m = manager.get()] { m->change_service(1); };
+  topo.nodes.push_back(std::move(manager));
+  for (int i = 0; i < config.users; ++i) {
+    topo.nodes.push_back(std::make_unique<jini::JiniUser>(
+        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
+        jini::Template{sd.device_type, sd.service_type}, config.jini,
+        &observer));
+  }
+  return topo;
+}
+
+Topology build_frodo(const ExperimentConfig& config, sim::Simulator& simulator,
+                     net::Network& network,
+                     discovery::ConsistencyObserver& observer) {
+  Topology topo;
+  const auto sd = monitored_service();
+  const bool two_party = config.model == SystemModel::kFrodoTwoParty;
+  topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
+      simulator, network, kRegistryId, /*capability=*/100, config.frodo,
+      &observer));
+  if (two_party) {
+    // Topology (b) adds a 300D Backup (8 nodes, all 300D).
+    topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
+        simulator, network, kSecondRegistryId, /*capability=*/90, config.frodo,
+        &observer));
+  }
+  const auto device_class =
+      two_party ? frodo::DeviceClass::k300D : frodo::DeviceClass::k3D;
+  auto manager = std::make_unique<frodo::FrodoManager>(
+      simulator, network, kManagerId, device_class, config.frodo, &observer);
+  manager->add_service(sd);
+  topo.change_service = [m = manager.get()] { m->change_service(1); };
+  topo.nodes.push_back(std::move(manager));
+  for (int i = 0; i < config.users; ++i) {
+    topo.nodes.push_back(std::make_unique<frodo::FrodoUser>(
+        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
+        device_class, frodo::Matching{sd.device_type, sd.service_type},
+        config.frodo, &observer));
+  }
+  return topo;
+}
+
+Topology build_mdns(const ExperimentConfig& config, sim::Simulator& simulator,
+                    net::Network& network,
+                    discovery::ConsistencyObserver& observer) {
+  Topology topo;
+  const auto sd = monitored_service();
+  auto responder = std::make_unique<mdns::MdnsResponder>(
+      simulator, network, kManagerId, config.mdns, &observer);
+  responder->add_service(sd);
+  topo.change_service = [r = responder.get()] { r->change_service(1); };
+  topo.nodes.push_back(std::move(responder));
+  for (int i = 0; i < config.users; ++i) {
+    topo.nodes.push_back(std::make_unique<mdns::MdnsListener>(
+        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
+        mdns::Interest{sd.device_type, sd.service_type}, config.mdns,
+        &observer));
+  }
+  return topo;
+}
+
+constexpr std::uint32_t kFrodoAblations =
+    toggle_bit(AblationToggle::kFrodoPr1) |
+    toggle_bit(AblationToggle::kFrodoSrn2) |
+    toggle_bit(AblationToggle::kFrodoPr3) |
+    toggle_bit(AblationToggle::kFrodoPr4) |
+    toggle_bit(AblationToggle::kFrodoPr5);
+constexpr std::uint32_t kUpnpAblations = toggle_bit(AblationToggle::kUpnpPr4) |
+                                         toggle_bit(AblationToggle::kUpnpPr5);
+
+/// The registry itself, in kAllModels (enum) order so descriptor lookup
+/// is an index. Adding a protocol: append the enum value, the kAllModels
+/// entry and one row here; the guard test in
+/// tests/experiment/test_protocol_registry.cpp enforces they stay in
+/// sync.
+const ProtocolDescriptor kProtocols[] = {
+    {SystemModel::kUpnp, "UPnP", upnp::protocol_spec(), &min_messages_upnp,
+     /*registry_nodes=*/0, kUpnpAblations, &build_upnp},
+    {SystemModel::kJiniOneRegistry, "Jini-1R", jini::protocol_spec(),
+     &min_messages_jini_1r, /*registry_nodes=*/1, /*ablation_mask=*/0,
+     &build_jini},
+    {SystemModel::kJiniTwoRegistries, "Jini-2R", jini::protocol_spec(),
+     &min_messages_jini_2r, /*registry_nodes=*/2, /*ablation_mask=*/0,
+     &build_jini},
+    {SystemModel::kFrodoThreeParty, "FRODO-3party",
+     frodo::protocol_spec(/*two_party=*/false), &min_messages_frodo,
+     /*registry_nodes=*/1, kFrodoAblations, &build_frodo},
+    {SystemModel::kFrodoTwoParty, "FRODO-2party",
+     frodo::protocol_spec(/*two_party=*/true), &min_messages_frodo,
+     /*registry_nodes=*/2, kFrodoAblations, &build_frodo},
+    {SystemModel::kMdns, "mDNS", mdns::protocol_spec(), &min_messages_mdns,
+     /*registry_nodes=*/0, /*ablation_mask=*/0, &build_mdns},
+};
+
+static_assert(std::size(kProtocols) == std::size(kAllModels),
+              "every SystemModel needs a ProtocolDescriptor row");
+
+}  // namespace
+
+std::span<const ProtocolDescriptor> all_protocols() noexcept {
+  return kProtocols;
+}
+
+const ProtocolDescriptor& protocol_descriptor(SystemModel model) noexcept {
+  const auto index = static_cast<std::size_t>(model);
+  assert(index < std::size(kProtocols));
+  assert(kProtocols[index].model == model);
+  return kProtocols[index];
+}
+
+std::optional<SystemModel> model_from_name(std::string_view name) noexcept {
+  for (const auto& descriptor : kProtocols) {
+    if (descriptor.name == name) return descriptor.model;
+  }
+  return std::nullopt;
+}
+
+std::vector<sim::NodeId> topology_node_ids(SystemModel model, int users) {
+  const auto& descriptor = protocol_descriptor(model);
+  std::vector<sim::NodeId> ids;
+  ids.reserve(static_cast<std::size_t>(descriptor.registry_nodes) + 1 +
+              static_cast<std::size_t>(users));
+  for (int r = 0; r < descriptor.registry_nodes; ++r) {
+    ids.push_back(kRegistryId + static_cast<sim::NodeId>(r));
+  }
+  ids.push_back(kManagerId);
+  for (int i = 0; i < users; ++i) {
+    ids.push_back(kFirstUserId + static_cast<sim::NodeId>(i));
+  }
+  return ids;
+}
+
+std::string model_name_list(char separator) {
+  std::string out;
+  for (const auto& descriptor : kProtocols) {
+    if (!out.empty()) out += separator;
+    out += descriptor.name;
+  }
+  return out;
+}
+
+std::string_view to_string(SystemModel model) noexcept {
+  return protocol_descriptor(model).name;
+}
+
+std::uint64_t minimum_update_messages(SystemModel model, int users) noexcept {
+  return protocol_descriptor(model).minimum_update_messages(users);
+}
+
+}  // namespace sdcm::experiment

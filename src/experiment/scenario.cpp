@@ -7,140 +7,13 @@
 
 #include "sdcm/check/oracle.hpp"
 #include "sdcm/discovery/observer.hpp"
-#include "sdcm/frodo/manager.hpp"
-#include "sdcm/frodo/registry_node.hpp"
-#include "sdcm/frodo/user.hpp"
-#include "sdcm/jini/manager.hpp"
-#include "sdcm/jini/registry.hpp"
-#include "sdcm/jini/user.hpp"
+#include "sdcm/experiment/protocol_registry.hpp"
 #include "sdcm/net/failure_model.hpp"
 #include "sdcm/obs/instrument.hpp"
-#include "sdcm/upnp/manager.hpp"
-#include "sdcm/upnp/user.hpp"
 
 namespace sdcm::experiment {
 
-using discovery::ServiceDescription;
-
-std::string_view to_string(SystemModel model) noexcept {
-  switch (model) {
-    case SystemModel::kUpnp: return "UPnP";
-    case SystemModel::kJiniOneRegistry: return "Jini-1R";
-    case SystemModel::kJiniTwoRegistries: return "Jini-2R";
-    case SystemModel::kFrodoThreeParty: return "FRODO-3party";
-    case SystemModel::kFrodoTwoParty: return "FRODO-2party";
-  }
-  return "?";
-}
-
-std::uint64_t minimum_update_messages(SystemModel model, int users) noexcept {
-  const auto n = static_cast<std::uint64_t>(users);
-  switch (model) {
-    case SystemModel::kUpnp: return 3 * n;                 // invalidation
-    case SystemModel::kJiniOneRegistry: return n + 2;
-    case SystemModel::kJiniTwoRegistries: return 2 * (n + 2);
-    case SystemModel::kFrodoThreeParty: return n + 2;
-    case SystemModel::kFrodoTwoParty: return n + 2;
-  }
-  return n + 2;
-}
-
 namespace {
-
-constexpr sim::NodeId kRegistryId = 1;
-constexpr sim::NodeId kSecondRegistryId = 2;  // Jini-2R / FRODO Backup
-constexpr sim::NodeId kManagerId = 10;
-constexpr sim::NodeId kFirstUserId = 11;
-
-ServiceDescription monitored_service() {
-  ServiceDescription sd;
-  sd.id = 1;
-  sd.device_type = "Printer";
-  sd.service_type = "ColorPrinter";
-  sd.attributes = {{"PaperSize", "A4"}, {"Location", "Study"}};
-  return sd;
-}
-
-/// Everything one topology instantiation needs to keep alive plus the
-/// hook to trigger the change.
-struct Topology {
-  std::vector<std::unique_ptr<discovery::Node>> nodes;
-  std::function<void()> change_service;
-};
-
-Topology build_topology(const ExperimentConfig& config,
-                        sim::Simulator& simulator, net::Network& network,
-                        discovery::ConsistencyObserver& observer) {
-  Topology topo;
-  const auto sd = monitored_service();
-
-  switch (config.model) {
-    case SystemModel::kUpnp: {
-      auto manager = std::make_unique<upnp::UpnpManager>(
-          simulator, network, kManagerId, config.upnp, &observer);
-      manager->add_service(sd);
-      topo.change_service = [m = manager.get()] { m->change_service(1); };
-      topo.nodes.push_back(std::move(manager));
-      for (int i = 0; i < config.users; ++i) {
-        topo.nodes.push_back(std::make_unique<upnp::UpnpUser>(
-            simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
-            upnp::Requirement{sd.device_type, sd.service_type}, config.upnp,
-            &observer));
-      }
-      break;
-    }
-    case SystemModel::kJiniOneRegistry:
-    case SystemModel::kJiniTwoRegistries: {
-      topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
-          simulator, network, kRegistryId, config.jini, &observer));
-      if (config.model == SystemModel::kJiniTwoRegistries) {
-        topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
-            simulator, network, kSecondRegistryId, config.jini, &observer));
-      }
-      auto manager = std::make_unique<jini::JiniManager>(
-          simulator, network, kManagerId, config.jini, &observer);
-      manager->add_service(sd);
-      topo.change_service = [m = manager.get()] { m->change_service(1); };
-      topo.nodes.push_back(std::move(manager));
-      for (int i = 0; i < config.users; ++i) {
-        topo.nodes.push_back(std::make_unique<jini::JiniUser>(
-            simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
-            jini::Template{sd.device_type, sd.service_type}, config.jini,
-            &observer));
-      }
-      break;
-    }
-    case SystemModel::kFrodoThreeParty:
-    case SystemModel::kFrodoTwoParty: {
-      const bool two_party = config.model == SystemModel::kFrodoTwoParty;
-      topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
-          simulator, network, kRegistryId, /*capability=*/100, config.frodo,
-          &observer));
-      if (two_party) {
-        // Topology (b) adds a 300D Backup (8 nodes, all 300D).
-        topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
-            simulator, network, kSecondRegistryId, /*capability=*/90,
-            config.frodo, &observer));
-      }
-      const auto device_class =
-          two_party ? frodo::DeviceClass::k300D : frodo::DeviceClass::k3D;
-      auto manager = std::make_unique<frodo::FrodoManager>(
-          simulator, network, kManagerId, device_class, config.frodo,
-          &observer);
-      manager->add_service(sd);
-      topo.change_service = [m = manager.get()] { m->change_service(1); };
-      topo.nodes.push_back(std::move(manager));
-      for (int i = 0; i < config.users; ++i) {
-        topo.nodes.push_back(std::make_unique<frodo::FrodoUser>(
-            simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
-            device_class, frodo::Matching{sd.device_type, sd.service_type},
-            config.frodo, &observer));
-      }
-      break;
-    }
-  }
-  return topo;
-}
 
 /// Shared body of run_experiment / run_experiment_traced. The simulator
 /// lives in the caller so the traced variant can move the trace log and
@@ -167,7 +40,8 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
     config.oracle->begin_run(observer, network, config.duration);
   }
 
-  Topology topo = build_topology(config, simulator, network, observer);
+  Topology topo = protocol_descriptor(config.model)
+                      .build(config, simulator, network, observer);
   for (auto& node : topo.nodes) node->start();
 
   // Failure plan (Section 5 Step 2): one episode per node at rate lambda.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sdcm/experiment/cli.hpp"
+#include "sdcm/experiment/protocol_registry.hpp"
 #include "sdcm/experiment/scenario.hpp"
 #include "sdcm/net/failure_model.hpp"
 #include "sdcm/obs/span_tree.hpp"
@@ -52,26 +53,30 @@ constexpr TechniqueSummary kAttribution[] = {
     {"upnp.renew.rejected", "PR4: renewal rejected, resubscribing"},
     {"upnp.manager.purged", "PR5: cache lease expired, rediscovering"},
     {"upnp.get.rex", "description fetch failed (REX)"},
+    {"mdns.record.purged", "PR5: record TTL expired, re-querying"},
+    {"mdns.query.tx", "multicast query (discovery / rediscovery)"},
     {"tcp.rex", "TCP connection setup gave up (REX)"},
 };
 
 // The change record every model roots its update fan-out under.
 constexpr const char* kChangeEvents[] = {
-    "frodo.service_changed", "jini.service_changed", "upnp.service_changed"};
+    "frodo.service_changed", "jini.service_changed", "upnp.service_changed",
+    "mdns.service_changed"};
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: sdcm_logs <system> <lambda> <seed> [flags]\n"
       "       sdcm_logs --diff <a.jsonl> <b.jsonl>\n"
-      "  systems: UPnP Jini-1R Jini-2R FRODO-3party FRODO-2party\n"
+      "  systems: %s\n"
       "  --full           print the full event log\n"
       "  --tree[=SPAN]    print the causal propagation tree rooted at SPAN\n"
       "                   (default: the run's service-change record)\n"
       "  --histograms     print the metrics registry (needs -DSDCM_OBS=ON)\n"
       "  --export=FILE    write the run's trace as JSONL ('-' = stdout)\n"
       "  --diff A B       compare two exported traces: fingerprints and\n"
-      "                   the first diverging record (no simulation)\n");
+      "                   the first diverging record (no simulation)\n",
+      experiment::model_name_list().c_str());
   return 2;
 }
 
@@ -205,20 +210,8 @@ int main(int argc, char** argv) {
   // forked streams draw the identical plan run_experiment_traced applies.
   sim::Simulator planner(seed);
   auto failure_rng = planner.rng().fork("experiment.failures");
-  std::vector<sim::NodeId> node_ids;
-  switch (*model) {
-    case experiment::SystemModel::kUpnp:
-      node_ids = {10, 11, 12, 13, 14, 15};
-      break;
-    case experiment::SystemModel::kJiniOneRegistry:
-    case experiment::SystemModel::kFrodoThreeParty:
-      node_ids = {1, 10, 11, 12, 13, 14, 15};
-      break;
-    case experiment::SystemModel::kJiniTwoRegistries:
-    case experiment::SystemModel::kFrodoTwoParty:
-      node_ids = {1, 2, 10, 11, 12, 13, 14, 15};
-      break;
-  }
+  const std::vector<sim::NodeId> node_ids =
+      experiment::topology_node_ids(*model, config.users);
   net::FailurePlanConfig plan_config;
   plan_config.lambda = lambda;
   const auto plan = net::plan_failures(node_ids, plan_config, failure_rng);

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sdcm/experiment/protocol_registry.hpp"
+
 namespace sdcm::experiment {
 
 void RunSink::on_campaign_begin(const SweepConfig&, std::uint64_t) {}
@@ -213,7 +215,11 @@ check::ConsistencyOracle* CheckSink::open_run(SystemModel model,
                                               std::size_t lambda_index,
                                               int run) {
   check::OracleConfig config = base_;
-  if (model == SystemModel::kUpnp) config.require_convergence = false;
+  // The registry's behaviour sheet says whether this protocol promises
+  // eventual consistency; only then may the oracle demand convergence.
+  if (!protocol_descriptor(model).spec.guarantees_convergence) {
+    config.require_convergence = false;
+  }
   auto oracle = std::make_unique<check::ConsistencyOracle>(config);
   check::ConsistencyOracle* out = oracle.get();
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -628,10 +634,7 @@ bool get_double(const JsonValue& obj, const char* key, double& out,
 }
 
 std::optional<SystemModel> model_by_name(std::string_view name) {
-  for (const SystemModel model : kAllModels) {
-    if (to_string(model) == name) return model;
-  }
-  return std::nullopt;
+  return model_from_name(name);  // protocol registry name map
 }
 
 bool parse_kernel(const JsonValue& obj, sim::KernelStats& out,

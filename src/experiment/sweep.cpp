@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "sdcm/experiment/protocol_registry.hpp"
 #include "sdcm/experiment/sink.hpp"
 #include "sdcm/experiment/thread_pool.hpp"
 #include "sdcm/sim/random.hpp"
@@ -49,6 +50,36 @@ std::optional<std::string> SweepConfig::validate() const {
   if (shard.index >= shard.count) {
     return "shard index " + std::to_string(shard.index) +
            " out of range for " + std::to_string(shard.count) + " shards";
+  }
+  // A disabled recovery-technique toggle must be consumed by at least
+  // one selected model, per the protocol descriptors; otherwise the
+  // sweep silently runs the un-ablated protocol and the campaign labels
+  // lie. Reject with a clear message instead.
+  const struct {
+    bool enabled;
+    AblationToggle toggle;
+  } toggles[] = {
+      {ablation.frodo_pr1, AblationToggle::kFrodoPr1},
+      {ablation.frodo_srn2, AblationToggle::kFrodoSrn2},
+      {ablation.frodo_pr3, AblationToggle::kFrodoPr3},
+      {ablation.frodo_pr4, AblationToggle::kFrodoPr4},
+      {ablation.frodo_pr5, AblationToggle::kFrodoPr5},
+      {ablation.upnp_pr4, AblationToggle::kUpnpPr4},
+      {ablation.upnp_pr5, AblationToggle::kUpnpPr5},
+  };
+  for (const auto& entry : toggles) {
+    if (entry.enabled) continue;
+    bool consumed = false;
+    for (const SystemModel model : models) {
+      if (protocol_descriptor(model).consumes(entry.toggle)) {
+        consumed = true;
+        break;
+      }
+    }
+    if (!consumed) {
+      return "ablation disables '" + std::string(to_string(entry.toggle)) +
+             "' but no selected model implements that technique";
+    }
   }
   return std::nullopt;
 }

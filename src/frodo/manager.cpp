@@ -392,11 +392,9 @@ void FrodoManager::handle_search(const Message& m, const Matching& matching,
 }
 
 void FrodoManager::arm_subscription_expiry(ServiceId service, NodeId user) {
-  auto& sub = subs_.at(service).at(user);
-  if (sub.expiry != sim::kInvalidEventId) simulator().cancel(sub.expiry);
-  sub.expiry = simulator().schedule_at(
-      sub.lease.expires_at(),
-      [this, service, user] { purge_subscriber(service, user, "expired"); });
+  subs_.at(service).at(user).arm(simulator(), [this, service, user] {
+    purge_subscriber(service, user, "expired");
+  });
 }
 
 void FrodoManager::handle_subscription_request(const Message& m) {
@@ -508,9 +506,7 @@ void FrodoManager::purge_subscriber(ServiceId service, NodeId user,
   if (it == subs_.end()) return;
   const auto sub = it->second.find(user);
   if (sub == it->second.end()) return;
-  if (sub->second.expiry != sim::kInvalidEventId) {
-    simulator().cancel(sub->second.expiry);
-  }
+  sub->second.cancel(simulator());
   if (sub->second.pending_update != 0) {
     channel().cancel(sub->second.pending_update);
   }

@@ -359,16 +359,14 @@ void FrodoRegistryNode::handle_backup_sync(const Message& m) {
 // --------------------------------------------------------------------
 
 void FrodoRegistryNode::arm_registration_expiry(ServiceId service) {
-  auto& reg = registrations_.at(service);
-  simulator().reschedule_at(reg.expiry, reg.lease.expires_at(),
-                            [this, service] { purge_registration(service); });
+  registrations_.at(service).arm(
+      simulator(), [this, service] { purge_registration(service); });
 }
 
 void FrodoRegistryNode::arm_subscription_expiry(ServiceId service,
                                                 NodeId user) {
-  auto& sub = subscriptions_.at(service).at(user);
-  simulator().reschedule_at(
-      sub.expiry, sub.lease.expires_at(),
+  subscriptions_.at(service).at(user).arm(
+      simulator(),
       [this, service, user] { purge_subscription(service, user); });
 }
 
@@ -697,7 +695,7 @@ void FrodoRegistryNode::purge_registration(ServiceId service) {
   const auto subs_it = subscriptions_.find(service);
   if (subs_it != subscriptions_.end()) {
     for (auto& [user, sub] : subs_it->second) {
-      if (sub.expiry != sim::kInvalidEventId) simulator().cancel(sub.expiry);
+      sub.cancel(simulator());
       if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
       recipients.insert(user);
     }

@@ -71,10 +71,9 @@ void JiniRegistry::handle_register(const Message& m) {
   Registration& entry = it->second;
   const bool changed = inserted || entry.sd.version != reg.sd.version;
   entry.sd = reg.sd;
-  entry.lease = discovery::Lease{now(), config_.registration_lease};
   const ServiceId service = reg.sd.id;
-  simulator().reschedule_at(entry.expiry, entry.lease.expires_at(),
-                            [this, service] { purge_registration(service); });
+  entry.grant(simulator(), config_.registration_lease,
+              [this, service] { purge_registration(service); });
   const sim::SpanId stored =
       trace(sim::TraceCategory::kDiscovery, "jini.registered",
             "service=" + std::to_string(service) +
@@ -142,11 +141,9 @@ void JiniRegistry::handle_renew_registration(const Message& m) {
 
   const auto it = registrations_.find(renew.service);
   if (it != registrations_.end()) {
-    it->second.lease.renew(now());
     const ServiceId service = renew.service;
-    simulator().reschedule_at(
-        it->second.expiry, it->second.lease.expires_at(),
-        [this, service] { purge_registration(service); });
+    it->second.renew(simulator(),
+                     [this, service] { purge_registration(service); });
     reply.payload = RenewRegistrationResponse{renew.service, true};
   } else {
     reply.payload = RenewRegistrationResponse{renew.service, false};
@@ -185,10 +182,9 @@ void JiniRegistry::handle_event_register(const Message& m) {
 
   auto& entry = events_[req.user];
   entry.tmpl = req.tmpl;
-  entry.lease = discovery::Lease{now(), config_.event_lease};
   const NodeId user = req.user;
-  simulator().reschedule_at(entry.expiry, entry.lease.expires_at(),
-                            [this, user] { purge_event(user); });
+  entry.grant(simulator(), config_.event_lease,
+              [this, user] { purge_event(user); });
   if (observer_ != nullptr) {
     observer_->lease_granted(id(), user, entry.lease.expires_at(), now());
   }
@@ -217,10 +213,8 @@ void JiniRegistry::handle_renew_event(const Message& m) {
 
   const auto it = events_.find(renew.user);
   if (it != events_.end()) {
-    it->second.lease.renew(now());
     const NodeId user = renew.user;
-    simulator().reschedule_at(it->second.expiry, it->second.lease.expires_at(),
-                              [this, user] { purge_event(user); });
+    it->second.renew(simulator(), [this, user] { purge_event(user); });
     if (observer_ != nullptr) {
       observer_->lease_granted(id(), user, it->second.lease.expires_at(),
                                now());

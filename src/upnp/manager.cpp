@@ -147,9 +147,7 @@ void UpnpManager::purge_subscriber(ServiceId service, NodeId user,
   if (it == subs_.end()) return;
   const auto sub = it->second.find(user);
   if (sub == it->second.end()) return;
-  if (sub->second.expiry != sim::kInvalidEventId) {
-    simulator().cancel(sub->second.expiry);
-  }
+  sub->second.cancel(simulator());
   it->second.erase(sub);
   if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
   trace(sim::TraceCategory::kSubscription, "upnp.subscriber.purged",
@@ -223,12 +221,10 @@ void UpnpManager::handle_subscribe(const Message& m) {
   }
 
   auto& entry = subs_[sub.service][sub.user];
-  entry.lease =
-      discovery::Lease{now(), config_.subscription_lease};
   const NodeId user = sub.user;
   const ServiceId service = sub.service;
-  simulator().reschedule_at(
-      entry.expiry, entry.lease.expires_at(),
+  entry.grant(
+      simulator(), config_.subscription_lease,
       [this, service, user] { purge_subscriber(service, user, "expired"); });
   if (observer_ != nullptr) {
     observer_->lease_granted(id(), user, entry.lease.expires_at(), now());
@@ -255,11 +251,10 @@ void UpnpManager::handle_renew(const Message& m) {
       it != subs_.end() && it->second.contains(renew.user);
   if (known) {
     auto& entry = it->second.at(renew.user);
-    entry.lease.renew(now());
     const NodeId user = renew.user;
     const ServiceId service = renew.service;
-    simulator().reschedule_at(
-        entry.expiry, entry.lease.expires_at(),
+    entry.renew(
+        simulator(),
         [this, service, user] { purge_subscriber(service, user, "expired"); });
     if (observer_ != nullptr) {
       observer_->lease_granted(id(), user, entry.lease.expires_at(), now());

@@ -175,6 +175,24 @@ TEST(FuzzConfigShaping, ConvergeShapeExtendsRunAndGatesOracle) {
   EXPECT_FALSE(check::fuzz_oracle_config(shaped, config).require_convergence);
 }
 
+TEST(FuzzSweep, MdnsConvergesUnderChurnWithConvergenceRequired) {
+  // The decentralized model's strongest claim: with require_convergence
+  // on - the strict mode that hunts delivery-abandonment cases in the
+  // registry-based protocols - mDNS produces no findings, because its
+  // periodic full-record announcements repair any missed change burst
+  // once connectivity returns. The whole observability stack (oracle,
+  // shrinker, plan generator) runs unchanged against the new protocol.
+  FuzzConfig config;
+  config.models = {SystemModel::kMdns};
+  config.seed_begin = 1;
+  config.seed_end = 25;
+  config.require_convergence = true;
+  const FuzzResult result = check::run_fuzz(config);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.cases_run, 24u);
+  EXPECT_TRUE(result.findings.empty());
+}
+
 TEST(FuzzRegression, RetransmissionAbandonmentStrandsAFrodoUser) {
   // FRODO-3party seed 238, converge-shaped: the registry's push to one
   // user exhausts its retransmission budget while the user's receiver

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 namespace sdcm::experiment::cli {
 namespace {
 
@@ -15,7 +17,7 @@ std::optional<Options> parse_args(std::initializer_list<const char*> args) {
 TEST(Cli, DefaultsMatchThePaperDesign) {
   const auto options = parse_args({});
   ASSERT_TRUE(options.has_value());
-  EXPECT_EQ(options->sweep.models.size(), 5u);
+  EXPECT_EQ(options->sweep.models.size(), std::size(kAllModels));
   EXPECT_EQ(options->sweep.lambdas.size(), 19u);
   EXPECT_EQ(options->sweep.runs, 30);
   EXPECT_EQ(options->sweep.users, 5);

@@ -1,0 +1,109 @@
+// Guard tests for the protocol registry: every SystemModel must carry a
+// complete descriptor, and the derived surfaces (kAllModels, the CLI
+// name map, the oracle's convergence expectations, the fuzzer's default
+// model list) must stay in lockstep with it. A new protocol that misses
+// one of these integration points fails here, not in the field.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <string>
+
+#include "sdcm/check/fuzz.hpp"
+#include "sdcm/experiment/cli.hpp"
+#include "sdcm/experiment/protocol_registry.hpp"
+
+namespace sdcm::experiment {
+namespace {
+
+TEST(ProtocolRegistry, OneDescriptorPerModelInEnumOrder) {
+  const auto protocols = all_protocols();
+  ASSERT_EQ(protocols.size(), std::size(kAllModels));
+  for (std::size_t i = 0; i < protocols.size(); ++i) {
+    EXPECT_EQ(protocols[i].model, kAllModels[i]);
+    EXPECT_EQ(&protocol_descriptor(kAllModels[i]), &protocols[i]);
+  }
+}
+
+TEST(ProtocolRegistry, NamesAreUniqueAndRoundTripThroughEveryMap) {
+  std::set<std::string> seen;
+  for (const auto& descriptor : all_protocols()) {
+    EXPECT_FALSE(descriptor.name.empty());
+    EXPECT_TRUE(seen.insert(std::string(descriptor.name)).second)
+        << "duplicate protocol name " << descriptor.name;
+    // to_string and both name maps (registry + CLI) are the same table.
+    EXPECT_EQ(to_string(descriptor.model), descriptor.name);
+    EXPECT_EQ(model_from_name(descriptor.name), descriptor.model);
+    EXPECT_EQ(cli::model_from_name(descriptor.name), descriptor.model);
+  }
+  EXPECT_EQ(model_from_name("NoSuchProtocol"), std::nullopt);
+}
+
+TEST(ProtocolRegistry, DescriptorsAreComplete) {
+  for (const auto& descriptor : all_protocols()) {
+    EXPECT_NE(descriptor.minimum_update_messages, nullptr);
+    EXPECT_NE(descriptor.build, nullptr);
+    EXPECT_GT(descriptor.minimum_update_messages(5), 0u);
+    EXPECT_GE(descriptor.registry_nodes, 0);
+    EXPECT_LE(descriptor.registry_nodes, 2);
+    // The log tools' node-id layout follows the descriptor.
+    const auto ids = topology_node_ids(descriptor.model, 5);
+    EXPECT_EQ(ids.size(),
+              static_cast<std::size_t>(descriptor.registry_nodes) + 1 + 5);
+  }
+}
+
+TEST(ProtocolRegistry, ConvergenceExpectationsMatchTheOracleGate) {
+  // The oracle may only demand convergence of protocols whose spec
+  // guarantees it. UPnP's invalidation-only GENA path is the one
+  // documented exception among the registered protocols.
+  for (const auto& descriptor : all_protocols()) {
+    const bool expect_guarantee = descriptor.model != SystemModel::kUpnp;
+    EXPECT_EQ(descriptor.spec.guarantees_convergence, expect_guarantee)
+        << "model " << descriptor.name;
+  }
+}
+
+TEST(ProtocolRegistry, FuzzerDefaultsCoverEveryRegisteredProtocol) {
+  const check::FuzzConfig config;
+  ASSERT_EQ(config.models.size(), std::size(kAllModels));
+  for (const auto& descriptor : all_protocols()) {
+    EXPECT_NE(std::find(config.models.begin(), config.models.end(),
+                        descriptor.model),
+              config.models.end())
+        << "model " << descriptor.name << " missing from fuzz defaults";
+  }
+}
+
+TEST(ProtocolRegistry, AblationMasksNameTheImplementingModels) {
+  const auto& upnp = protocol_descriptor(SystemModel::kUpnp);
+  EXPECT_TRUE(upnp.consumes(AblationToggle::kUpnpPr4));
+  EXPECT_TRUE(upnp.consumes(AblationToggle::kUpnpPr5));
+  EXPECT_FALSE(upnp.consumes(AblationToggle::kFrodoPr1));
+  for (const auto model :
+       {SystemModel::kFrodoThreeParty, SystemModel::kFrodoTwoParty}) {
+    const auto& frodo = protocol_descriptor(model);
+    EXPECT_TRUE(frodo.consumes(AblationToggle::kFrodoPr1));
+    EXPECT_TRUE(frodo.consumes(AblationToggle::kFrodoSrn2));
+    EXPECT_TRUE(frodo.consumes(AblationToggle::kFrodoPr5));
+    EXPECT_FALSE(frodo.consumes(AblationToggle::kUpnpPr4));
+  }
+  // The registryless decentralized model implements no ablation toggle.
+  const auto& mdns = protocol_descriptor(SystemModel::kMdns);
+  EXPECT_EQ(mdns.ablation_mask, 0u);
+}
+
+TEST(ProtocolRegistry, ModelNameListMatchesTheRegistryOrder) {
+  std::string expected;
+  for (const auto& descriptor : all_protocols()) {
+    if (!expected.empty()) expected += ' ';
+    expected += descriptor.name;
+  }
+  EXPECT_EQ(model_name_list(), expected);
+  EXPECT_NE(model_name_list(',').find("mDNS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdcm::experiment

@@ -85,6 +85,10 @@ TEST(Scenario, MinimumMessageConstants) {
   EXPECT_EQ(minimum_update_messages(SystemModel::kJiniTwoRegistries, 5), 14u);
   EXPECT_EQ(minimum_update_messages(SystemModel::kFrodoThreeParty, 5), 7u);
   EXPECT_EQ(minimum_update_messages(SystemModel::kFrodoTwoParty, 5), 7u);
+  // mDNS: the change burst is update_repeats multicasts, independent of
+  // the user population.
+  EXPECT_EQ(minimum_update_messages(SystemModel::kMdns, 5), 2u);
+  EXPECT_EQ(minimum_update_messages(SystemModel::kMdns, 50), 2u);
 }
 
 TEST(Scenario, ModelNames) {

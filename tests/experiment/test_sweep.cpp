@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -239,6 +241,35 @@ TEST(Sweep, ValidateCatchesBadConfigs) {
   EXPECT_THROW(run_sweep(zero_runs), std::invalid_argument);
 }
 
+TEST(Sweep, ValidateRejectsAblationsNoSelectedModelImplements) {
+  // Disabling a FRODO technique in a UPnP-only sweep would silently run
+  // the un-ablated protocol; the descriptor's ablation mask catches it.
+  SweepConfig upnp_only;
+  upnp_only.models = {SystemModel::kUpnp};
+  upnp_only.ablation.frodo_pr1 = false;
+  const auto error = upnp_only.validate();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("frodo-pr1"), std::string::npos);
+
+  SweepConfig frodo_only;
+  frodo_only.models = {SystemModel::kFrodoThreeParty};
+  frodo_only.ablation.upnp_pr4 = false;
+  EXPECT_TRUE(frodo_only.validate().has_value());
+
+  // mDNS implements no ablation toggle at all.
+  SweepConfig mdns_only;
+  mdns_only.models = {SystemModel::kMdns};
+  mdns_only.ablation.frodo_pr5 = false;
+  EXPECT_TRUE(mdns_only.validate().has_value());
+
+  // The same disabled toggle is fine when an implementing model is
+  // selected alongside.
+  SweepConfig mixed;
+  mixed.models = {SystemModel::kMdns, SystemModel::kFrodoThreeParty};
+  mixed.ablation.frodo_pr5 = false;
+  EXPECT_FALSE(mixed.validate().has_value());
+}
+
 TEST(Sweep, ShardAssignmentPartitionsEveryJob) {
   // Every (model, lambda_index, run) lands in exactly one shard, and
   // the assignment is a pure function of the key.
@@ -258,7 +289,8 @@ TEST(Sweep, ShardAssignmentPartitionsEveryJob) {
   EXPECT_GT(counts[0], 0u);
   EXPECT_GT(counts[1], 0u);
   EXPECT_GT(counts[2], 0u);
-  EXPECT_EQ(counts[0] + counts[1] + counts[2], 5u * 19u * 30u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2],
+            std::size(kAllModels) * 19u * 30u);
 }
 
 TEST(Sweep, ShardedUnionReproducesUnshardedViaMerge) {

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "sdcm/experiment/scenario.hpp"
 #include "sdcm/experiment/sweep.hpp"
 
@@ -80,7 +82,7 @@ TEST(CrossProtocol, SweepPointCountMatchesGrid) {
   config.runs = 2;
   config.keep_records = true;
   const auto points = run_sweep(config);
-  EXPECT_EQ(points.size(), 5u * 2u);
+  EXPECT_EQ(points.size(), std::size(kAllModels) * 2u);
   for (const auto& p : points) {
     EXPECT_EQ(p.records.size(), 2u);
     EXPECT_GE(p.metrics.effectiveness, 0.0);

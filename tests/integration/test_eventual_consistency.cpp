@@ -65,7 +65,10 @@ std::vector<Case> guarantee_cases() {
   std::vector<Case> cases;
   for (const auto model :
        {SystemModel::kFrodoThreeParty, SystemModel::kFrodoTwoParty,
-        SystemModel::kJiniOneRegistry, SystemModel::kJiniTwoRegistries}) {
+        SystemModel::kJiniOneRegistry, SystemModel::kJiniTwoRegistries,
+        // mDNS guarantees re-convergence through its periodic
+        // full-record announcements (anti-entropy).
+        SystemModel::kMdns}) {
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
       cases.push_back(Case{model, seed});
     }

@@ -65,6 +65,9 @@ TEST(TraceEquivalence, GoldenFingerprintsMatchSeedKernel) {
       {SystemModel::kJiniTwoRegistries, 0.30, 0xbb8427d88bf4ea32ull},
       {SystemModel::kFrodoThreeParty, 0.30, 0x4b8c006e0f26f752ull},
       {SystemModel::kFrodoTwoParty, 0.30, 0x40ac0999be87ba3full},
+      // mDNS pinned when the decentralized model joined the registry.
+      {SystemModel::kMdns, 0.0, 0x9a356c818a8d24beull},
+      {SystemModel::kMdns, 0.30, 0x6aed2e7dda9472b4ull},
   };
   for (const auto& golden : goldens) {
     const auto run = traced_run(golden.model, golden.lambda, 42);

@@ -1,0 +1,151 @@
+// Tests for the mDNS/DNS-SD-style decentralized model (extension):
+// query-driven discovery, the constant-cost change burst, periodic
+// announcements as anti-entropy repair, TTL cache aging (PR5) and
+// goodbye packets.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sdcm/mdns/mdns.hpp"
+#include "sdcm/net/network.hpp"
+
+namespace sdcm::mdns {
+namespace {
+
+using discovery::ServiceDescription;
+using sim::seconds;
+
+ServiceDescription printer_sd() {
+  ServiceDescription sd;
+  sd.id = 1;
+  sd.device_type = "Printer";
+  sd.service_type = "ColorPrinter";
+  sd.attributes = {{"PaperSize", "A4"}};
+  return sd;
+}
+
+struct MdnsFixture : ::testing::Test {
+  sim::Simulator simulator{1234};
+  net::Network network{simulator};
+  discovery::ConsistencyObserver observer;
+  std::unique_ptr<MdnsResponder> responder;           // node 10
+  std::vector<std::unique_ptr<MdnsListener>> listeners;  // nodes 11+
+
+  void build(int users = 2, MdnsConfig config = {}) {
+    responder = std::make_unique<MdnsResponder>(simulator, network, 10, config,
+                                                &observer);
+    responder->add_service(printer_sd());
+    const auto sd = printer_sd();
+    for (int i = 0; i < users; ++i) {
+      listeners.push_back(std::make_unique<MdnsListener>(
+          simulator, network, 11 + static_cast<sim::NodeId>(i),
+          Interest{sd.device_type, sd.service_type}, config, &observer));
+    }
+    responder->start();
+    for (auto& listener : listeners) listener->start();
+  }
+};
+
+TEST_F(MdnsFixture, QueryDrivenDiscoveryCachesTheRecord) {
+  build();
+  simulator.run_until(seconds(1));
+  for (auto& listener : listeners) {
+    ASSERT_TRUE(listener->has_record());
+    EXPECT_EQ(listener->cached()->version, 1u);
+  }
+  // The initial announcement (or the shared query response) did the job
+  // without any registry, subscription, or lease traffic.
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kControl), 0u);
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kTransport), 0u);
+}
+
+TEST_F(MdnsFixture, ChangeBurstCostIsIndependentOfThePopulation) {
+  build(/*users=*/5);
+  simulator.run_until(seconds(30));
+  ASSERT_EQ(network.counters().of_class(net::MessageClass::kUpdate), 0u);
+  responder->change_service(1);
+  simulator.run_until(seconds(31));
+  // m' = update_repeats wire copies, whatever the user count - the whole
+  // point of the multicast design (MinimumMessageConstants pins the same
+  // number through the registry).
+  EXPECT_EQ(network.counters().of_class(net::MessageClass::kUpdate), 2u);
+  for (auto& listener : listeners) {
+    ASSERT_TRUE(listener->has_record());
+    EXPECT_EQ(listener->cached()->version, 2u);
+  }
+}
+
+TEST_F(MdnsFixture, PeriodicAnnouncementsRepairAMissedUpdate) {
+  build();
+  simulator.run_until(seconds(10));
+  // Listener 11 sleeps through the change burst.
+  network.interface(11).set_rx(false);
+  simulator.schedule_at(seconds(20), [this] { responder->change_service(1); });
+  simulator.run_until(seconds(25));
+  EXPECT_EQ(listeners[0]->cached()->version, 1u);
+  EXPECT_EQ(listeners[1]->cached()->version, 2u);
+  network.interface(11).set_rx(true);
+  // The next periodic announcement (within announce_max) carries the full
+  // current record, so the stale cache converges without any recovery
+  // handshake: anti-entropy, not invalidation.
+  simulator.run_until(seconds(25) + MdnsConfig{}.announce_max);
+  EXPECT_EQ(listeners[0]->cached()->version, 2u);
+}
+
+TEST_F(MdnsFixture, TtlExpiryPurgesAndResumesQuerying) {
+  MdnsConfig config;
+  config.cache_ttl = seconds(240);
+  build(/*users=*/1, config);
+  simulator.run_until(seconds(1));
+  ASSERT_TRUE(listeners[0]->has_record());
+  // Silence the Responder: announcements stop reaching the wire.
+  network.interface(10).set_tx(false);
+  const auto queries_before = network.counters().of_type(msg::kQuery);
+  simulator.run_until(seconds(600));
+  // PR5: the silent provider was aged out and querying resumed.
+  EXPECT_FALSE(listeners[0]->has_record());
+  EXPECT_GT(network.counters().of_type(msg::kQuery), queries_before);
+  // Recovery once the Responder returns: the next query or announcement
+  // restores the cache.
+  network.interface(10).set_tx(true);
+  simulator.run_until(seconds(600) + config.announce_max);
+  EXPECT_TRUE(listeners[0]->has_record());
+}
+
+TEST_F(MdnsFixture, GoodbyePurgesTheCacheImmediately) {
+  build(/*users=*/1);
+  simulator.run_until(seconds(1));
+  ASSERT_TRUE(listeners[0]->has_record());
+  responder->shutdown();
+  simulator.run_until(seconds(2));
+  EXPECT_FALSE(listeners[0]->has_record());
+}
+
+TEST_F(MdnsFixture, ObserverSeesEveryListenerReachTheNewVersion) {
+  build(/*users=*/3);
+  simulator.run_until(seconds(30));
+  responder->change_service(1);
+  simulator.run_until(seconds(40));
+  for (const auto user : observer.users()) {
+    const auto reach = observer.reach_time(user, 2);
+    ASSERT_TRUE(reach.has_value());
+    EXPECT_GE(*reach, seconds(30));
+  }
+}
+
+TEST(MdnsSpec, DeclaresTheDecentralizedBehaviourSheet) {
+  const auto spec = protocol_spec();
+  EXPECT_EQ(spec.announce, discovery::AnnouncePolicy::kPeerJittered);
+  EXPECT_EQ(spec.subscription, discovery::SubscriptionStyle::kNone);
+  EXPECT_EQ(spec.cache, discovery::CachePolicy::kLeasedTtl);
+  EXPECT_FALSE(spec.leased);
+  EXPECT_EQ(spec.transport, discovery::TransportChoice::kUdpOnly);
+  EXPECT_TRUE(spec.guarantees_convergence);
+  EXPECT_TRUE(
+      spec.recovery.contains(discovery::RecoveryTechnique::kPR5));
+}
+
+}  // namespace
+}  // namespace sdcm::mdns

@@ -25,6 +25,10 @@ struct FuzzPlan {
   /// second half - which lets the oracle require convergence (except
   /// for UPnP, which legitimately strands users).
   bool converge_shape = false;
+  /// Synthetic workload layered on the run (default spec of the kind;
+  /// kStatic = none). Drawn last, so enabling workload fuzzing never
+  /// re-rolls the fault-plan fields of an existing (model, seed) case.
+  experiment::WorkloadKind workload = experiment::WorkloadKind::kStatic;
 };
 
 std::string to_string(const FuzzPlan& plan);
@@ -49,6 +53,10 @@ struct FuzzConfig {
   std::vector<double> lambdas{0.15, 0.3, 0.6, 0.9};
   std::vector<int> episode_choices{1, 2, 3};
   std::vector<double> loss_rates{0.0, 0.05, 0.2};
+  /// Workload kinds the plan generator draws from; empty (the default)
+  /// keeps every plan kStatic. The converge-shaped fuzz lanes include
+  /// churn deliberately: a rejoining node must re-converge too.
+  std::vector<experiment::WorkloadKind> workload_choices{};
   int users = 5;
   /// kLegacyBoolean reproduces the pre-fix apply_failures, for
   /// regression-testing the overlapping-episode bug.

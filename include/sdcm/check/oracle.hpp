@@ -108,9 +108,14 @@ class ConsistencyOracle final : public sim::TraceWriter,
 
   /// Captures the failure plan (as merged per-node per-direction outage
   /// unions) and the tracked users. Call after plan_failures, before the
-  /// simulation runs.
+  /// simulation runs. `departed` names nodes a workload removes for good
+  /// (permanent churn leavers): they are exempt from the convergence
+  /// check, and their to-horizon outage episodes do not push
+  /// last_episode_end_ - a legitimately absent node must not disable
+  /// convergence checking for everyone else.
   void arm(std::span<const net::FailureEpisode> plan,
-           std::span<const NodeId> users);
+           std::span<const NodeId> users,
+           std::span<const NodeId> departed = {});
 
   /// End-of-run checks (leaked leases, convergence); returns the report.
   OracleReport finish();
@@ -167,6 +172,8 @@ class ConsistencyOracle final : public sim::TraceWriter,
   /// Merged closed outage intervals, per node, [0] = tx, [1] = rx.
   std::map<NodeId, std::array<std::vector<Interval>, 2>> outages_;
   std::vector<NodeId> users_;
+  /// Permanent workload leavers, exempt from convergence.
+  std::vector<NodeId> departed_;
 
   // Causality state.
   SpanId last_span_ = sim::kNoSpan;

@@ -30,6 +30,25 @@ class Node {
   /// Kicks off the node's initial behaviour (announcements, discovery).
   virtual void start() = 0;
 
+  // Workload lifecycle (DESIGN.md section 11). The churn generator pairs
+  // each depart() with a both-directions failure episode, so a departing
+  // node's radio goes silent the moment its process state resets; the
+  // interface model keeps covering anything a stray timer still sends.
+
+  /// Leaves the network mid-run as a process crash would: stop timers and
+  /// forget session state (leases, cached peers) without any goodbye
+  /// traffic. Default no-op for nodes that hold no session state.
+  virtual void depart() {}
+
+  /// Returns mid-run as a fresh process; the default simply restarts the
+  /// node's lifecycle (PeriodicTimer::start is re-entrant, so this is
+  /// safe on every protocol).
+  virtual void rejoin() { start(); }
+
+  /// Sends the protocol's unsolicited announcement immediately (workload
+  /// storm bursts). Default no-op for nodes that never announce.
+  virtual void announce_now() {}
+
  protected:
   virtual void on_message(const net::Message& msg) = 0;
 

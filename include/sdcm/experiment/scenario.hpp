@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "sdcm/experiment/workload.hpp"
 #include "sdcm/frodo/config.hpp"
 #include "sdcm/jini/config.hpp"
 #include "sdcm/mdns/mdns.hpp"
@@ -90,6 +91,11 @@ struct ExperimentConfig {
   /// regression tests.
   net::FailureApplication failure_application =
       net::FailureApplication::kRefcounted;
+  /// Synthetic workload layered on top of the paper scenario: node churn,
+  /// announcement storms, or link saturation (kStatic leaves the run
+  /// untouched, bit-identical to the pre-workload traces). See
+  /// sdcm/experiment/workload.hpp and DESIGN.md section 11.
+  WorkloadSpec workload{};
 
   /// Per-protocol model parameters; edit for ablation experiments
   /// (e.g. frodo.enable_pr1 = false reproduces Figure 7's control).

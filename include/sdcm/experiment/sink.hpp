@@ -248,6 +248,9 @@ struct CampaignHeader {
   int runs = 0;
   int users = 0;
   std::uint64_t seed = 0;
+  /// Workload generator the campaign ran under; logs predating the
+  /// workload engine parse as kStatic.
+  WorkloadKind workload = WorkloadKind::kStatic;
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
 };

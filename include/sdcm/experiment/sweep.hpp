@@ -68,6 +68,10 @@ struct SweepConfig {
   std::size_t threads = 0;
   /// Typed ablation overrides, applied to every run by the engine.
   AblationSpec ablation;
+  /// Typed workload applied to every run (churn/storm/saturation;
+  /// kStatic = the plain paper scenario). Applied alongside `ablation`,
+  /// before `customize`.
+  WorkloadSpec workload;
   /// Escape hatch for knobs outside AblationSpec (lease periods, poll
   /// modes, SRN1 retries, ...). Applied after `ablation`; called
   /// concurrently from worker threads, so capture by value or const ref.

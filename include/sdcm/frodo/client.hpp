@@ -27,6 +27,15 @@ class FrodoClient : public discovery::Node {
               std::string name, DeviceClass device_class,
               FrodoConfig config);
 
+  /// Workload churn: stop announcing and forget the tracked Central
+  /// (running on_central_lost so subclasses drop per-Central state);
+  /// subclasses extend with their own session state.
+  void depart() override;
+
+  /// One immediate NodeAnnounce - FRODO's `helo` analogue (workload
+  /// storm bursts).
+  void announce_now() override;
+
   [[nodiscard]] bool has_central() const noexcept {
     return central_ != sim::kNoNode;
   }

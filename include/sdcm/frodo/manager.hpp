@@ -43,6 +43,11 @@ class FrodoManager : public FrodoClient {
 
   void start() override;
 
+  /// Workload churn: FrodoClient::depart plus dropping any 2-party
+  /// subscribers; services_ survives, so the rejoin re-registers the
+  /// current descriptions at the Central (PR1).
+  void depart() override;
+
   [[nodiscard]] bool is_registered(ServiceId service) const;
   [[nodiscard]] std::size_t subscriber_count(ServiceId service) const;
   [[nodiscard]] bool has_subscriber(ServiceId service, NodeId user) const;

@@ -33,6 +33,12 @@ class FrodoUser : public FrodoClient {
 
   void start() override;
 
+  /// Workload churn: FrodoClient::depart plus the purge_manager state
+  /// reset (emitting the same "frodo.manager.purged" trace event the
+  /// oracle keys its monotonicity-floor reset on), minus the PR5
+  /// rediscovery kick - the rejoin restarts discovery instead.
+  void depart() override;
+
   [[nodiscard]] const std::optional<discovery::ServiceDescription>& cached()
       const noexcept {
     return sd_;

@@ -34,6 +34,12 @@ class JiniManager : public discovery::Node {
                       const discovery::AttributeList& updates);
   void start() override;
 
+  /// Workload churn: forget every lookup service (cancelling renewals)
+  /// and stop discovering; services_ survives, so the rejoin (default
+  /// start()) re-registers the current descriptions - PR1, the same path
+  /// updates already take after a registry outage.
+  void depart() override;
+
   [[nodiscard]] const discovery::ServiceDescription& service(
       discovery::ServiceId service) const;
   [[nodiscard]] std::size_t known_registry_count() const {

@@ -46,6 +46,10 @@ class JiniRegistry : public discovery::Node {
 
   void start() override;
 
+  /// One immediate multicast announcement (workload storm bursts - Jini
+  /// is a registry-announcing protocol, so storms hit the Registry).
+  void announce_now() override;
+
   [[nodiscard]] bool has_registration(ServiceId service) const {
     return registrations_.contains(service);
   }

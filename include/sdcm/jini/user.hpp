@@ -31,6 +31,12 @@ class JiniUser : public discovery::Node {
 
   void start() override;
 
+  /// Workload churn: forget every lookup service and stop all timers;
+  /// the cached description survives (Jini has no PR5 even across a
+  /// process restart - it is replaced, never purged). rejoin() redoes
+  /// discovery from scratch via the default start().
+  void depart() override;
+
   [[nodiscard]] const std::optional<discovery::ServiceDescription>& cached()
       const noexcept {
     return sd_;

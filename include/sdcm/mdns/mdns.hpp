@@ -110,6 +110,12 @@ class MdnsResponder : public discovery::Node {
   void start() override;
   /// Multicasts goodbye records and stops announcing.
   void shutdown();
+  /// Abrupt workload departure: stop announcing without goodbyes (the
+  /// churn generator cuts the interface at the same instant). Listeners
+  /// age the record out via the TTL instead, exactly as after a crash.
+  void depart() override;
+  /// One immediate announcement round (workload storm bursts).
+  void announce_now() override;
 
   [[nodiscard]] const discovery::ServiceDescription& service(
       ServiceId service) const;
@@ -137,6 +143,9 @@ class MdnsListener : public discovery::Node {
                discovery::ConsistencyObserver* observer = nullptr);
 
   void start() override;
+  /// Workload churn: drop the cached record and stop querying; the
+  /// rejoin (default start()) queries afresh.
+  void depart() override;
   [[nodiscard]] bool has_record() const noexcept { return sd_.has_value(); }
   [[nodiscard]] const std::optional<discovery::ServiceDescription>& cached()
       const noexcept {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -105,6 +106,21 @@ class Network {
     return loss_rate_;
   }
 
+  /// Finite link capacity, the workload saturation model (DESIGN.md
+  /// section 11): each source gets a token bucket refilled at `rate_hz`
+  /// wire copies per second with `burst` tokens of depth, backed by a
+  /// bounded virtual queue of `queue_limit` copies. A copy that finds a
+  /// token leaves immediately; a copy that overdraws the bucket is
+  /// delayed by its queue position; a copy that would overflow the queue
+  /// is dropped (net.drop.capacity, KernelStats::capacity_dropped).
+  /// Deterministic - no randomness is consumed. rate_hz = 0 (the
+  /// default) disables the model entirely, leaving the message path
+  /// bit-identical to a capacity-unaware network.
+  void set_link_capacity(double rate_hz, double burst, int queue_limit);
+  [[nodiscard]] bool capacity_enabled() const noexcept {
+    return cap_rate_per_us_ > 0.0;
+  }
+
   /// Installs (or clears, with nullptr) the wire probe. Non-owning; the
   /// probe must outlive the network or be cleared first.
   void set_wire_probe(WireProbe* probe) noexcept { probe_ = probe; }
@@ -120,10 +136,19 @@ class Network {
   struct Port {
     Handler handler;
     InterfaceState iface;
+    /// Token-bucket state, meaningful only while capacity_enabled().
+    double tokens = 0.0;
+    sim::SimTime tokens_at = 0;
   };
 
   Port& port(NodeId id);
   [[nodiscard]] bool lost_in_transit();
+
+  /// Token-bucket admission for one wire copy leaving `src` now: the
+  /// shaping delay to add to the copy's transit delay (0 when a token
+  /// was free), or std::nullopt when the bounded queue is full and the
+  /// copy must drop. Only called while capacity_enabled().
+  [[nodiscard]] std::optional<sim::SimDuration> shape(Port& src);
 
   sim::Simulator& sim_;
   sim::SimDuration min_delay_;
@@ -134,6 +159,9 @@ class Network {
   obs::Histogram* hop_delay_us_ = nullptr;
   WireProbe* probe_ = nullptr;
   double loss_rate_ = 0.0;
+  double cap_rate_per_us_ = 0.0;
+  double cap_burst_ = 0.0;
+  int cap_queue_limit_ = 0;
   sim::Random rng_;
   sim::Random loss_rng_;
   std::unordered_map<NodeId, Port> ports_;

@@ -33,6 +33,14 @@ struct KernelStats {
   std::uint64_t tcp_sent = 0;
   std::uint64_t tcp_dropped = 0;
 
+  // Link-capacity model (workload saturation): copies dropped at a full
+  // token-bucket queue (also counted in udp/tcp_dropped), copies that
+  // queued and were delayed, and the deepest queue any source reached.
+  // All zero unless Network::set_link_capacity enabled the model.
+  std::uint64_t capacity_dropped = 0;
+  std::uint64_t capacity_delayed = 0;
+  std::uint64_t capacity_queue_peak = 0;
+
   // Trace log records actually appended (recording enabled).
   std::uint64_t trace_records = 0;
 
@@ -59,6 +67,10 @@ inline void accumulate(KernelStats& total, const KernelStats& run) noexcept {
   total.udp_dropped += run.udp_dropped;
   total.tcp_sent += run.tcp_sent;
   total.tcp_dropped += run.tcp_dropped;
+  total.capacity_dropped += run.capacity_dropped;
+  total.capacity_delayed += run.capacity_delayed;
+  total.capacity_queue_peak =
+      std::max(total.capacity_queue_peak, run.capacity_queue_peak);
   total.trace_records += run.trace_records;
 }
 

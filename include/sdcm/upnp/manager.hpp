@@ -57,6 +57,14 @@ class UpnpManager : public discovery::Node {
   /// fail abruptly, but part of the protocol).
   void shutdown();
 
+  /// Abrupt workload departure: like shutdown() but without the byebye
+  /// traffic - the churn generator pairs it with an interface outage, so
+  /// nothing could leave the node anyway.
+  void depart() override;
+
+  /// One immediate ssdp:alive round (workload storm bursts).
+  void announce_now() override;
+
   [[nodiscard]] const discovery::ServiceDescription& service(
       discovery::ServiceId service) const;
   [[nodiscard]] std::size_t subscriber_count(

@@ -44,6 +44,11 @@ class UpnpUser : public discovery::Node {
 
   void start() override;
 
+  /// Workload churn: forget the Manager and every in-flight exchange and
+  /// go quiet, as a process restart would. rejoin() (the default, i.e.
+  /// start()) re-enters discovery from scratch.
+  void depart() override;
+
   [[nodiscard]] bool has_manager() const noexcept {
     return manager_ != sim::kNoNode;
   }

@@ -38,6 +38,10 @@ std::string to_string(const FuzzPlan& plan) {
                                                              : "truncated";
   out += " loss=" + format_double(plan.message_loss_rate);
   if (plan.converge_shape) out += " converge";
+  if (plan.workload != experiment::WorkloadKind::kStatic) {
+    out += " workload=";
+    out += experiment::to_string(plan.workload);
+  }
   return out;
 }
 
@@ -74,6 +78,11 @@ FuzzPlan draw_fuzz_plan(experiment::SystemModel model, std::uint64_t seed,
     plan.message_loss_rate =
         config.loss_rates[rng.index(config.loss_rates.size())];
   }
+  // Drawn last (see FuzzPlan::workload): pre-workload plans reproduce.
+  if (!config.workload_choices.empty()) {
+    plan.workload =
+        config.workload_choices[rng.index(config.workload_choices.size())];
+  }
   return plan;
 }
 
@@ -88,6 +97,7 @@ experiment::ExperimentConfig fuzz_experiment_config(
   out.failure_episodes = fuzz_case.plan.episodes;
   out.message_loss_rate = fuzz_case.plan.message_loss_rate;
   out.failure_application = config.failure_application;
+  out.workload.kind = fuzz_case.plan.workload;
   if (fuzz_case.plan.converge_shape) {
     // Outages drawn over the first half, quiet second half: recovery
     // has a failure-free window at least as long as the paper's whole
@@ -130,6 +140,11 @@ FuzzCase shrink_fuzz_case(const FuzzCase& failing, const FuzzConfig& config,
     // Candidate simplifications, most drastic first; the pass restarts
     // after every accepted step, so the ladder reaches a fixpoint.
     std::vector<FuzzCase> candidates;
+    if (best.plan.workload != experiment::WorkloadKind::kStatic) {
+      FuzzCase candidate = best;
+      candidate.plan.workload = experiment::WorkloadKind::kStatic;
+      candidates.push_back(candidate);
+    }
     if (best.plan.message_loss_rate > 0.0) {
       FuzzCase candidate = best;
       candidate.plan.message_loss_rate = 0.0;

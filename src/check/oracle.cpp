@@ -81,6 +81,7 @@ void ConsistencyOracle::begin_run(discovery::ConsistencyObserver& observer,
   last_episode_end_ = 0;
   outages_.clear();
   users_.clear();
+  departed_.clear();
   last_span_ = sim::kNoSpan;
   spans_.clear();
   known_versions_.clear();
@@ -114,8 +115,10 @@ void ConsistencyOracle::begin_run(discovery::ConsistencyObserver& observer,
 }
 
 void ConsistencyOracle::arm(std::span<const net::FailureEpisode> plan,
-                            std::span<const NodeId> users) {
+                            std::span<const NodeId> users,
+                            std::span<const NodeId> departed) {
   users_.assign(users.begin(), users.end());
+  departed_.assign(departed.begin(), departed.end());
   outages_.clear();
   last_episode_end_ = 0;
   for (const net::FailureEpisode& ep : plan) {
@@ -127,7 +130,12 @@ void ConsistencyOracle::arm(std::span<const net::FailureEpisode> plan,
     auto& node_outages = outages_[ep.node];
     if (tx) node_outages[0].push_back(Interval{ep.start, ep.end()});
     if (rx) node_outages[1].push_back(Interval{ep.start, ep.end()});
-    last_episode_end_ = std::max(last_episode_end_, ep.end());
+    // A permanent leaver's to-horizon outage is scenery, not a fault the
+    // survivors need grace to recover from.
+    if (std::find(departed_.begin(), departed_.end(), ep.node) ==
+        departed_.end()) {
+      last_episode_end_ = std::max(last_episode_end_, ep.end());
+    }
   }
   for (auto& [node, directions] : outages_) {
     for (auto& intervals : directions) {
@@ -359,6 +367,10 @@ OracleReport ConsistencyOracle::finish() {
   if (config_.require_convergence && latest_change_ >= 2 &&
       last_episode_end_ + config_.convergence_grace <= deadline_) {
     for (const NodeId user : users_) {
+      if (std::find(departed_.begin(), departed_.end(), user) !=
+          departed_.end()) {
+        continue;  // left for good mid-run; nothing to converge
+      }
       const auto it = user_versions_.find(user);
       const discovery::ServiceVersion held =
           it == user_versions_.end() ? 0 : it->second;

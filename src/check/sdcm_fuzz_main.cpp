@@ -38,6 +38,10 @@ std::string usage() {
          "0.15,0.3,0.6,0.9)\n"
          "  --episodes=a,b,... episode-count choices (default 1,2,3)\n"
          "  --loss=a,b,...     loss-rate choices (default 0,0.05,0.2)\n"
+         "  --workloads[=a,b,...]\n"
+         "                     also draw a synthetic workload per plan;\n"
+         "                     choices from static,churn,storm,saturation\n"
+         "                     (bare flag = all four, default: none)\n"
          "  --users=N          Users per run (default 5)\n"
          "  --legacy-failures  apply failure plans with the pre-fix plain\n"
          "                     boolean flips (overlap regression mode)\n"
@@ -147,6 +151,24 @@ int main(int argc, char** argv) {
           return 2;
         }
         config.episode_choices.push_back(static_cast<int>(parsed));
+      }
+    } else if (key == "--workloads") {
+      config.workload_choices.clear();
+      if (value.empty()) {
+        config.workload_choices = {
+            experiment::WorkloadKind::kStatic, experiment::WorkloadKind::kChurn,
+            experiment::WorkloadKind::kStorm,
+            experiment::WorkloadKind::kSaturation};
+      } else {
+        for (const auto& name : split(value, ',')) {
+          const auto kind = experiment::workload_from_name(name);
+          if (!kind) {
+            std::cerr << "error: unknown workload '" << name << "'\n\n"
+                      << usage();
+            return 2;
+          }
+          config.workload_choices.push_back(*kind);
+        }
       }
     } else if (key == "--users") {
       std::uint64_t parsed = 0;

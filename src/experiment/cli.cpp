@@ -71,6 +71,11 @@ std::string usage() {
          "  --summary=FILE     write the campaign summary JSON to FILE\n"
          "  --traces=DIR       stream every run's trace to DIR as per-run\n"
          "                     JSONL files plus a manifest.jsonl\n"
+         "  --workload=KIND    synthetic workload on every run: churn\n"
+         "                     (nodes leave and rejoin mid-run), storm\n"
+         "                     (synchronized announce bursts), saturation\n"
+         "                     (token-bucket link capacity + bursts);\n"
+         "                     default: static paper scenario\n"
          "  --placement=fit|truncated   failure episode placement\n"
          "  --episodes=N       outage episodes per node (default 1)\n"
          "  --loss=P           per-message loss probability (default 0)\n"
@@ -215,6 +220,13 @@ std::optional<Options> parse(int argc, const char* const* argv,
         error = "--merge needs at least one JSONL path";
         return std::nullopt;
       }
+    } else if (key == "--workload") {
+      const auto kind = workload_from_name(value);
+      if (!kind) {
+        error = "--workload must be churn, storm, saturation or static";
+        return std::nullopt;
+      }
+      options.sweep.workload.kind = *kind;
     } else if (key == "--loss") {
       double loss = 0.0;
       if (!parse_double(value, loss) || loss < 0.0 || loss > 1.0) {

@@ -162,6 +162,9 @@ void write_campaign_summary_json(std::ostream& os,
   u64("udp_dropped", summary.kernel.udp_dropped);
   u64("tcp_sent", summary.kernel.tcp_sent);
   u64("tcp_dropped", summary.kernel.tcp_dropped);
+  u64("capacity_dropped", summary.kernel.capacity_dropped);
+  u64("capacity_delayed", summary.kernel.capacity_delayed);
+  u64("capacity_queue_peak", summary.kernel.capacity_queue_peak);
   u64("trace_records", summary.kernel.trace_records, false);
   os << "},";
   dbl("runs_per_second", summary.runs_per_second());

@@ -1,6 +1,7 @@
 #include "sdcm/experiment/scenario.hpp"
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "sdcm/check/oracle.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/experiment/protocol_registry.hpp"
+#include "sdcm/experiment/workload.hpp"
 #include "sdcm/net/failure_model.hpp"
 #include "sdcm/obs/instrument.hpp"
 
@@ -40,8 +42,14 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
     config.oracle->begin_run(observer, network, config.duration);
   }
 
-  Topology topo = protocol_descriptor(config.model)
-                      .build(config, simulator, network, observer);
+  const ProtocolDescriptor& descriptor = protocol_descriptor(config.model);
+  Topology topo = descriptor.build(config, simulator, network, observer);
+  if (config.workload.kind == WorkloadKind::kSaturation) {
+    // Before start(): startup multicasts are shaped like everything else.
+    network.set_link_capacity(config.workload.saturation.link_rate_hz,
+                              config.workload.saturation.burst_capacity,
+                              config.workload.saturation.queue_limit);
+  }
   for (auto& node : topo.nodes) node->start();
 
   // Failure plan (Section 5 Step 2): one episode per node at rate lambda.
@@ -52,12 +60,64 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
       config.failure_horizon > 0 ? config.failure_horizon : config.duration;
   plan_config.placement = config.failure_placement;
   plan_config.episodes = config.failure_episodes;
-  const auto plan =
-      net::plan_failures(network.nodes(), plan_config, failure_rng);
+  auto plan = net::plan_failures(network.nodes(), plan_config, failure_rng);
+
+  // Workload plan: churn departures ride the same failure-episode
+  // machinery (a leaver's interfaces go down for the whole absence), so
+  // the oracle's outage model covers them with no new concepts.
+  WorkloadPlan workload_plan;
+  if (config.workload.enabled()) {
+    WorkloadTopology workload_topo;
+    workload_topo.manager = kManagerId;
+    for (int i = 0; i < config.users; ++i) {
+      workload_topo.users.push_back(kFirstUserId +
+                                    static_cast<sim::NodeId>(i));
+    }
+    if (descriptor.spec.announce ==
+            discovery::AnnouncePolicy::kRegistryPeriodic &&
+        descriptor.registry_nodes > 0) {
+      for (int r = 0; r < descriptor.registry_nodes; ++r) {
+        workload_topo.announcers.push_back(kRegistryId +
+                                           static_cast<sim::NodeId>(r));
+      }
+    } else {
+      workload_topo.announcers.push_back(kManagerId);
+    }
+    auto workload_rng = simulator.rng().fork("experiment.workload");
+    workload_plan = plan_workload(config.workload, workload_topo,
+                                  config.duration, workload_rng);
+    plan.insert(plan.end(), workload_plan.episodes.begin(),
+                workload_plan.episodes.end());
+  }
+
   if (config.oracle != nullptr) {
-    config.oracle->arm(plan, observer.users());
+    config.oracle->arm(plan, observer.users(), workload_plan.departed);
   }
   net::apply_failures(simulator, network, plan, config.failure_application);
+
+  // Schedule the lifecycle events after apply_failures: at an equal
+  // timestamp the interface-down flip fires first, so a depart()'s state
+  // reset never races its own episode's radio silence.
+  if (!workload_plan.events.empty()) {
+    std::map<sim::NodeId, discovery::Node*> nodes_by_id;
+    for (auto& node : topo.nodes) nodes_by_id[node->id()] = node.get();
+    for (const WorkloadEvent& event : workload_plan.events) {
+      const auto it = nodes_by_id.find(event.node);
+      if (it == nodes_by_id.end()) continue;
+      discovery::Node* node = it->second;
+      switch (event.action) {
+        case WorkloadAction::kDepart:
+          simulator.schedule_at(event.at, [node] { node->depart(); });
+          break;
+        case WorkloadAction::kRejoin:
+          simulator.schedule_at(event.at, [node] { node->rejoin(); });
+          break;
+        case WorkloadAction::kAnnounce:
+          simulator.schedule_at(event.at, [node] { node->announce_now(); });
+          break;
+      }
+    }
+  }
 
   // One change at a uniformly random time in [change_min, change_max].
   auto change_rng = simulator.rng().fork("experiment.change");

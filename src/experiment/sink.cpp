@@ -130,6 +130,12 @@ void append_kernel(std::string& out, const sim::KernelStats& k) {
   append_u64(out, k.tcp_sent);
   out += ",\"tcp_dropped\":";
   append_u64(out, k.tcp_dropped);
+  out += ",\"capacity_dropped\":";
+  append_u64(out, k.capacity_dropped);
+  out += ",\"capacity_delayed\":";
+  append_u64(out, k.capacity_delayed);
+  out += ",\"capacity_queue_peak\":";
+  append_u64(out, k.capacity_queue_peak);
   out += ",\"trace_records\":";
   append_u64(out, k.trace_records);
   out += '}';
@@ -156,6 +162,8 @@ void JsonlSink::on_campaign_begin(const SweepConfig& config, std::uint64_t) {
   append_i64(line, config.users);
   line += ",\"seed\":";
   append_u64(line, config.master_seed);
+  line += ",\"workload\":";
+  append_quoted(line, to_string(config.workload.kind));
   line += ",\"shard_index\":";
   append_u64(line, config.shard.index);
   line += ",\"shard_count\":";
@@ -649,6 +657,10 @@ bool parse_kernel(const JsonValue& obj, sim::KernelStats& out,
          get_u64(obj, "udp_dropped", out.udp_dropped, error) &&
          get_u64(obj, "tcp_sent", out.tcp_sent, error) &&
          get_u64(obj, "tcp_dropped", out.tcp_dropped, error) &&
+         get_u64(obj, "capacity_dropped", out.capacity_dropped, error) &&
+         get_u64(obj, "capacity_delayed", out.capacity_delayed, error) &&
+         get_u64(obj, "capacity_queue_peak", out.capacity_queue_peak,
+                 error) &&
          get_u64(obj, "trace_records", out.trace_records, error);
 }
 
@@ -722,6 +734,21 @@ std::optional<CampaignHeader> parse_jsonl_header(std::string_view line,
   header.users = static_cast<int>(users);
   header.shard_index = static_cast<std::size_t>(shard_index);
   header.shard_count = static_cast<std::size_t>(shard_count);
+  // Optional for compatibility with pre-workload logs, which are all
+  // static campaigns.
+  if (const JsonValue* workload = root.find("workload");
+      workload != nullptr) {
+    if (workload->type != JsonValue::Type::kString) {
+      error = "field 'workload' must be a string";
+      return std::nullopt;
+    }
+    const auto kind = workload_from_name(workload->text);
+    if (!kind) {
+      error = "unknown workload '" + workload->text + "'";
+      return std::nullopt;
+    }
+    header.workload = *kind;
+  }
   return header;
 }
 
@@ -811,7 +838,7 @@ namespace {
 
 bool same_campaign(const CampaignHeader& a, const CampaignHeader& b) {
   return a.models == b.models && a.lambdas == b.lambdas && a.runs == b.runs &&
-         a.users == b.users && a.seed == b.seed;
+         a.users == b.users && a.seed == b.seed && a.workload == b.workload;
 }
 
 }  // namespace
@@ -864,7 +891,7 @@ std::optional<SweepResult> merge_jsonl(std::span<std::istream* const> shards,
                   0);
     } else if (!same_campaign(*campaign, *header)) {
       error = where + ": header does not match the first shard's campaign "
-              "(models/lambdas/runs/users/seed must agree)";
+              "(models/lambdas/runs/users/seed/workload must agree)";
       return std::nullopt;
     }
 

@@ -46,6 +46,12 @@ std::optional<std::string> SweepConfig::validate() const {
       ablation.message_loss_rate < 0.0 || ablation.message_loss_rate > 1.0) {
     return "ablation.message_loss_rate must lie in [0, 1]";
   }
+  // Workload windows must fit the run horizon (satellite of DESIGN.md
+  // section 11): a churn window or storm burst past the deadline would
+  // silently never fire.
+  if (const auto problem = workload.validate(ExperimentConfig{}.duration)) {
+    return "workload: " + *problem;
+  }
   if (shard.count == 0) return "shard count must be at least 1";
   if (shard.index >= shard.count) {
     return "shard index " + std::to_string(shard.index) +
@@ -188,6 +194,7 @@ SweepResult run_sweep(const SweepConfig& config) {
     run_config.seed =
         run_seed(config.master_seed, point.model, point.lambda_index, job.run);
     config.ablation.apply(run_config);
+    run_config.workload = config.workload;
     if (config.customize) config.customize(run_config);
     if (trace_sink != nullptr) {
       run_config.trace_writer =

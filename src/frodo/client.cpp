@@ -23,6 +23,21 @@ void FrodoClient::start_client() {
                         });
 }
 
+void FrodoClient::depart() {
+  announce_timer_.stop();
+  if (silence_timer_ != sim::kInvalidEventId) {
+    simulator().cancel(silence_timer_);
+    silence_timer_ = sim::kInvalidEventId;
+  }
+  if (central_ != sim::kNoNode) {
+    central_ = sim::kNoNode;
+    central_epoch_ = 0;
+    on_central_lost();
+  }
+}
+
+void FrodoClient::announce_now() { send_node_announce(); }
+
 void FrodoClient::send_node_announce() {
   Message m;
   m.src = id();

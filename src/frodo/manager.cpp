@@ -59,6 +59,19 @@ bool FrodoManager::marked_inconsistent(ServiceId service, NodeId user) const {
 
 void FrodoManager::start() { start_client(); }
 
+void FrodoManager::depart() {
+  FrodoClient::depart();
+  for (auto& [service, users] : subs_) {
+    for (auto& [user, sub] : users) {
+      sub.cancel(simulator());
+      if (sub.pending_update != 0) channel().cancel(sub.pending_update);
+      if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
+    }
+  }
+  subs_.clear();
+  trace(sim::TraceCategory::kDiscovery, "frodo.manager.depart");
+}
+
 void FrodoManager::on_central_discovered() {
   for (const auto& [service, state] : services_) register_service(service);
 }

@@ -352,6 +352,24 @@ void FrodoUser::send_renewal() {
       config().renew_fraction));
 }
 
+void FrodoUser::depart() {
+  FrodoClient::depart();
+  stop_search();
+  poll_timer_.stop();
+  trace(sim::TraceCategory::kDiscovery, "frodo.manager.purged", "depart");
+  manager_ = sim::kNoNode;
+  sd_.reset();
+  versions_seen_.clear();
+  critical_ = false;
+  invalidated_version_ = 0;
+  subscribed_ = false;
+  subscribe_in_flight_ = false;
+  if (renew_timer_ != sim::kInvalidEventId) {
+    simulator().cancel(renew_timer_);
+    renew_timer_ = sim::kInvalidEventId;
+  }
+}
+
 void FrodoUser::purge_manager(const char* reason) {
   trace(sim::TraceCategory::kDiscovery, "frodo.manager.purged", reason);
   manager_ = sim::kNoNode;

@@ -87,6 +87,15 @@ void JiniManager::registry_heard(NodeId registry) {
   }
 }
 
+void JiniManager::depart() {
+  trace(sim::TraceCategory::kDiscovery, "jini.manager.depart");
+  while (!registries_.empty()) {
+    purge_registry(registries_.begin()->first, "depart");
+  }
+  request_timer_.stop();
+  requests_sent_ = 0;
+}
+
 void JiniManager::purge_registry(NodeId registry, const char* reason) {
   const auto it = registries_.find(registry);
   if (it == registries_.end()) return;

@@ -25,6 +25,8 @@ void JiniRegistry::start() {
                         config_.announce_period, [this] { announce(); });
 }
 
+void JiniRegistry::announce_now() { announce(); }
+
 void JiniRegistry::announce() {
   Message m;
   m.src = id();

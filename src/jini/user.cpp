@@ -89,6 +89,16 @@ void JiniUser::registry_heard(NodeId registry) {
   }
 }
 
+void JiniUser::depart() {
+  trace(sim::TraceCategory::kDiscovery, "jini.user.depart");
+  while (!registries_.empty()) {
+    purge_registry(registries_.begin()->first, "depart");
+  }
+  request_timer_.stop();
+  poll_timer_.stop();
+  requests_sent_ = 0;
+}
+
 void JiniUser::purge_registry(NodeId registry, const char* reason) {
   const auto it = registries_.find(registry);
   if (it == registries_.end()) return;

@@ -53,6 +53,16 @@ void MdnsResponder::shutdown() {
   trace(sim::TraceCategory::kDiscovery, "mdns.shutdown");
 }
 
+void MdnsResponder::depart() {
+  running_ = false;
+  announce_timer_.stop();
+  trace(sim::TraceCategory::kDiscovery, "mdns.responder.depart");
+}
+
+void MdnsResponder::announce_now() {
+  if (running_) announce_all();
+}
+
 sim::SimDuration MdnsResponder::jitter() {
   return rng().uniform_time(config_.announce_min, config_.announce_max);
 }
@@ -144,6 +154,16 @@ void MdnsListener::start() {
                      [this] {
                        if (!has_record()) send_query();
                      });
+}
+
+void MdnsListener::depart() {
+  trace(sim::TraceCategory::kDiscovery, "mdns.listener.depart");
+  sd_.reset();
+  if (ttl_expiry_ != sim::kInvalidEventId) {
+    simulator().cancel(ttl_expiry_);
+    ttl_expiry_ = sim::kInvalidEventId;
+  }
+  query_timer_.stop();
 }
 
 void MdnsListener::send_query() {

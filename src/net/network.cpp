@@ -1,6 +1,8 @@
 #include "sdcm/net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -111,6 +113,44 @@ bool Network::lost_in_transit() {
   return loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_);
 }
 
+void Network::set_link_capacity(double rate_hz, double burst,
+                                int queue_limit) {
+  assert(rate_hz >= 0.0);
+  assert(rate_hz == 0.0 || burst >= 1.0);
+  assert(queue_limit >= 0);
+  cap_rate_per_us_ = rate_hz / static_cast<double>(sim::kSecond);
+  cap_burst_ = burst;
+  cap_queue_limit_ = queue_limit;
+  // Buckets start full so steady-state traffic below the rate is never
+  // shaped; only bursts overdraw.
+  for (auto& [id, p] : ports_) {
+    p.tokens = cap_burst_;
+    p.tokens_at = sim_.now();
+  }
+}
+
+std::optional<sim::SimDuration> Network::shape(Port& src) {
+  const sim::SimTime now = sim_.now();
+  src.tokens =
+      std::min(cap_burst_, src.tokens + static_cast<double>(now - src.tokens_at) *
+                                            cap_rate_per_us_);
+  src.tokens_at = now;
+  src.tokens -= 1.0;
+  if (src.tokens >= 0.0) return sim::SimDuration{0};
+  const double deficit = -src.tokens;
+  if (deficit > static_cast<double>(cap_queue_limit_)) {
+    src.tokens += 1.0;  // refund: the copy never entered the queue
+    return std::nullopt;
+  }
+  sim::KernelStats& kstats = sim_.kernel_stats();
+  ++kstats.capacity_delayed;
+  kstats.capacity_queue_peak =
+      std::max(kstats.capacity_queue_peak,
+               static_cast<std::uint64_t>(std::ceil(deficit)));
+  SDCM_OBS_ONLY(sim_.obs().counter("net.capacity.delayed").inc());
+  return static_cast<sim::SimDuration>(std::ceil(deficit / cap_rate_per_us_));
+}
+
 void Network::send(const Message& msg) {
   transmit(msg, /*deliver=*/true, nullptr);
 }
@@ -132,6 +172,20 @@ void Network::multicast(const Message& msg, int redundant_copies) {
                                 msg.type);
       continue;
     }
+    sim::SimDuration shaping = 0;
+    if (capacity_enabled()) {
+      const auto admitted = shape(src);
+      if (!admitted) {
+        ++kstats.udp_dropped;
+        ++kstats.capacity_dropped;
+        SDCM_OBS_ONLY(sim_.obs().counter("net.capacity.dropped").inc());
+        sim_.trace().record_child(cause, sim_.now(), msg.src,
+                                  sim::TraceCategory::kTransport,
+                                  "net.drop.capacity", msg.type);
+        continue;
+      }
+      shaping = *admitted;
+    }
     counters_.count(msg);
     ++kstats.udp_sent;
     for (const NodeId dst : order_) {
@@ -140,7 +194,7 @@ void Network::multicast(const Message& msg, int redundant_copies) {
       delivered.dst = dst;
       delivered.via_multicast = true;
       delivered.span = cause;
-      const auto delay = draw_delay();
+      const auto delay = shaping + draw_delay();
       const bool lost = lost_in_transit();
       sim_.schedule_in(delay, [this, lost, m = std::move(delivered)]() {
         Port& dport = port(m.dst);
@@ -185,10 +239,34 @@ bool Network::transmit(Message msg, bool deliver,
     }
     return false;
   }
+  sim::SimDuration shaping = 0;
+  if (capacity_enabled()) {
+    const auto admitted = shape(src);
+    if (!admitted) {
+      // A capacity drop looks like any other in-flight loss to the
+      // sender: TCP's retransmission machinery handles it via cb(false).
+      ++(tcp ? kstats.tcp_dropped : kstats.udp_dropped);
+      ++kstats.capacity_dropped;
+      SDCM_OBS_ONLY(sim_.obs().counter("net.capacity.dropped").inc());
+      sim_.trace().record_child(msg.span, sim_.now(), msg.src,
+                                sim::TraceCategory::kTransport,
+                                "net.drop.capacity", msg.type);
+      if (on_result) {
+        sim_.schedule_in(delay, [this, span = msg.span,
+                                 cb = std::move(on_result)]() {
+          sim::SpanScope scope(sim_.trace(), span);
+          cb(false);
+        });
+      }
+      return false;
+    }
+    shaping = *admitted;
+  }
   counters_.count(msg);
   ++(tcp ? kstats.tcp_sent : kstats.udp_sent);
   const bool lost = lost_in_transit();
-  sim_.schedule_in(delay, [this, m = std::move(msg), deliver, lost, tcp,
+  sim_.schedule_in(shaping + delay, [this, m = std::move(msg), deliver, lost,
+                                     tcp,
                            cb = std::move(on_result)]() {
     Port& dport = port(m.dst);
     if (probe_ != nullptr) {

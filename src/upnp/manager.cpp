@@ -54,6 +54,23 @@ void UpnpManager::shutdown() {
   trace(sim::TraceCategory::kDiscovery, "upnp.shutdown");
 }
 
+void UpnpManager::depart() {
+  running_ = false;
+  announce_timer_.stop();
+  for (auto& [service, users] : subs_) {
+    for (auto& [user, sub] : users) {
+      sub.cancel(simulator());
+      if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
+    }
+  }
+  subs_.clear();
+  trace(sim::TraceCategory::kDiscovery, "upnp.manager.depart");
+}
+
+void UpnpManager::announce_now() {
+  if (running_) announce_all();
+}
+
 void UpnpManager::announce_all() {
   for (const auto& [service, sd] : services_) {
     Message m;

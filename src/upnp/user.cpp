@@ -38,6 +38,26 @@ void UpnpUser::start() {
   }
 }
 
+void UpnpUser::depart() {
+  trace(sim::TraceCategory::kDiscovery, "upnp.user.depart");
+  manager_ = sim::kNoNode;
+  service_ = 0;
+  sd_.reset();
+  subscribed_ = false;
+  fetch_in_flight_ = false;
+  fetch_pending_ = false;
+  subscribe_in_flight_ = false;
+  for (auto* timer : {&cache_expiry_, &renew_timer_, &sub_expiry_,
+                      &retry_timer_}) {
+    if (*timer != sim::kInvalidEventId) {
+      simulator().cancel(*timer);
+      *timer = sim::kInvalidEventId;
+    }
+  }
+  search_timer_.stop();
+  poll_timer_.stop();
+}
+
 void UpnpUser::send_msearch() {
   Message m;
   m.src = id();

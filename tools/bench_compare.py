@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Compare two kernel-bench JSON snapshots and fail on a regression.
+"""Compare two bench JSON snapshots and fail on a regression.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json \
-        [--key indexed_queue.events_per_sec] [--max-regression 0.02]
+        [--key indexed_queue.events_per_sec]... [--max-regression 0.02]
 
-Both files are BENCH_sim_kernel.json snapshots (bench/sim_kernel.cpp).
-The default key is the indexed event queue's events-per-second, the
-repo's headline kernel throughput. A regression is
+Both files are bench snapshots with the same shape (BENCH_sim_kernel.json,
+BENCH_workloads.json, ...). --key may repeat: every named metric is
+compared and the gate fails if ANY of them regresses past the tolerance.
+With no --key the gate defaults to the indexed event queue's
+events-per-second, the repo's headline kernel throughput. A regression is
 (baseline - current) / baseline; the script exits non-zero when it
 exceeds --max-regression. Improvements always pass.
 
@@ -34,34 +36,42 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
-    parser.add_argument("--key", default="indexed_queue.events_per_sec",
-                        help="dotted path of the metric (higher = better)")
+    parser.add_argument("--key", action="append",
+                        help="dotted path of a metric (higher = better); "
+                             "repeatable, all named keys must hold")
     parser.add_argument("--max-regression", type=float, default=0.02,
                         help="fraction of baseline allowed to regress")
     args = parser.parse_args()
+    keys = args.key or ["indexed_queue.events_per_sec"]
 
     with open(args.baseline, encoding="utf-8") as f:
         baseline_doc = json.load(f)
     with open(args.current, encoding="utf-8") as f:
         current_doc = json.load(f)
 
-    try:
-        baseline = lookup(baseline_doc, args.key)
-        current = lookup(current_doc, args.key)
-    except KeyError as missing:
-        print(f"bench_compare: key {missing} not found", file=sys.stderr)
-        return 2
-    if baseline <= 0:
-        print(f"bench_compare: baseline {args.key} is {baseline}, "
-              "cannot compare", file=sys.stderr)
-        return 2
+    failed = []
+    for key in keys:
+        try:
+            baseline = lookup(baseline_doc, key)
+            current = lookup(current_doc, key)
+        except KeyError as missing:
+            print(f"bench_compare: key {missing} not found", file=sys.stderr)
+            return 2
+        if baseline <= 0:
+            print(f"bench_compare: baseline {key} is {baseline}, "
+                  "cannot compare", file=sys.stderr)
+            return 2
 
-    regression = (baseline - current) / baseline
-    print(f"{args.key}: baseline {baseline:.4g}, current {current:.4g}, "
-          f"delta {-regression:+.2%} (tolerance -{args.max_regression:.0%})")
-    if regression > args.max_regression:
-        print(f"bench_compare: FAIL - {regression:.2%} regression exceeds "
-              f"{args.max_regression:.0%}", file=sys.stderr)
+        regression = (baseline - current) / baseline
+        print(f"{key}: baseline {baseline:.4g}, current {current:.4g}, "
+              f"delta {-regression:+.2%} (tolerance -{args.max_regression:.0%})")
+        if regression > args.max_regression:
+            failed.append((key, regression))
+
+    if failed:
+        for key, regression in failed:
+            print(f"bench_compare: FAIL - {key} regressed {regression:.2%}, "
+                  f"exceeds {args.max_regression:.0%}", file=sys.stderr)
         return 1
     print("bench_compare: OK")
     return 0

@@ -103,7 +103,7 @@ void BM_UdpUnicastDelivery(benchmark::State& state) {
   net::Message msg;
   msg.src = 1;
   msg.dst = 2;
-  msg.type = "bench";
+  msg.type = sdcm::net::MessageType::intern("bench");
   for (auto _ : state) {
     network.send(msg);
     simulator.run_until(simulator.now() + sim::milliseconds(1));

@@ -77,7 +77,7 @@ int main() {
     net::Message msg;
     msg.src = 1;
     msg.dst = 2;
-    msg.type = "payload";
+    msg.type = sdcm::net::MessageType::intern("payload");
     msg.klass = net::MessageClass::kControl;
     bool acked = false;
     conn->send(msg, [&] { acked = true; });
@@ -103,14 +103,14 @@ int main() {
     net::Message msg;
     msg.src = 1;
     msg.dst = 2;
-    msg.type = "udp";
+    msg.type = sdcm::net::MessageType::intern("udp");
     network.send(msg);
     simulator.run_until(sim::seconds(1));
     const bool dropped_silently = received == 0;
     network.interface(2).set_rx(true);
     net::Message mc;
     mc.src = 1;
-    mc.type = "announce";
+    mc.type = sdcm::net::MessageType::intern("announce");
     network.multicast(mc, 6);  // UPnP/Jini redundancy
     network.multicast(mc, 1);  // FRODO
     simulator.run_until(sim::seconds(2));

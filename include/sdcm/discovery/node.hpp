@@ -16,7 +16,11 @@ using sim::NodeId;
 /// `on_message` and start their timers in `start()` (called by the
 /// scenario once all nodes are attached, so startup multicasts have an
 /// audience).
-class Node {
+///
+/// A Node IS the network's MessageSink: delivery is a single vtable call
+/// on the node itself, so attaching a node stores one pointer in the
+/// NodeTable - no std::function, no captured lambda per node.
+class Node : public net::MessageSink {
  public:
   Node(sim::Simulator& simulator, net::Network& network, NodeId id,
        std::string name);
@@ -49,6 +53,9 @@ class Node {
   /// storm bursts). Default no-op for nodes that never announce.
   virtual void announce_now() {}
 
+  /// net::MessageSink: the Network delivers here.
+  void handle_message(const net::Message& msg) final { on_message(msg); }
+
  protected:
   virtual void on_message(const net::Message& msg) = 0;
 
@@ -76,11 +83,11 @@ class Node {
   /// Builds an outgoing message stamped with this node as the source.
   /// Shared by every protocol module so envelope construction lives in
   /// one place (the plugin layer) instead of per-module copies.
-  [[nodiscard]] net::Message make_message(std::string type,
+  [[nodiscard]] net::Message make_message(net::MessageType type,
                                           net::MessageClass klass) const {
     net::Message m;
     m.src = id_;
-    m.type = std::move(type);
+    m.type = type;
     m.klass = klass;
     return m;
   }

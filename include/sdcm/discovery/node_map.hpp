@@ -1,0 +1,224 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace sdcm::discovery {
+
+/// Dense slab map keyed by small integer ids (NodeId, ServiceId): the
+/// session-state container behind every per-node table a protocol entity
+/// keeps (subscriptions, leases, cached registry state). Replaces
+/// std::map<NodeId, T>, which costs a red-black tree node allocation per
+/// entry and pointer-chasing per touch - at 10^5-10^6 users that is the
+/// dominant allocation source of a notify fan-out.
+///
+/// Storage is a vector of optional slots indexed directly by key; the
+/// scenario layouts hand out contiguous ids, so occupancy is dense and a
+/// lookup is one indexed load. Entries for a key are created at most
+/// once per slab growth; steady-state renew/notify traffic allocates
+/// nothing.
+///
+/// Iteration order is ascending by key - the same order std::map gave -
+/// which is what keeps trace fingerprints and RNG draw sequences
+/// bit-identical across the container swap. Erase keeps the slot (the
+/// capacity is the high-water mark of live ids), so erase/insert cycles
+/// during churn do not shift addresses of other entries.
+template <typename Key, typename T>
+class NodeMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  NodeMap() = default;
+
+  /// Pre-sizes the slab so topology construction performs one allocation.
+  void reserve(Key max_key) {
+    slots_.reserve(static_cast<std::size_t>(max_key) + 1);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool contains(Key key) const noexcept {
+    const auto i = static_cast<std::size_t>(key);
+    return i < slots_.size() && slots_[i].has_value();
+  }
+
+  /// Pointer to the entry, or nullptr. The NodeMap spelling of
+  /// map::find - call sites read better than with iterators.
+  [[nodiscard]] T* find(Key key) noexcept {
+    const auto i = static_cast<std::size_t>(key);
+    return i < slots_.size() && slots_[i].has_value() ? &*slots_[i] : nullptr;
+  }
+  [[nodiscard]] const T* find(Key key) const noexcept {
+    const auto i = static_cast<std::size_t>(key);
+    return i < slots_.size() && slots_[i].has_value() ? &*slots_[i] : nullptr;
+  }
+
+  /// The entry for a key known to be present (std::map::at, but a
+  /// precondition instead of a throw - lookups on the session hot path
+  /// are always guarded by contains()/find()).
+  [[nodiscard]] T& at(Key key) noexcept {
+    assert(contains(key));
+    return *slots_[static_cast<std::size_t>(key)];
+  }
+  [[nodiscard]] const T& at(Key key) const noexcept {
+    assert(contains(key));
+    return *slots_[static_cast<std::size_t>(key)];
+  }
+
+  /// Default-constructs the entry if absent (std::map::operator[]).
+  T& operator[](Key key) {
+    auto& slot = slot_for(key);
+    if (!slot.has_value()) {
+      slot.emplace();
+      ++size_;
+    }
+    return *slot;
+  }
+
+  /// Default-constructs the entry if absent (std::map::try_emplace):
+  /// {entry, inserted}.
+  std::pair<T*, bool> try_emplace(Key key) {
+    auto& slot = slot_for(key);
+    const bool inserted = !slot.has_value();
+    if (inserted) {
+      slot.emplace();
+      ++size_;
+    }
+    return {&*slot, inserted};
+  }
+
+  /// Smallest live key; precondition: !empty(). The std::map
+  /// begin()->first idiom for drain loops.
+  [[nodiscard]] Key first_key() const noexcept {
+    assert(size_ > 0);
+    std::size_t i = 0;
+    while (!slots_[i].has_value()) ++i;
+    return static_cast<Key>(i);
+  }
+
+  /// Overwrites or creates; returns the stored entry.
+  T& insert_or_assign(Key key, T value) {
+    auto& slot = slot_for(key);
+    if (!slot.has_value()) ++size_;
+    slot = std::move(value);
+    return *slot;
+  }
+
+  /// Removes the entry if present; returns whether one existed. The slot
+  /// stays allocated.
+  bool erase(Key key) noexcept {
+    const auto i = static_cast<std::size_t>(key);
+    if (i >= slots_.size() || !slots_[i].has_value()) return false;
+    slots_[i].reset();
+    --size_;
+    return true;
+  }
+
+  void clear() noexcept {
+    for (auto& slot : slots_) slot.reset();
+    size_ = 0;
+  }
+
+  /// Forward iterator over live entries in ascending key order,
+  /// dereferencing to a {first, second} proxy so range-for structured
+  /// bindings - `for (auto& [id, entry] : map)` - read exactly like they
+  /// did over std::map. The proxy is cached inside the iterator so
+  /// operator* yields an lvalue.
+  template <bool Const>
+  class Iterator {
+    using Owner = std::conditional_t<Const, const NodeMap, NodeMap>;
+    using Ref = std::conditional_t<Const, const T&, T&>;
+
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using difference_type = std::ptrdiff_t;
+
+    struct Entry {
+      Entry(Key k, Ref v) : first(k), second(v) {}
+      Key first;
+      Ref second;
+    };
+
+    using value_type = Entry;
+    using pointer = Entry*;
+    using reference = Entry&;
+
+    Iterator(Owner* owner, std::size_t index) : owner_(owner), index_(index) {
+      skip_empty();
+    }
+
+    // The cached proxy never travels with the iterator (Entry's reference
+    // member would delete the defaults otherwise).
+    Iterator(const Iterator& other) noexcept
+        : owner_(other.owner_), index_(other.index_) {}
+    Iterator& operator=(const Iterator& other) noexcept {
+      owner_ = other.owner_;
+      index_ = other.index_;
+      entry_.reset();
+      return *this;
+    }
+
+    Entry& operator*() const {
+      entry_.emplace(static_cast<Key>(index_), *owner_->slots_[index_]);
+      return *entry_;
+    }
+    Entry* operator->() const { return &**this; }
+
+    Iterator& operator++() {
+      ++index_;
+      skip_empty();
+      return *this;
+    }
+
+    friend bool operator==(const Iterator& a, const Iterator& b) noexcept {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const Iterator& a, const Iterator& b) noexcept {
+      return a.index_ != b.index_;
+    }
+
+   private:
+    void skip_empty() {
+      while (index_ < owner_->slots_.size() &&
+             !owner_->slots_[index_].has_value()) {
+        ++index_;
+      }
+    }
+
+    Owner* owner_;
+    std::size_t index_;
+    mutable std::optional<Entry> entry_;
+  };
+
+  using iterator = Iterator<false>;
+  using const_iterator = Iterator<true>;
+
+  [[nodiscard]] iterator begin() noexcept { return iterator(this, 0); }
+  [[nodiscard]] iterator end() noexcept {
+    return iterator(this, slots_.size());
+  }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, slots_.size());
+  }
+
+ private:
+  std::optional<T>& slot_for(Key key) {
+    const auto i = static_cast<std::size_t>(key);
+    if (i >= slots_.size()) slots_.resize(i + 1);
+    return slots_[i];
+  }
+
+  std::vector<std::optional<T>> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sdcm::discovery

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "sdcm/sim/time.hpp"
+
+namespace sdcm::discovery {
+
+/// Timing knobs shared by every protocol model (the parameter table of
+/// Section 5 Step 4): periodic multicast announcements with redundant
+/// copies, leased session state renewed at a fraction of the lease, the
+/// CM1 notification switch and the CM2 polling cadence. Per-protocol
+/// configs derive from this base and override only the defaults their
+/// column of the table differs on (Jini announces every 120 s, FRODO
+/// every 1200 s with 2 copies, SLP polls); protocol-specific knobs stay
+/// in the derived struct. The fully decentralized mDNS model does not
+/// fit the lease/announce shape (jittered announce window, TTL'd cache,
+/// no leases) and keeps its own config.
+struct TimingConfig {
+  /// Cadence of the protocol's periodic presence beacon (UPnP
+  /// ssdp:alive, Jini lookup-service announcement, FRODO Central
+  /// announcement, SLP DAAdvert).
+  sim::SimDuration announce_period = sim::seconds(1800);
+  /// Redundant copies per multicast announcement (Table 3).
+  int multicast_redundancy = 6;
+  /// Service-registration lease (Section 5: 1800 s). For UPnP, which
+  /// has no registry, this is the cache lease (CACHE-CONTROL max-age) a
+  /// discovered Manager stays believed without being heard.
+  sim::SimDuration registration_lease = sim::seconds(1800);
+  /// Subscription / event-registration lease (Section 5: 1800 s).
+  sim::SimDuration subscription_lease = sim::seconds(1800);
+  /// Renew when this fraction of a lease has elapsed (DESIGN.md
+  /// interpretation decision 3).
+  double renew_fraction = 0.5;
+  /// CM1: push-based update notification. Disable to study pure polling
+  /// (CM2).
+  bool enable_notification = true;
+  /// CM2: pull-based polling cadence (0 = off, the paper's evaluated
+  /// setup for the notification-capable protocols).
+  sim::SimDuration poll_period = 0;
+};
+
+}  // namespace sdcm::discovery

@@ -37,7 +37,8 @@ struct Options {
 /// arguments are malformed. Accepted flags:
 ///   --models=UPnP,Jini-1R,Jini-2R,FRODO-3party,FRODO-2party
 ///   --lambdas=0.0:0.9:0.05  (min:max:step)  or  --lambdas=0.1,0.5
-///   --runs=N  --users=N  --threads=N  --seed=N
+///   --runs=N  --users=N  --managers=N  --registries=N
+///   --threads=N  --seed=N
 ///   --output=FILE  --jsonl=FILE  --summary=FILE  --traces=DIR
 ///   --shard=i/N    deterministic 1-of-N campaign slice
 ///   --merge=A,B    merge shard JSONL logs instead of sweeping

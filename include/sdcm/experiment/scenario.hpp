@@ -44,7 +44,29 @@ std::string_view to_string(SystemModel model) noexcept;
 /// The system's own zero-failure update-message count m' (Figure 6's
 /// legend: Jini-1R 7, Jini-2R 14, UPnP 15, FRODO 7/7; mDNS spends a
 /// constant update_repeats = 2), computed for the given user count.
-std::uint64_t minimum_update_messages(SystemModel model, int users) noexcept;
+/// `registries` overrides the partitioned-registry count (Jini's m'
+/// scales as R*(users+2)); -1 keeps the model's paper default.
+std::uint64_t minimum_update_messages(SystemModel model, int users,
+                                      int registries = -1) noexcept;
+
+/// Typed population of one simulated topology: U Users, M Managers
+/// (service providers) and R dedicated registry nodes. The paper
+/// scenario is {5, 1, model default}; scale studies raise any axis
+/// independently (Jini with R>=2 partitioned registries, FRODO with
+/// extra Backup candidates, 10^5..10^6-User populations).
+struct TopologySpec {
+  /// Users subscribed to the monitored service.
+  int users = 5;
+  /// Service providers. Manager 0 owns the monitored service; extra
+  /// Managers publish background services that exercise the registry
+  /// and multicast paths without joining the consistency window.
+  int managers = 1;
+  /// Dedicated registry nodes; -1 defers to the model's paper count
+  /// (ProtocolDescriptor::registry_nodes: Jini-1R 1, Jini-2R 2,
+  /// FRODO 1/2, UPnP and mDNS 0). Registry-less models ignore
+  /// overrides - they have no registry node class to instantiate.
+  int registries = -1;
+};
 
 /// Configuration of one simulation run, defaulted to the paper's
 /// experiment design (Section 5 Step 5): 5400 s run, 5 Users, discovery
@@ -54,7 +76,9 @@ struct ExperimentConfig {
   SystemModel model = SystemModel::kFrodoThreeParty;
   double lambda = 0.0;
   std::uint64_t seed = 1;
-  int users = 5;
+  /// Node population (U Users / M Managers / R registries). The default
+  /// spec reproduces the paper topology bit-identically.
+  TopologySpec topology{};
   sim::SimTime duration = sim::seconds(5400);
   sim::SimTime change_min = sim::seconds(100);
   sim::SimTime change_max = sim::seconds(2700);
@@ -107,8 +131,10 @@ struct ExperimentConfig {
 
 /// Builds the topology for `config.model`, injects the failure plan,
 /// schedules the change, runs to the horizon and extracts the RunRecord
-/// the Update Metrics consume. Node ids: registries 1-2, manager 10,
-/// users 11..10+N.
+/// the Update Metrics consume. Node ids follow the TopologyLayout
+/// (protocol_registry.hpp): registries 1..R, managers from
+/// max(10, R+1), users after the managers - at the default spec that
+/// is registries 1-2, manager 10, users 11..10+N.
 metrics::RunRecord run_experiment(const ExperimentConfig& config);
 
 /// run_experiment plus the run's observability state, moved out of the

@@ -247,6 +247,11 @@ struct CampaignHeader {
   std::vector<double> lambdas;
   int runs = 0;
   int users = 0;
+  /// Topology axes beyond the user count; logs predating the typed
+  /// TopologySpec parse as the paper defaults (1 manager, model-default
+  /// registries).
+  int managers = 1;
+  int registries = -1;
   std::uint64_t seed = 0;
   /// Workload generator the campaign ran under; logs predating the
   /// workload engine parse as kStatic.
@@ -278,7 +283,7 @@ std::optional<CampaignRun> parse_jsonl_run(std::string_view line,
 
 /// Merges shard logs (each produced by JsonlSink over the same campaign
 /// config) back into the full sweep: headers must agree on (models,
-/// lambdas, runs, users, seed), every (point, run) must appear exactly
+/// lambdas, runs, topology, seed), every (point, run) must appear exactly
 /// once across the inputs, and the rebuilt summaries are bit-identical
 /// to the unsharded run_sweep result. On failure returns std::nullopt
 /// with a message on `error`.

@@ -62,7 +62,9 @@ struct SweepConfig {
   /// Runs per (model, lambda) point. The paper simulates 30 logs per
   /// point; override with the SDCM_RUNS environment variable in benches.
   int runs = 30;
-  int users = 5;
+  /// Node population applied to every run (U Users / M Managers / R
+  /// registries; see TopologySpec). The default is the paper topology.
+  TopologySpec topology{};
   std::uint64_t master_seed = 20060425;  // IPDPS 2006
   /// 0 = hardware concurrency.
   std::size_t threads = 0;
@@ -100,7 +102,8 @@ struct SweepConfig {
 
   /// std::nullopt when the config is runnable; otherwise a message
   /// naming the first problem (empty models/lambdas, non-positive
-  /// runs/users, lambda outside [0, 1], malformed shard).
+  /// runs/users/managers, a registry override on a registry-less
+  /// model, lambda outside [0, 1], malformed shard).
   [[nodiscard]] std::optional<std::string> validate() const;
 };
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "sdcm/discovery/timing.hpp"
 #include "sdcm/sim/time.hpp"
 
 namespace sdcm::frodo {
@@ -23,12 +24,18 @@ enum class UpdatePropagation : std::uint8_t {
 /// announcements every 1200 s; registration and subscription leases are
 /// 1800 s; all transport is plain UDP with protocol-level
 /// acknowledgements and retransmissions of *selected* messages (SRN1) -
-/// never TCP. Parameters the paper does not state are documented in
-/// DESIGN.md and exposed here for the ablation benches.
-struct FrodoConfig {
+/// never TCP. The shared timing knobs live in the
+/// discovery::TimingConfig base; FRODO overrides the announcement
+/// cadence (1200 s) and multicast redundancy (2 copies). Parameters the
+/// paper does not state are documented in DESIGN.md and exposed here
+/// for the ablation benches.
+struct FrodoConfig : discovery::TimingConfig {
+  FrodoConfig() noexcept {
+    announce_period = sim::seconds(1200);
+    multicast_redundancy = 2;
+  }
+
   // --- Announcements & election -------------------------------------
-  sim::SimDuration registry_announce_period = sim::seconds(1200);
-  int registry_announce_copies = 2;
   /// 3D/3C nodes (and idle 300D nodes) announce their presence until the
   /// Registry is discovered.
   sim::SimDuration node_announce_period = sim::seconds(120);
@@ -39,10 +46,6 @@ struct FrodoConfig {
   int backup_miss_threshold = 2;
   int standby_miss_threshold = 3;
 
-  // --- Leases ---------------------------------------------------------
-  sim::SimDuration registration_lease = sim::seconds(1800);
-  sim::SimDuration subscription_lease = sim::seconds(1800);
-  double renew_fraction = 0.5;
   /// Clients purge a Central they have not heard from for this long
   /// (announcements every 1200 s refresh it).
   sim::SimDuration central_timeout = sim::seconds(1800);
@@ -62,11 +65,6 @@ struct FrodoConfig {
   /// Cadence of repeated searches while the service is missing.
   sim::SimDuration search_retry = sim::seconds(300);
 
-  /// CM1: push-based ServiceUpdate propagation. Disable for pure-polling
-  /// studies (the Manager still keeps the Central's copy fresh).
-  bool enable_notification = true;
-  /// CM2: periodic ServiceSearch against the Central (0 = off).
-  sim::SimDuration poll_period = 0;
   /// 2-party update propagation mode (extension; see UpdatePropagation).
   UpdatePropagation propagation = UpdatePropagation::kData;
   /// Adaptive mode: a change arriving within this much of the previous

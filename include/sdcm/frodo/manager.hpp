@@ -3,6 +3,7 @@
 #include <map>
 
 #include "sdcm/discovery/lease_table.hpp"
+#include "sdcm/discovery/node_map.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/frodo/client.hpp"
 
@@ -106,7 +107,8 @@ class FrodoManager : public FrodoClient {
   discovery::ConsistencyObserver* observer_;
   std::map<ServiceId, ServiceState> services_;
   /// 2-party subscriptions (300D Managers only).
-  std::map<ServiceId, std::map<NodeId, Subscription>> subs_;
+  /// Per-service 2-party subscribers (N-scaling), in dense NodeMap slabs.
+  std::map<ServiceId, discovery::NodeMap<NodeId, Subscription>> subs_;
 };
 
 }  // namespace sdcm::frodo

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sdcm/net/message_type.hpp"
 #include "sdcm/discovery/service.hpp"
 #include "sdcm/frodo/device.hpp"
 #include "sdcm/sim/time.hpp"
@@ -23,39 +24,39 @@ using Token = std::uint64_t;
 
 namespace msg {
 // Discovery & election
-inline constexpr const char* kNodeAnnounce = "frodo.node_announce";
-inline constexpr const char* kCentralAnnounce = "frodo.central_announce";
-inline constexpr const char* kRegistryHere = "frodo.registry_here";
-inline constexpr const char* kBackupAssign = "frodo.backup_assign";
-inline constexpr const char* kBackupSync = "frodo.backup_sync";
+inline const net::MessageType kNodeAnnounce = net::MessageType::intern("frodo.node_announce");
+inline const net::MessageType kCentralAnnounce = net::MessageType::intern("frodo.central_announce");
+inline const net::MessageType kRegistryHere = net::MessageType::intern("frodo.registry_here");
+inline const net::MessageType kBackupAssign = net::MessageType::intern("frodo.backup_assign");
+inline const net::MessageType kBackupSync = net::MessageType::intern("frodo.backup_sync");
 // Registration (Manager <-> Central)
-inline constexpr const char* kRegister = "frodo.register";
-inline constexpr const char* kRegisterAck = "frodo.register_ack";
-inline constexpr const char* kRenewRegistration = "frodo.renew_registration";
-inline constexpr const char* kReregisterRequest = "frodo.reregister_request";
+inline const net::MessageType kRegister = net::MessageType::intern("frodo.register");
+inline const net::MessageType kRegisterAck = net::MessageType::intern("frodo.register_ack");
+inline const net::MessageType kRenewRegistration = net::MessageType::intern("frodo.renew_registration");
+inline const net::MessageType kReregisterRequest = net::MessageType::intern("frodo.reregister_request");
 // Search (User -> Central / Manager)
-inline constexpr const char* kServiceSearch = "frodo.service_search";
-inline constexpr const char* kMulticastSearch = "frodo.multicast_search";
-inline constexpr const char* kServiceFound = "frodo.service_found";
+inline const net::MessageType kServiceSearch = net::MessageType::intern("frodo.service_search");
+inline const net::MessageType kMulticastSearch = net::MessageType::intern("frodo.multicast_search");
+inline const net::MessageType kServiceFound = net::MessageType::intern("frodo.service_found");
 // Subscription (User <-> Central or 300D Manager)
-inline constexpr const char* kSubscriptionRequest = "frodo.subscription_request";
-inline constexpr const char* kSubscribeAck = "frodo.subscribe_ack";
-inline constexpr const char* kSubscriptionRenew = "frodo.subscription_renew";
-inline constexpr const char* kResubscribeRequest = "frodo.resubscribe_request";
+inline const net::MessageType kSubscriptionRequest = net::MessageType::intern("frodo.subscription_request");
+inline const net::MessageType kSubscribeAck = net::MessageType::intern("frodo.subscribe_ack");
+inline const net::MessageType kSubscriptionRenew = net::MessageType::intern("frodo.subscription_renew");
+inline const net::MessageType kResubscribeRequest = net::MessageType::intern("frodo.resubscribe_request");
 // Updates
-inline constexpr const char* kServiceUpdate = "frodo.service_update";
-inline constexpr const char* kUpdateAck = "frodo.update_ack";
-inline constexpr const char* kClientUpdateAck = "frodo.client_update_ack";
-inline constexpr const char* kServicePurged = "frodo.service_purged";
+inline const net::MessageType kServiceUpdate = net::MessageType::intern("frodo.service_update");
+inline const net::MessageType kUpdateAck = net::MessageType::intern("frodo.update_ack");
+inline const net::MessageType kClientUpdateAck = net::MessageType::intern("frodo.client_update_ack");
+inline const net::MessageType kServicePurged = net::MessageType::intern("frodo.service_purged");
 // PR1 interest notification
-inline constexpr const char* kNotificationRequest = "frodo.notification_request";
-inline constexpr const char* kServiceNotification = "frodo.service_notification";
-inline constexpr const char* kNotificationAck = "frodo.notification_ack";
+inline const net::MessageType kNotificationRequest = net::MessageType::intern("frodo.notification_request");
+inline const net::MessageType kServiceNotification = net::MessageType::intern("frodo.service_notification");
+inline const net::MessageType kNotificationAck = net::MessageType::intern("frodo.notification_ack");
 // SRC2 history recovery (critical updates)
-inline constexpr const char* kUpdateRequest = "frodo.update_request";
-inline constexpr const char* kUpdateHistory = "frodo.update_history";
+inline const net::MessageType kUpdateRequest = net::MessageType::intern("frodo.update_request");
+inline const net::MessageType kUpdateHistory = net::MessageType::intern("frodo.update_history");
 // Generic control-plane ack
-inline constexpr const char* kAck = "frodo.ack";
+inline const net::MessageType kAck = net::MessageType::intern("frodo.ack");
 }  // namespace msg
 
 struct Matching {

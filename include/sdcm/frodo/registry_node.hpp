@@ -5,6 +5,7 @@
 
 #include "sdcm/discovery/lease_table.hpp"
 #include "sdcm/discovery/node.hpp"
+#include "sdcm/discovery/node_map.hpp"
 #include "sdcm/discovery/recovery.hpp"
 #include "sdcm/frodo/acked_channel.hpp"
 #include "sdcm/frodo/config.hpp"
@@ -120,7 +121,7 @@ class FrodoRegistryNode : public discovery::Node {
 
   Role role_ = Role::kElecting;
   std::uint64_t epoch_ = 0;
-  std::map<NodeId, Capability> candidates_;
+  discovery::NodeMap<NodeId, Capability> candidates_;
   sim::EventId election_timer_ = sim::kInvalidEventId;
   sim::PeriodicTimer announce_timer_;
   sim::PeriodicTimer monitor_timer_;
@@ -130,8 +131,11 @@ class FrodoRegistryNode : public discovery::Node {
   NodeId backup_ = sim::kNoNode;
 
   std::map<ServiceId, Registration> registrations_;
-  std::map<ServiceId, std::map<NodeId, Subscription>> subscriptions_;
-  std::map<NodeId, Matching> interests_;
+  /// Per-service 3-party subscribers and per-User notification interests:
+  /// the N-scaling session tables, held in dense NodeMap slabs.
+  std::map<ServiceId, discovery::NodeMap<NodeId, Subscription>>
+      subscriptions_;
+  discovery::NodeMap<NodeId, Matching> interests_;
   /// Snapshot held while serving as Backup; installed on takeover.
   BackupSync synced_;
 };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "sdcm/discovery/timing.hpp"
 #include "sdcm/net/tcp.hpp"
 #include "sdcm/sim/time.hpp"
 
@@ -7,17 +8,12 @@ namespace sdcm::jini {
 
 /// Model parameters for Jini, defaulted to Section 5's values: lookup
 /// service announcements of 6 redundant multicast messages every 120 s,
-/// 1800 s registration and event leases, TCP for all unicast.
-struct JiniConfig {
-  sim::SimDuration announce_period = sim::seconds(120);
-  int multicast_redundancy = 6;
-
-  /// Service registration lease at the lookup service (Section 5: 1800 s).
-  sim::SimDuration registration_lease = sim::seconds(1800);
-  /// Event (notification) registration lease.
-  sim::SimDuration event_lease = sim::seconds(1800);
-  /// Renew at this fraction of the lease (DESIGN.md decision 3).
-  double renew_fraction = 0.5;
+/// 1800 s registration and event leases, TCP for all unicast. The
+/// shared timing knobs live in the discovery::TimingConfig base; Jini
+/// overrides the announcement cadence (120 s vs the common 1800 s).
+/// `subscription_lease` is the remote-event registration lease.
+struct JiniConfig : discovery::TimingConfig {
+  JiniConfig() noexcept { announce_period = sim::seconds(120); }
 
   /// Multicast discovery requests on joining: Jini sends a short burst and
   /// then relies on announcements.
@@ -32,11 +28,6 @@ struct JiniConfig {
   /// Retry cadence for REXed unicast operations while the registry is
   /// still believed alive.
   sim::SimDuration retry_period = sim::seconds(300);
-
-  /// CM1: remote-event notification. Disable for pure-polling studies.
-  bool enable_notification = true;
-  /// CM2: periodic lookup against every known lookup service (0 = off).
-  sim::SimDuration poll_period = 0;
 
   net::TcpConfig tcp{};
 };

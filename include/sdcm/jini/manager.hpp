@@ -3,6 +3,7 @@
 #include <map>
 
 #include "sdcm/discovery/node.hpp"
+#include "sdcm/discovery/node_map.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/discovery/service.hpp"
 #include "sdcm/jini/config.hpp"
@@ -72,7 +73,7 @@ class JiniManager : public discovery::Node {
   JiniConfig config_;
   discovery::ConsistencyObserver* observer_;
   std::map<discovery::ServiceId, discovery::ServiceDescription> services_;
-  std::map<NodeId, RegistryState> registries_;
+  discovery::NodeMap<NodeId, RegistryState> registries_;
   sim::PeriodicTimer request_timer_;
   int requests_sent_ = 0;
 };

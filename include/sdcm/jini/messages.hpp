@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "sdcm/net/message_type.hpp"
 #include "sdcm/discovery/service.hpp"
 #include "sdcm/sim/time.hpp"
 
@@ -21,29 +22,27 @@ using discovery::ServiceId;
 
 namespace msg {
 /// Multicast announcement from the lookup service, 6 copies every 120 s.
-inline constexpr const char* kAnnounce = "jini.announce";
+inline const net::MessageType kAnnounce = net::MessageType::intern("jini.announce");
 /// Multicast discovery request from a joining Manager or User.
-inline constexpr const char* kDiscoveryRequest = "jini.discovery_request";
+inline const net::MessageType kDiscoveryRequest = net::MessageType::intern("jini.discovery_request");
 /// Unicast response from a lookup service to a discovery request.
-inline constexpr const char* kDiscoveryResponse = "jini.discovery_response";
+inline const net::MessageType kDiscoveryResponse = net::MessageType::intern("jini.discovery_response");
 /// Service registration / re-registration (carries the full SD - a
 /// re-registration with a bumped version IS the update propagation).
-inline constexpr const char* kRegister = "jini.register";
-inline constexpr const char* kRegisterResponse = "jini.register_response";
-inline constexpr const char* kRenewRegistration = "jini.renew_registration";
-inline constexpr const char* kRenewRegistrationResponse =
-    "jini.renew_registration_response";
+inline const net::MessageType kRegister = net::MessageType::intern("jini.register");
+inline const net::MessageType kRegisterResponse = net::MessageType::intern("jini.register_response");
+inline const net::MessageType kRenewRegistration = net::MessageType::intern("jini.renew_registration");
+inline const net::MessageType kRenewRegistrationResponse = net::MessageType::intern("jini.renew_registration_response");
 /// Template-based query for matching services.
-inline constexpr const char* kLookup = "jini.lookup";
-inline constexpr const char* kLookupResponse = "jini.lookup_response";
+inline const net::MessageType kLookup = net::MessageType::intern("jini.lookup");
+inline const net::MessageType kLookupResponse = net::MessageType::intern("jini.lookup_response");
 /// Notification request (Jini event registration).
-inline constexpr const char* kEventRegister = "jini.event_register";
-inline constexpr const char* kEventRegisterResponse =
-    "jini.event_register_response";
-inline constexpr const char* kRenewEvent = "jini.renew_event";
-inline constexpr const char* kRenewEventResponse = "jini.renew_event_response";
+inline const net::MessageType kEventRegister = net::MessageType::intern("jini.event_register");
+inline const net::MessageType kEventRegisterResponse = net::MessageType::intern("jini.event_register_response");
+inline const net::MessageType kRenewEvent = net::MessageType::intern("jini.renew_event");
+inline const net::MessageType kRenewEventResponse = net::MessageType::intern("jini.renew_event_response");
 /// Remote event delivering the (re)registered service description.
-inline constexpr const char* kRemoteEvent = "jini.remote_event";
+inline const net::MessageType kRemoteEvent = net::MessageType::intern("jini.remote_event");
 }  // namespace msg
 
 /// Matching template for lookups and event registrations.

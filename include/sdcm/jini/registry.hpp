@@ -4,6 +4,7 @@
 
 #include "sdcm/discovery/lease_table.hpp"
 #include "sdcm/discovery/node.hpp"
+#include "sdcm/discovery/node_map.hpp"
 #include "sdcm/discovery/recovery.hpp"
 #include "sdcm/discovery/service.hpp"
 #include "sdcm/jini/config.hpp"
@@ -83,7 +84,10 @@ class JiniRegistry : public discovery::Node {
   JiniConfig config_;
   discovery::ConsistencyObserver* observer_ = nullptr;
   std::map<ServiceId, Registration> registrations_;
-  std::map<NodeId, EventRegistration> events_;
+  /// Event (notification) registrations, one per subscribed User: the
+  /// table that scales with N, held in a dense slab (ascending-id
+  /// iteration, no per-entry allocation at steady state).
+  discovery::NodeMap<NodeId, EventRegistration> events_;
   sim::PeriodicTimer announce_timer_;
 };
 

@@ -1,9 +1,9 @@
 #pragma once
 
-#include <map>
 #include <optional>
 
 #include "sdcm/discovery/node.hpp"
+#include "sdcm/discovery/node_map.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/discovery/service.hpp"
 #include "sdcm/jini/config.hpp"
@@ -72,7 +72,7 @@ class JiniUser : public discovery::Node {
   JiniConfig config_;
   discovery::ConsistencyObserver* observer_;
   std::optional<discovery::ServiceDescription> sd_;
-  std::map<NodeId, RegistryState> registries_;
+  discovery::NodeMap<NodeId, RegistryState> registries_;
   sim::PeriodicTimer request_timer_;
   sim::PeriodicTimer poll_timer_;  ///< CM2, active when poll_period > 0
   int requests_sent_ = 0;

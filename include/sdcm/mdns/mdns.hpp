@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 
+#include "sdcm/net/message_type.hpp"
 #include "sdcm/discovery/node.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/discovery/protocol.hpp"
@@ -38,9 +39,9 @@ using discovery::NodeId;
 using discovery::ServiceId;
 
 namespace msg {
-inline constexpr const char* kAnnounce = "mdns.announce";
-inline constexpr const char* kQuery = "mdns.query";
-inline constexpr const char* kGoodbye = "mdns.goodbye";
+inline const net::MessageType kAnnounce = net::MessageType::intern("mdns.announce");
+inline const net::MessageType kQuery = net::MessageType::intern("mdns.query");
+inline const net::MessageType kGoodbye = net::MessageType::intern("mdns.goodbye");
 }  // namespace msg
 
 struct MdnsConfig {

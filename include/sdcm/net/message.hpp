@@ -1,12 +1,14 @@
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "sdcm/net/message_type.hpp"
+#include "sdcm/net/payload.hpp"
 #include "sdcm/sim/trace.hpp"
 
 namespace sdcm::net {
@@ -53,15 +55,19 @@ std::string_view to_string(MessageClass c) noexcept;
 class TcpConnection;  // defined in tcp.hpp
 
 /// Protocol message envelope. Payloads are protocol-defined structs
-/// carried by value in a std::any; the `type` tag names the operation
-/// (e.g. "frodo.ServiceUpdate") and is what traces, counters and tests
-/// key on.
+/// carried by a small-buffer/shared Payload (see payload.hpp); the
+/// interned `type` atom names the operation (e.g. "frodo.ServiceUpdate")
+/// and is what traces, counters and tests key on. The envelope is
+/// designed to fan out allocation-free: copying a Message for each
+/// multicast receiver copies POD fields, memcpys an inline payload or
+/// bumps a shared payload's refcount - never a heap string, never a
+/// deep std::any clone.
 struct Message {
   NodeId src = sim::kNoNode;
   NodeId dst = sim::kNoNode;
-  std::string type;
+  MessageType type;
   MessageClass klass = MessageClass::kControl;
-  std::any payload;
+  Payload payload;
   bool via_multicast = false;
   /// Approximate wire size. 0 = use the class default (kDefaultBytes);
   /// protocols set it explicitly where the distinction carries meaning -
@@ -79,12 +85,18 @@ struct Message {
 
   template <typename T>
   [[nodiscard]] const T& as() const {
-    return std::any_cast<const T&>(payload);
+    return payload.as<T>();
+  }
+
+  /// The type atom's spelling, for trace records and diagnostics.
+  [[nodiscard]] std::string_view type_name() const noexcept {
+    return type.str();
   }
 };
 
-/// Per-run message counters, keyed by accounting class and by type tag.
-/// `by_type` is an ordered map so printed reports are deterministic.
+/// Per-run message counters, keyed by accounting class and by interned
+/// type atom (a dense array bump on the hot path - the ordered by-name
+/// map the printed reports need is materialized on demand).
 class MessageCounters {
  public:
   void count(const Message& m);
@@ -92,6 +104,7 @@ class MessageCounters {
   [[nodiscard]] std::uint64_t of_class(MessageClass c) const noexcept {
     return by_class_[static_cast<std::size_t>(c)];
   }
+  [[nodiscard]] std::uint64_t of_type(MessageType type) const noexcept;
   [[nodiscard]] std::uint64_t of_type(std::string_view type) const;
   [[nodiscard]] std::uint64_t total() const noexcept;
   /// Discovery-layer total: everything except TCP segments.
@@ -103,17 +116,19 @@ class MessageCounters {
   }
   [[nodiscard]] std::uint64_t bytes_total() const noexcept;
 
-  [[nodiscard]] const std::map<std::string, std::uint64_t, std::less<>>&
-  by_type() const noexcept {
-    return by_type_;
-  }
+  /// Non-zero per-type counts as an ordered name -> count map, so
+  /// printed reports stay deterministic. Materialized per call; use
+  /// of_type on hot paths.
+  [[nodiscard]] std::map<std::string, std::uint64_t, std::less<>> by_type()
+      const;
 
   void reset();
 
  private:
   std::uint64_t by_class_[kMessageClassCount] = {};
   std::uint64_t bytes_by_class_[kMessageClassCount] = {};
-  std::map<std::string, std::uint64_t, std::less<>> by_type_;
+  /// Indexed by MessageType::id(); grown lazily to the largest atom seen.
+  std::vector<std::uint64_t> by_type_;
 };
 
 }  // namespace sdcm::net

@@ -1,8 +1,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <stdexcept>
 #include <vector>
 
 #include "sdcm/net/interface.hpp"
@@ -27,6 +28,37 @@ class WireProbe {
                           sim::SimTime at) = 0;
 };
 
+/// Receiver half of the node/message API: anything attached to the
+/// Network implements this one-virtual interface. Delivery is a vtable
+/// call through the stored pointer - no per-node std::function, no
+/// captured lambda state, 8 bytes per node in the NodeTable.
+/// discovery::Node implements it for every protocol entity.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void handle_message(const Message& msg) = 0;
+};
+
+/// Typed attach failure: the id was reserved (0) or already taken.
+/// Derives std::invalid_argument so pre-existing catch sites keep
+/// working; carries the offending id and the reason as data.
+class AttachError : public std::invalid_argument {
+ public:
+  enum class Kind : std::uint8_t {
+    kReservedId,   ///< NodeId 0 is the broadcast/unknown sentinel
+    kDuplicateId,  ///< a node with this id is already attached
+  };
+
+  AttachError(Kind kind, NodeId id);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+ private:
+  Kind kind_;
+  NodeId id_;
+};
+
 /// Abstract local-area network: every attached node can unicast or
 /// multicast to every other with a uniform 10-100 us transmission delay
 /// (Table 3). There is no topology and no routing; the paper's LAN is a
@@ -41,6 +73,12 @@ class WireProbe {
 ///  - Counters tally messages that actually reached the wire (tx up),
 ///    once per wire copy: a multicast is one wire message per redundant
 ///    copy regardless of the number of receivers.
+///
+/// Node storage is a flat NodeTable: a dense vector indexed directly by
+/// NodeId (the scenario layout hands out contiguous ids), so the
+/// delivery hot path is one bounds check and one indexed load instead of
+/// a hash probe, and attaching 10^6 nodes costs 10^6 table slots - no
+/// rehashing, no per-node heap nodes.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -54,8 +92,15 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Registers a node and its message handler. Must be called before the
-  /// node sends or receives. Ids must be unique and non-zero.
+  /// Registers a node. Must be called before the node sends or receives.
+  /// Throws AttachError on a zero or duplicate id. The sink is not
+  /// owned and must outlive the network (protocol nodes own their
+  /// attachment for the run's lifetime by construction).
+  void attach(NodeId id, MessageSink& sink);
+
+  /// Convenience overload for tests and tools: wraps `handler` in a
+  /// network-owned sink. Prefer the MessageSink overload in node code -
+  /// this one allocates the wrapper.
   void attach(NodeId id, Handler handler);
 
   [[nodiscard]] InterfaceState& interface(NodeId id);
@@ -66,6 +111,10 @@ class Network {
   [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept {
     return order_;
   }
+
+  /// Pre-sizes the NodeTable for `max_id`, so building a large topology
+  /// performs one allocation instead of doubling growth.
+  void reserve_nodes(NodeId max_id);
 
   /// UDP unicast: fire and forget.
   void send(const Message& msg);
@@ -133,15 +182,19 @@ class Network {
   }
 
  private:
+  /// One NodeTable slot. Dispatch state is a bare interface pointer;
+  /// the token-bucket fields are live only while capacity_enabled().
   struct Port {
-    Handler handler;
+    MessageSink* sink = nullptr;
     InterfaceState iface;
-    /// Token-bucket state, meaningful only while capacity_enabled().
     double tokens = 0.0;
     sim::SimTime tokens_at = 0;
+
+    [[nodiscard]] bool attached() const noexcept { return sink != nullptr; }
   };
 
   Port& port(NodeId id);
+  [[nodiscard]] const Port& port(NodeId id) const;
   [[nodiscard]] bool lost_in_transit();
 
   /// Token-bucket admission for one wire copy leaving `src` now: the
@@ -164,8 +217,12 @@ class Network {
   int cap_queue_limit_ = 0;
   sim::Random rng_;
   sim::Random loss_rng_;
-  std::unordered_map<NodeId, Port> ports_;
+  /// The NodeTable: indexed directly by NodeId, grown to the largest
+  /// attached id. Slot 0 (the reserved id) stays empty.
+  std::vector<Port> table_;
   std::vector<NodeId> order_;
+  /// Wrappers allocated by the Handler-based attach overload.
+  std::vector<std::unique_ptr<MessageSink>> owned_sinks_;
   MessageCounters counters_;
 };
 

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
+
+namespace sdcm::net {
+
+/// Type-erased message payload, replacing the std::any the envelope used
+/// to carry. Two storage modes, chosen per payload type at compile time:
+///
+///  - *Inline*: trivially-copyable payloads up to kInlineCapacity bytes
+///    (the vast majority of the protocol vocabulary - node ids, service
+///    ids, lease durations) live in a small buffer inside the Message
+///    itself. Sending, copying per multicast fan-out and delivering is a
+///    memcpy; nothing is allocated, ever.
+///
+///  - *Shared*: anything larger or non-trivial (descriptions carrying
+///    attribute maps, lookup responses with vectors) is allocated once
+///    at send time behind a shared_ptr<const T>. Fan-out copies bump a
+///    refcount instead of deep-copying the payload per receiver - the
+///    old std::any deep-copied per delivery, which is exactly the
+///    per-notify allocation the NodeTable redesign removes.
+///
+/// Payloads are immutable once attached (receivers only ever see
+/// `const Message&`), which is what makes structural sharing safe.
+class Payload {
+ public:
+  static constexpr std::size_t kInlineCapacity = 56;
+
+  template <typename T>
+  static constexpr bool stored_inline =
+      std::is_trivially_copyable_v<T> && sizeof(T) <= kInlineCapacity &&
+      alignof(T) <= alignof(std::max_align_t);
+
+  constexpr Payload() noexcept = default;
+  Payload(const Payload&) = default;
+  Payload(Payload&&) noexcept = default;
+  Payload& operator=(const Payload&) = default;
+  Payload& operator=(Payload&&) noexcept = default;
+
+  template <typename T, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<T>, Payload>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::any
+  Payload(T&& value) {
+    emplace<std::decay_t<T>>(std::forward<T>(value));
+  }
+
+  template <typename T, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<T>, Payload>>>
+  Payload& operator=(T&& value) {
+    emplace<std::decay_t<T>>(std::forward<T>(value));
+    return *this;
+  }
+
+  template <typename T, typename... Args>
+  void emplace(Args&&... args) {
+    static_assert(std::is_same_v<T, std::decay_t<T>>,
+                  "payloads are stored by value");
+    if constexpr (stored_inline<T>) {
+      shared_.reset();
+      new (buffer_) T(std::forward<Args>(args)...);
+    } else {
+      shared_ = std::make_shared<const T>(std::forward<Args>(args)...);
+    }
+    type_ = &typeid(T);
+  }
+
+  /// Typed read access; throws std::bad_cast on a type mismatch (the
+  /// std::any_cast contract the protocol handlers were written against).
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    if (type_ == nullptr || *type_ != typeid(T)) throw std::bad_cast();
+    if constexpr (stored_inline<T>) {
+      return *reinterpret_cast<const T*>(buffer_);
+    } else {
+      return *static_cast<const T*>(shared_.get());
+    }
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return type_ != nullptr; }
+
+  void reset() noexcept {
+    shared_.reset();
+    type_ = nullptr;
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char buffer_[kInlineCapacity] = {};
+  std::shared_ptr<const void> shared_;
+  const std::type_info* type_ = nullptr;
+};
+
+}  // namespace sdcm::net

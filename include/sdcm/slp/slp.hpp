@@ -26,7 +26,9 @@
 #include <optional>
 #include <string>
 
+#include "sdcm/net/message_type.hpp"
 #include "sdcm/discovery/node.hpp"
+#include "sdcm/discovery/timing.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/discovery/service.hpp"
 #include "sdcm/sim/simulator.hpp"
@@ -37,24 +39,27 @@ using discovery::NodeId;
 using discovery::ServiceId;
 
 namespace msg {
-inline constexpr const char* kDaAdvert = "slp.daadvert";
-inline constexpr const char* kSrvReg = "slp.srvreg";
-inline constexpr const char* kSrvAck = "slp.srvack";
-inline constexpr const char* kSrvRqst = "slp.srvrqst";           // unicast
-inline constexpr const char* kMulticastSrvRqst = "slp.srvrqst.mc";
-inline constexpr const char* kSrvRply = "slp.srvrply";
+inline const net::MessageType kDaAdvert = net::MessageType::intern("slp.daadvert");
+inline const net::MessageType kSrvReg = net::MessageType::intern("slp.srvreg");
+inline const net::MessageType kSrvAck = net::MessageType::intern("slp.srvack");
+inline const net::MessageType kSrvRqst = net::MessageType::intern("slp.srvrqst");           // unicast
+inline const net::MessageType kMulticastSrvRqst = net::MessageType::intern("slp.srvrqst.mc");
+inline const net::MessageType kSrvRply = net::MessageType::intern("slp.srvrply");
 }  // namespace msg
 
-struct SlpConfig {
-  /// DAAdvert cadence (RFC 2608 defaults to minutes; we align with the
-  /// study's Registry cadences).
-  sim::SimDuration advert_period = sim::seconds(900);
+/// SLP model parameters. The shared timing knobs live in the
+/// discovery::TimingConfig base: `announce_period` is the DAAdvert
+/// cadence (RFC 2608 defaults to minutes; we align with the study's
+/// Registry cadences), and `poll_period` is the UA's polling - its only
+/// consistency mechanism (CM2), so it defaults on here.
+struct SlpConfig : discovery::TimingConfig {
+  SlpConfig() noexcept {
+    announce_period = sim::seconds(900);
+    poll_period = sim::seconds(300);
+  }
+
   /// A DA silent past this is dropped and agents fall back to multicast.
   sim::SimDuration advert_timeout = sim::seconds(2250);
-  sim::SimDuration registration_lease = sim::seconds(1800);
-  double renew_fraction = 0.5;
-  /// The UA's polling period - its only consistency mechanism (CM2).
-  sim::SimDuration poll_period = sim::seconds(300);
 };
 
 struct DaAdvert {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "sdcm/discovery/timing.hpp"
 #include "sdcm/net/tcp.hpp"
 #include "sdcm/sim/time.hpp"
 
@@ -8,25 +9,12 @@ namespace sdcm::upnp {
 /// Model parameters for UPnP, defaulted to the values of Section 5:
 /// announcements of 6 redundant multicast messages every 1800 s, 1800 s
 /// registration (cache) and subscription leases, TCP for all HTTP/GENA
-/// unicast exchanges.
-struct UpnpConfig {
-  /// ssdp:alive cadence (Section 5 Step 4: "the Manager sends 6 multicast
-  /// announcement messages every 1800 s").
-  sim::SimDuration announce_period = sim::seconds(1800);
-  /// Redundant copies per multicast (Table 3).
-  int multicast_redundancy = 6;
-
-  /// How long a discovered Manager stays cached without being heard
-  /// (UPnP CACHE-CONTROL max-age; Section 5: registration lease 1800 s).
-  /// Expiry triggers PR5: purge and rediscover.
-  sim::SimDuration cache_lease = sim::seconds(1800);
-
-  /// GENA subscription lease (Section 5: 1800 s).
-  sim::SimDuration subscription_lease = sim::seconds(1800);
-  /// Renew when this fraction of the lease has elapsed (DESIGN.md
-  /// interpretation decision 3).
-  double renew_fraction = 0.5;
-
+/// unicast exchanges. The shared timing knobs (announce cadence,
+/// leases, renew fraction, CM1/CM2 switches) live in the
+/// discovery::TimingConfig base; UPnP's defaults are exactly the base's.
+/// `registration_lease` is the cache lease here (UPnP CACHE-CONTROL
+/// max-age): expiry triggers PR5 - purge and rediscover.
+struct UpnpConfig : discovery::TimingConfig {
   /// M-SEARCH cadence while the Manager is unknown (initial discovery and
   /// after a PR5 purge). The paper gives no value; 60 s models an actively
   /// searching SSDP control point - the reason PR5 makes UPnP the most
@@ -40,15 +28,6 @@ struct UpnpConfig {
   /// Ablation toggles (all on in the paper's model, Table 4).
   bool enable_pr4 = true;  ///< Manager asks purged Users to resubscribe.
   bool enable_pr5 = true;  ///< Users purge + rediscover the Manager.
-
-  /// CM1 (Section 4.2): push-based update notification. Disable to study
-  /// pure polling (CM2).
-  bool enable_notification = true;
-  /// CM2: pull-based update polling - the User re-fetches the
-  /// description on this period (0 = off, the paper's evaluated setup).
-  /// "Persistent polling" per Dabrowski & Mills: polls continue through
-  /// transport failures.
-  sim::SimDuration poll_period = 0;
 
   net::TcpConfig tcp{};
 };

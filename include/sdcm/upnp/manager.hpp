@@ -4,6 +4,7 @@
 
 #include "sdcm/discovery/lease_table.hpp"
 #include "sdcm/discovery/node.hpp"
+#include "sdcm/discovery/node_map.hpp"
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/discovery/recovery.hpp"
 #include "sdcm/discovery/service.hpp"
@@ -91,7 +92,11 @@ class UpnpManager : public discovery::Node {
   UpnpConfig config_;
   discovery::ConsistencyObserver* observer_;
   std::map<discovery::ServiceId, discovery::ServiceDescription> services_;
-  std::map<discovery::ServiceId, std::map<NodeId, Subscription>> subs_;
+  /// Per-service subscriber tables: the inner table scales with N users,
+  /// so it lives in a dense NodeMap slab (no per-subscribe tree node, no
+  /// per-notify allocation).
+  std::map<discovery::ServiceId, discovery::NodeMap<NodeId, Subscription>>
+      subs_;
   sim::PeriodicTimer announce_timer_;
   bool running_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "sdcm/net/message_type.hpp"
 #include "sdcm/discovery/service.hpp"
 #include "sdcm/sim/time.hpp"
 
@@ -22,25 +23,25 @@ using discovery::ServiceVersion;
 
 namespace msg {
 /// ssdp:alive, multicast by the Manager every announce period.
-inline constexpr const char* kAlive = "upnp.alive";
+inline const net::MessageType kAlive = net::MessageType::intern("upnp.alive");
 /// ssdp:byebye, multicast on graceful shutdown.
-inline constexpr const char* kByeBye = "upnp.byebye";
+inline const net::MessageType kByeBye = net::MessageType::intern("upnp.byebye");
 /// M-SEARCH multicast query from a User.
-inline constexpr const char* kMSearch = "upnp.msearch";
+inline const net::MessageType kMSearch = net::MessageType::intern("upnp.msearch");
 /// Unicast UDP response to a matching M-SEARCH.
-inline constexpr const char* kSearchResponse = "upnp.search_response";
+inline const net::MessageType kSearchResponse = net::MessageType::intern("upnp.search_response");
 /// HTTP GET of the service description (TCP).
-inline constexpr const char* kGetDescription = "upnp.get";
+inline const net::MessageType kGetDescription = net::MessageType::intern("upnp.get");
 /// Response carrying the full service description (TCP).
-inline constexpr const char* kDescription = "upnp.get_response";
+inline const net::MessageType kDescription = net::MessageType::intern("upnp.get_response");
 /// GENA SUBSCRIBE (TCP).
-inline constexpr const char* kSubscribe = "upnp.subscribe";
-inline constexpr const char* kSubscribeResponse = "upnp.subscribe_response";
+inline const net::MessageType kSubscribe = net::MessageType::intern("upnp.subscribe");
+inline const net::MessageType kSubscribeResponse = net::MessageType::intern("upnp.subscribe_response");
 /// GENA subscription renewal (TCP).
-inline constexpr const char* kRenew = "upnp.renew";
-inline constexpr const char* kRenewResponse = "upnp.renew_response";
+inline const net::MessageType kRenew = net::MessageType::intern("upnp.renew");
+inline const net::MessageType kRenewResponse = net::MessageType::intern("upnp.renew_response");
 /// GENA NOTIFY: invalidation only - "the service changed" (TCP).
-inline constexpr const char* kNotify = "upnp.notify";
+inline const net::MessageType kNotify = net::MessageType::intern("upnp.notify");
 }  // namespace msg
 
 struct Alive {

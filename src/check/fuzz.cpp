@@ -91,7 +91,7 @@ experiment::ExperimentConfig fuzz_experiment_config(
   experiment::ExperimentConfig out;
   out.model = fuzz_case.model;
   out.seed = fuzz_case.seed;
-  out.users = config.users;
+  out.topology.users = config.users;
   out.lambda = fuzz_case.plan.lambda;
   out.failure_placement = fuzz_case.plan.placement;
   out.failure_episodes = fuzz_case.plan.episodes;

@@ -12,7 +12,7 @@ Node::Node(sim::Simulator& simulator, net::Network& network, NodeId id,
       name_(std::move(name)),
       rng_(simulator.rng().fork(static_cast<std::uint64_t>(id) |
                                 (std::uint64_t{0xA110C8} << 32))) {
-  net_.attach(id_, [this](const net::Message& msg) { on_message(msg); });
+  net_.attach(id_, *this);
 }
 
 }  // namespace sdcm::discovery

@@ -60,6 +60,10 @@ std::string usage() {
          "  --lambdas=a,b,c    explicit rates\n"
          "  --runs=N           simulation runs per point (default 30)\n"
          "  --users=N          Users per run (default 5)\n"
+         "  --managers=N       Managers per run (default 1; extras\n"
+         "                     publish background services)\n"
+         "  --registries=N     registry nodes per run (default: the\n"
+         "                     model's paper count, e.g. Jini-2R has 2)\n"
          "  --threads=N        worker threads (default: hardware)\n"
          "  --seed=N           master seed (default 20060425)\n"
          "  --output=FILE      also write the CSV to FILE ('-' = stdout)\n"
@@ -155,7 +159,8 @@ std::optional<Options> parse(int argc, const char* const* argv,
           options.sweep.lambdas.push_back(l);
         }
       }
-    } else if (key == "--runs" || key == "--users" || key == "--threads" ||
+    } else if (key == "--runs" || key == "--users" || key == "--managers" ||
+               key == "--registries" || key == "--threads" ||
                key == "--seed" || key == "--episodes") {
       long parsed = 0;
       if (!parse_int(value, parsed) || parsed < 0) {
@@ -173,7 +178,20 @@ std::optional<Options> parse(int argc, const char* const* argv,
           error = "--users must be positive";
           return std::nullopt;
         }
-        options.sweep.users = static_cast<int>(parsed);
+        options.sweep.topology.users = static_cast<int>(parsed);
+      } else if (key == "--managers") {
+        if (parsed == 0) {
+          error = "--managers must be positive";
+          return std::nullopt;
+        }
+        options.sweep.topology.managers = static_cast<int>(parsed);
+      } else if (key == "--registries") {
+        if (parsed == 0) {
+          error = "--registries must be positive (omit the flag to keep "
+                  "the model default)";
+          return std::nullopt;
+        }
+        options.sweep.topology.registries = static_cast<int>(parsed);
       } else if (key == "--threads") {
         options.sweep.threads = static_cast<std::size_t>(parsed);
       } else if (key == "--seed") {

@@ -47,41 +47,82 @@ ServiceDescription monitored_service() {
   return sd;
 }
 
-// Per-model m' formulas (Table 2 / Figure 6 legend).
-std::uint64_t min_messages_upnp(int users) {
+/// Background service published by Manager `index` (index >= 1; Manager
+/// 0 keeps the monitored service). A distinct service_type keeps the
+/// Users' interest templates from matching it, so extra Managers load
+/// the registries and the multicast medium without joining the
+/// consistency window - the monitored change's m' is unchanged.
+ServiceDescription background_service(int index) {
+  ServiceDescription sd = monitored_service();
+  sd.id = 1 + static_cast<discovery::ServiceId>(index);
+  sd.service_type += '-';
+  sd.service_type += std::to_string(index + 1);
+  return sd;
+}
+
+/// Capability ladder for FRODO registry candidates: the paper's
+/// Central/Backup pair is 100/90; further candidates descend 89, 88, ...
+/// (floored at 1) so the election ranking stays strict and stable.
+frodo::Capability frodo_capability(int index) {
+  if (index == 0) return 100;
+  const int capability = 91 - index;
+  return static_cast<frodo::Capability>(capability > 1 ? capability : 1);
+}
+
+// Per-model m' formulas (Table 2 / Figure 6 legend). `registries` is
+// the resolved partitioned-registry count.
+std::uint64_t min_messages_upnp(int users, int /*registries*/) {
   return 3 * static_cast<std::uint64_t>(users);  // invalidation: 3 per User
 }
-std::uint64_t min_messages_jini_1r(int users) {
+std::uint64_t min_messages_jini(int users, int registries) {
+  // Each partitioned registry costs update + ack and renotifies every
+  // User: R*(users+2). R=1 and R=2 are the Figure 6 legend's 7 and 14.
+  return static_cast<std::uint64_t>(registries) *
+         (static_cast<std::uint64_t>(users) + 2);
+}
+std::uint64_t min_messages_frodo(int users, int /*registries*/) {
   return static_cast<std::uint64_t>(users) + 2;
 }
-std::uint64_t min_messages_jini_2r(int users) {
-  return 2 * (static_cast<std::uint64_t>(users) + 2);
-}
-std::uint64_t min_messages_frodo(int users) {
-  return static_cast<std::uint64_t>(users) + 2;
-}
-std::uint64_t min_messages_mdns(int /*users*/) {
+std::uint64_t min_messages_mdns(int /*users*/, int /*registries*/) {
   // The change burst is update_repeats multicasts, independent of the
   // user population (MdnsConfig::update_repeats default).
   return 2;
 }
 
 // Topology builders. Attach order is the failure-plan assignment order:
-// registries, then the Manager, then the Users - do not reorder.
+// registries, then the Managers, then the Users - do not reorder.
+
+/// Shared Manager construction: Manager 0 owns the monitored service
+/// and the change hook; Managers 1..M-1 publish background services.
+template <typename Manager, typename... Args>
+void add_manager(Topology& topo, const TopologyLayout& layout, int index,
+                 const ServiceDescription& sd, sim::Simulator& simulator,
+                 net::Network& network, Args&&... args) {
+  auto manager = std::make_unique<Manager>(simulator, network,
+                                           layout.manager_id(index),
+                                           std::forward<Args>(args)...);
+  if (index == 0) {
+    manager->add_service(sd);
+    topo.change_service = [m = manager.get()] { m->change_service(1); };
+  } else {
+    manager->add_service(background_service(index));
+  }
+  topo.nodes.push_back(std::move(manager));
+}
 
 Topology build_upnp(const ExperimentConfig& config, sim::Simulator& simulator,
                     net::Network& network,
                     discovery::ConsistencyObserver& observer) {
+  const TopologyLayout layout = resolve_topology(config.model, config.topology);
   Topology topo;
   const auto sd = monitored_service();
-  auto manager = std::make_unique<upnp::UpnpManager>(
-      simulator, network, kManagerId, config.upnp, &observer);
-  manager->add_service(sd);
-  topo.change_service = [m = manager.get()] { m->change_service(1); };
-  topo.nodes.push_back(std::move(manager));
-  for (int i = 0; i < config.users; ++i) {
+  for (int j = 0; j < layout.managers; ++j) {
+    add_manager<upnp::UpnpManager>(topo, layout, j, sd, simulator, network,
+                                   config.upnp, &observer);
+  }
+  for (int i = 0; i < layout.users; ++i) {
     topo.nodes.push_back(std::make_unique<upnp::UpnpUser>(
-        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
+        simulator, network, layout.user_id(i),
         upnp::Requirement{sd.device_type, sd.service_type}, config.upnp,
         &observer));
   }
@@ -91,22 +132,20 @@ Topology build_upnp(const ExperimentConfig& config, sim::Simulator& simulator,
 Topology build_jini(const ExperimentConfig& config, sim::Simulator& simulator,
                     net::Network& network,
                     discovery::ConsistencyObserver& observer) {
+  const TopologyLayout layout = resolve_topology(config.model, config.topology);
   Topology topo;
   const auto sd = monitored_service();
-  topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
-      simulator, network, kRegistryId, config.jini, &observer));
-  if (config.model == SystemModel::kJiniTwoRegistries) {
+  for (int r = 0; r < layout.registries; ++r) {
     topo.nodes.push_back(std::make_unique<jini::JiniRegistry>(
-        simulator, network, kSecondRegistryId, config.jini, &observer));
+        simulator, network, layout.registry_id(r), config.jini, &observer));
   }
-  auto manager = std::make_unique<jini::JiniManager>(
-      simulator, network, kManagerId, config.jini, &observer);
-  manager->add_service(sd);
-  topo.change_service = [m = manager.get()] { m->change_service(1); };
-  topo.nodes.push_back(std::move(manager));
-  for (int i = 0; i < config.users; ++i) {
+  for (int j = 0; j < layout.managers; ++j) {
+    add_manager<jini::JiniManager>(topo, layout, j, sd, simulator, network,
+                                   config.jini, &observer);
+  }
+  for (int i = 0; i < layout.users; ++i) {
     topo.nodes.push_back(std::make_unique<jini::JiniUser>(
-        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
+        simulator, network, layout.user_id(i),
         jini::Template{sd.device_type, sd.service_type}, config.jini,
         &observer));
   }
@@ -116,30 +155,29 @@ Topology build_jini(const ExperimentConfig& config, sim::Simulator& simulator,
 Topology build_frodo(const ExperimentConfig& config, sim::Simulator& simulator,
                      net::Network& network,
                      discovery::ConsistencyObserver& observer) {
+  const TopologyLayout layout = resolve_topology(config.model, config.topology);
   Topology topo;
   const auto sd = monitored_service();
   const bool two_party = config.model == SystemModel::kFrodoTwoParty;
-  topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
-      simulator, network, kRegistryId, /*capability=*/100, config.frodo,
-      &observer));
-  if (two_party) {
-    // Topology (b) adds a 300D Backup (8 nodes, all 300D).
+  // Topology (a) is the lone Central; topology (b) adds a 300D Backup
+  // (8 nodes, all 300D). Extra registries are further standby
+  // candidates down the capability ladder.
+  for (int r = 0; r < layout.registries; ++r) {
     topo.nodes.push_back(std::make_unique<frodo::FrodoRegistryNode>(
-        simulator, network, kSecondRegistryId, /*capability=*/90, config.frodo,
-        &observer));
+        simulator, network, layout.registry_id(r), frodo_capability(r),
+        config.frodo, &observer));
   }
   const auto device_class =
       two_party ? frodo::DeviceClass::k300D : frodo::DeviceClass::k3D;
-  auto manager = std::make_unique<frodo::FrodoManager>(
-      simulator, network, kManagerId, device_class, config.frodo, &observer);
-  manager->add_service(sd);
-  topo.change_service = [m = manager.get()] { m->change_service(1); };
-  topo.nodes.push_back(std::move(manager));
-  for (int i = 0; i < config.users; ++i) {
+  for (int j = 0; j < layout.managers; ++j) {
+    add_manager<frodo::FrodoManager>(topo, layout, j, sd, simulator, network,
+                                     device_class, config.frodo, &observer);
+  }
+  for (int i = 0; i < layout.users; ++i) {
     topo.nodes.push_back(std::make_unique<frodo::FrodoUser>(
-        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
-        device_class, frodo::Matching{sd.device_type, sd.service_type},
-        config.frodo, &observer));
+        simulator, network, layout.user_id(i), device_class,
+        frodo::Matching{sd.device_type, sd.service_type}, config.frodo,
+        &observer));
   }
   return topo;
 }
@@ -147,16 +185,16 @@ Topology build_frodo(const ExperimentConfig& config, sim::Simulator& simulator,
 Topology build_mdns(const ExperimentConfig& config, sim::Simulator& simulator,
                     net::Network& network,
                     discovery::ConsistencyObserver& observer) {
+  const TopologyLayout layout = resolve_topology(config.model, config.topology);
   Topology topo;
   const auto sd = monitored_service();
-  auto responder = std::make_unique<mdns::MdnsResponder>(
-      simulator, network, kManagerId, config.mdns, &observer);
-  responder->add_service(sd);
-  topo.change_service = [r = responder.get()] { r->change_service(1); };
-  topo.nodes.push_back(std::move(responder));
-  for (int i = 0; i < config.users; ++i) {
+  for (int j = 0; j < layout.managers; ++j) {
+    add_manager<mdns::MdnsResponder>(topo, layout, j, sd, simulator, network,
+                                     config.mdns, &observer);
+  }
+  for (int i = 0; i < layout.users; ++i) {
     topo.nodes.push_back(std::make_unique<mdns::MdnsListener>(
-        simulator, network, kFirstUserId + static_cast<sim::NodeId>(i),
+        simulator, network, layout.user_id(i),
         mdns::Interest{sd.device_type, sd.service_type}, config.mdns,
         &observer));
   }
@@ -181,10 +219,10 @@ const ProtocolDescriptor kProtocols[] = {
     {SystemModel::kUpnp, "UPnP", upnp::protocol_spec(), &min_messages_upnp,
      /*registry_nodes=*/0, kUpnpAblations, &build_upnp},
     {SystemModel::kJiniOneRegistry, "Jini-1R", jini::protocol_spec(),
-     &min_messages_jini_1r, /*registry_nodes=*/1, /*ablation_mask=*/0,
+     &min_messages_jini, /*registry_nodes=*/1, /*ablation_mask=*/0,
      &build_jini},
     {SystemModel::kJiniTwoRegistries, "Jini-2R", jini::protocol_spec(),
-     &min_messages_jini_2r, /*registry_nodes=*/2, /*ablation_mask=*/0,
+     &min_messages_jini, /*registry_nodes=*/2, /*ablation_mask=*/0,
      &build_jini},
     {SystemModel::kFrodoThreeParty, "FRODO-3party",
      frodo::protocol_spec(/*two_party=*/false), &min_messages_frodo,
@@ -219,19 +257,43 @@ std::optional<SystemModel> model_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
-std::vector<sim::NodeId> topology_node_ids(SystemModel model, int users) {
+TopologyLayout resolve_topology(SystemModel model,
+                                const TopologySpec& spec) noexcept {
   const auto& descriptor = protocol_descriptor(model);
-  std::vector<sim::NodeId> ids;
-  ids.reserve(static_cast<std::size_t>(descriptor.registry_nodes) + 1 +
-              static_cast<std::size_t>(users));
-  for (int r = 0; r < descriptor.registry_nodes; ++r) {
-    ids.push_back(kRegistryId + static_cast<sim::NodeId>(r));
+  TopologyLayout layout;
+  if (descriptor.registry_nodes == 0) {
+    layout.registries = 0;  // no registry node class to instantiate
+  } else if (spec.registries < 0) {
+    layout.registries = descriptor.registry_nodes;
+  } else {
+    layout.registries = spec.registries > 1 ? spec.registries : 1;
   }
-  ids.push_back(kManagerId);
-  for (int i = 0; i < users; ++i) {
-    ids.push_back(kFirstUserId + static_cast<sim::NodeId>(i));
+  layout.managers = spec.managers > 1 ? spec.managers : 1;
+  layout.users = spec.users > 0 ? spec.users : 0;
+  return layout;
+}
+
+std::vector<sim::NodeId> topology_node_ids(SystemModel model,
+                                           const TopologySpec& spec) {
+  const TopologyLayout layout = resolve_topology(model, spec);
+  std::vector<sim::NodeId> ids;
+  ids.reserve(layout.node_count());
+  for (int r = 0; r < layout.registries; ++r) {
+    ids.push_back(layout.registry_id(r));
+  }
+  for (int j = 0; j < layout.managers; ++j) {
+    ids.push_back(layout.manager_id(j));
+  }
+  for (int i = 0; i < layout.users; ++i) {
+    ids.push_back(layout.user_id(i));
   }
   return ids;
+}
+
+std::vector<sim::NodeId> topology_node_ids(SystemModel model, int users) {
+  TopologySpec spec;
+  spec.users = users;
+  return topology_node_ids(model, spec);
 }
 
 std::string model_name_list(char separator) {
@@ -247,8 +309,12 @@ std::string_view to_string(SystemModel model) noexcept {
   return protocol_descriptor(model).name;
 }
 
-std::uint64_t minimum_update_messages(SystemModel model, int users) noexcept {
-  return protocol_descriptor(model).minimum_update_messages(users);
+std::uint64_t minimum_update_messages(SystemModel model, int users,
+                                      int registries) noexcept {
+  const auto& descriptor = protocol_descriptor(model);
+  const int resolved =
+      registries < 0 ? descriptor.registry_nodes : registries;
+  return descriptor.minimum_update_messages(users, resolved);
 }
 
 }  // namespace sdcm::experiment

@@ -43,6 +43,9 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
   }
 
   const ProtocolDescriptor& descriptor = protocol_descriptor(config.model);
+  const TopologyLayout layout =
+      resolve_topology(config.model, config.topology);
+  network.reserve_nodes(layout.id_bound());
   Topology topo = descriptor.build(config, simulator, network, observer);
   if (config.workload.kind == WorkloadKind::kSaturation) {
     // Before start(): startup multicasts are shaped like everything else.
@@ -68,20 +71,20 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
   WorkloadPlan workload_plan;
   if (config.workload.enabled()) {
     WorkloadTopology workload_topo;
-    workload_topo.manager = kManagerId;
-    for (int i = 0; i < config.users; ++i) {
-      workload_topo.users.push_back(kFirstUserId +
-                                    static_cast<sim::NodeId>(i));
+    workload_topo.manager = layout.manager_id(0);
+    for (int i = 0; i < layout.users; ++i) {
+      workload_topo.users.push_back(layout.user_id(i));
     }
     if (descriptor.spec.announce ==
             discovery::AnnouncePolicy::kRegistryPeriodic &&
-        descriptor.registry_nodes > 0) {
-      for (int r = 0; r < descriptor.registry_nodes; ++r) {
-        workload_topo.announcers.push_back(kRegistryId +
-                                           static_cast<sim::NodeId>(r));
+        layout.registries > 0) {
+      for (int r = 0; r < layout.registries; ++r) {
+        workload_topo.announcers.push_back(layout.registry_id(r));
       }
     } else {
-      workload_topo.announcers.push_back(kManagerId);
+      for (int j = 0; j < layout.managers; ++j) {
+        workload_topo.announcers.push_back(layout.manager_id(j));
+      }
     }
     auto workload_rng = simulator.rng().fork("experiment.workload");
     workload_plan = plan_workload(config.workload, workload_topo,
@@ -148,7 +151,7 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
     static_cast<void>(at);
 #endif
     count_at_last_reach = chatter_total();
-    if (++users_reached == static_cast<std::size_t>(config.users)) {
+    if (++users_reached == static_cast<std::size_t>(layout.users)) {
       window_closed = true;
     }
   };

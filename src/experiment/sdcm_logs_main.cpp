@@ -211,7 +211,7 @@ int main(int argc, char** argv) {
   sim::Simulator planner(seed);
   auto failure_rng = planner.rng().fork("experiment.failures");
   const std::vector<sim::NodeId> node_ids =
-      experiment::topology_node_ids(*model, config.users);
+      experiment::topology_node_ids(*model, config.topology);
   net::FailurePlanConfig plan_config;
   plan_config.lambda = lambda;
   const auto plan = net::plan_failures(node_ids, plan_config, failure_rng);

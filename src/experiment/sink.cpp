@@ -159,7 +159,11 @@ void JsonlSink::on_campaign_begin(const SweepConfig& config, std::uint64_t) {
   line += "],\"runs\":";
   append_i64(line, config.runs);
   line += ",\"users\":";
-  append_i64(line, config.users);
+  append_i64(line, config.topology.users);
+  line += ",\"managers\":";
+  append_i64(line, config.topology.managers);
+  line += ",\"registries\":";
+  append_i64(line, config.topology.registries);
   line += ",\"seed\":";
   append_u64(line, config.master_seed);
   line += ",\"workload\":";
@@ -734,6 +738,26 @@ std::optional<CampaignHeader> parse_jsonl_header(std::string_view line,
   header.users = static_cast<int>(users);
   header.shard_index = static_cast<std::size_t>(shard_index);
   header.shard_count = static_cast<std::size_t>(shard_count);
+  // Optional for compatibility with pre-TopologySpec logs, which are
+  // all paper-shaped (1 manager, model-default registries).
+  if (root.find("managers") != nullptr) {
+    std::int64_t managers = 0;
+    if (!get_i64(root, "managers", managers, error)) return std::nullopt;
+    if (managers <= 0) {
+      error = "managers must be positive";
+      return std::nullopt;
+    }
+    header.managers = static_cast<int>(managers);
+  }
+  if (root.find("registries") != nullptr) {
+    std::int64_t registries = 0;
+    if (!get_i64(root, "registries", registries, error)) return std::nullopt;
+    if (registries < -1 || registries == 0) {
+      error = "registries must be -1 (model default) or positive";
+      return std::nullopt;
+    }
+    header.registries = static_cast<int>(registries);
+  }
   // Optional for compatibility with pre-workload logs, which are all
   // static campaigns.
   if (const JsonValue* workload = root.find("workload");
@@ -838,7 +862,9 @@ namespace {
 
 bool same_campaign(const CampaignHeader& a, const CampaignHeader& b) {
   return a.models == b.models && a.lambdas == b.lambdas && a.runs == b.runs &&
-         a.users == b.users && a.seed == b.seed && a.workload == b.workload;
+         a.users == b.users && a.managers == b.managers &&
+         a.registries == b.registries && a.seed == b.seed &&
+         a.workload == b.workload;
 }
 
 }  // namespace
@@ -883,7 +909,8 @@ std::optional<SweepResult> merge_jsonl(std::span<std::istream* const> shards,
           summaries.emplace_back(
               campaign->runs,
               metrics::update_metrics::kPaperGlobalMinimumMessages,
-              minimum_update_messages(model, campaign->users));
+              minimum_update_messages(model, campaign->users,
+                                      campaign->registries));
         }
       }
       seen.assign(result.points.size() *
@@ -891,7 +918,7 @@ std::optional<SweepResult> merge_jsonl(std::span<std::istream* const> shards,
                   0);
     } else if (!same_campaign(*campaign, *header)) {
       error = where + ": header does not match the first shard's campaign "
-              "(models/lambdas/runs/users/seed/workload must agree)";
+              "(models/lambdas/runs/topology/seed/workload must agree)";
       return std::nullopt;
     }
 

@@ -40,7 +40,26 @@ std::optional<std::string> SweepConfig::validate() const {
     }
   }
   if (runs <= 0) return "runs must be positive";
-  if (users <= 0) return "users must be positive";
+  if (topology.users <= 0) return "users must be positive";
+  if (topology.managers <= 0) return "managers must be positive";
+  if (topology.registries < -1) {
+    return "registries must be -1 (model default) or positive";
+  }
+  if (topology.registries == 0) {
+    return "registries must be at least 1 when overridden "
+           "(-1 keeps the model default)";
+  }
+  if (topology.registries > 0) {
+    // A registry-count override on a registry-less model would silently
+    // run the default decentralized topology and the campaign labels
+    // would lie - same policy as unconsumed ablation toggles below.
+    for (const SystemModel model : models) {
+      if (protocol_descriptor(model).registry_nodes == 0) {
+        return "registry count overridden but model '" +
+               std::string(to_string(model)) + "' has no registry nodes";
+      }
+    }
+  }
   if (ablation.episodes <= 0) return "ablation.episodes must be positive";
   if (std::isnan(ablation.message_loss_rate) ||
       ablation.message_loss_rate < 0.0 || ablation.message_loss_rate > 1.0) {
@@ -150,7 +169,8 @@ SweepResult run_sweep(const SweepConfig& config) {
       points.push_back(std::move(point));
       summaries.emplace_back(
           config.runs, metrics::update_metrics::kPaperGlobalMinimumMessages,
-          minimum_update_messages(model, config.users));
+          minimum_update_messages(model, config.topology.users,
+                                  config.topology.registries));
     }
   }
 
@@ -190,7 +210,7 @@ SweepResult run_sweep(const SweepConfig& config) {
     ExperimentConfig run_config;
     run_config.model = point.model;
     run_config.lambda = point.lambda;
-    run_config.users = config.users;
+    run_config.topology = config.topology;
     run_config.seed =
         run_seed(config.master_seed, point.model, point.lambda_index, job.run);
     config.ablation.apply(run_config);

@@ -53,8 +53,8 @@ bool FrodoManager::has_subscriber(ServiceId service, NodeId user) const {
 bool FrodoManager::marked_inconsistent(ServiceId service, NodeId user) const {
   const auto it = subs_.find(service);
   if (it == subs_.end()) return false;
-  const auto sub = it->second.find(user);
-  return sub != it->second.end() && sub->second.inconsistent_since != 0;
+  const Subscription* sub = it->second.find(user);
+  return sub != nullptr && sub->inconsistent_since != 0;
 }
 
 void FrodoManager::start() { start_client(); }
@@ -340,22 +340,22 @@ void FrodoManager::send_update_to_user(ServiceId service, NodeId user) {
       [this, service, user] {
         const auto it = subs_.find(service);
         if (it == subs_.end()) return;
-        const auto sit = it->second.find(user);
-        if (sit == it->second.end()) return;
-        sit->second.pending_update = 0;
-        sit->second.inconsistent_since = 0;
+        Subscription* entry = it->second.find(user);
+        if (entry == nullptr) return;
+        entry->pending_update = 0;
+        entry->inconsistent_since = 0;
       },
       /*on_failed=*/
       [this, service, user, version] {
         const auto it = subs_.find(service);
         if (it == subs_.end()) return;
-        const auto sit = it->second.find(user);
-        if (sit == it->second.end()) return;
-        sit->second.pending_update = 0;
+        Subscription* entry = it->second.find(user);
+        if (entry == nullptr) return;
+        entry->pending_update = 0;
         if (config().enable_srn2) {
           // SRN2: remember the inconsistent User; retry when its next
           // subscription renewal proves it is reachable again.
-          sit->second.inconsistent_since = version;
+          entry->inconsistent_since = version;
           trace(sim::TraceCategory::kUpdate, "frodo.srn2.marked",
                 "user=" + std::to_string(user));
         }
@@ -517,13 +517,13 @@ void FrodoManager::purge_subscriber(ServiceId service, NodeId user,
                                     const char* reason) {
   const auto it = subs_.find(service);
   if (it == subs_.end()) return;
-  const auto sub = it->second.find(user);
-  if (sub == it->second.end()) return;
-  sub->second.cancel(simulator());
-  if (sub->second.pending_update != 0) {
-    channel().cancel(sub->second.pending_update);
+  Subscription* sub = it->second.find(user);
+  if (sub == nullptr) return;
+  sub->cancel(simulator());
+  if (sub->pending_update != 0) {
+    channel().cancel(sub->pending_update);
   }
-  it->second.erase(sub);
+  it->second.erase(user);
   if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
   trace(sim::TraceCategory::kSubscription, "frodo.subscriber.purged",
         "user=" + std::to_string(user) + " reason=" + reason);

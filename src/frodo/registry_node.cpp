@@ -121,8 +121,8 @@ void FrodoRegistryNode::become_central(std::uint64_t epoch) {
   }
 
   announce_central();
-  announce_timer_.start(simulator(), config_.registry_announce_period,
-                        config_.registry_announce_period,
+  announce_timer_.start(simulator(), config_.announce_period,
+                        config_.announce_period,
                         [this] { announce_central(); });
   monitor_timer_.stop();
   backup_ = sim::kNoNode;
@@ -135,20 +135,20 @@ void FrodoRegistryNode::announce_central() {
   m.type = msg::kCentralAnnounce;
   m.klass = MessageClass::kDiscovery;
   m.payload = CentralAnnounce{id(), capability_, epoch_};
-  network().multicast(m, config_.registry_announce_copies);
+  network().multicast(m, config_.multicast_redundancy);
 }
 
 void FrodoRegistryNode::become_standby() {
   role_ = Role::kStandby;
   announce_timer_.stop();
   monitor_timer_.start(
-      simulator(), config_.registry_announce_period,
-      config_.registry_announce_period, [this] { monitor_tick(); });
+      simulator(), config_.announce_period,
+      config_.announce_period, [this] { monitor_tick(); });
 }
 
 void FrodoRegistryNode::monitor_tick() {
   const auto silence = now() - last_central_heard_;
-  const auto period = config_.registry_announce_period;
+  const auto period = config_.announce_period;
   if (role_ == Role::kBackup &&
       silence > config_.backup_miss_threshold * period) {
     trace(sim::TraceCategory::kElection, "frodo.backup.takeover",
@@ -337,8 +337,8 @@ void FrodoRegistryNode::handle_backup_assign(const Message& m) {
   trace(sim::TraceCategory::kElection, "frodo.backup.accepted",
         "central=" + std::to_string(assign.central));
   monitor_timer_.start(
-      simulator(), config_.registry_announce_period,
-      config_.registry_announce_period, [this] { monitor_tick(); });
+      simulator(), config_.announce_period,
+      config_.announce_period, [this] { monitor_tick(); });
   Message ack;
   ack.src = id();
   ack.dst = assign.central;

@@ -67,8 +67,8 @@ void JiniManager::on_message(const Message& m) {
 }
 
 void JiniManager::registry_heard(NodeId registry) {
-  auto [it, inserted] = registries_.try_emplace(registry);
-  RegistryState& state = it->second;
+  auto [entry, inserted] = registries_.try_emplace(registry);
+  RegistryState& state = *entry;
   state.last_heard = now();
   simulator().reschedule_in(state.silence_timer, config_.announce_timeout,
                             [this, registry] {
@@ -90,24 +90,24 @@ void JiniManager::registry_heard(NodeId registry) {
 void JiniManager::depart() {
   trace(sim::TraceCategory::kDiscovery, "jini.manager.depart");
   while (!registries_.empty()) {
-    purge_registry(registries_.begin()->first, "depart");
+    purge_registry(registries_.first_key(), "depart");
   }
   request_timer_.stop();
   requests_sent_ = 0;
 }
 
 void JiniManager::purge_registry(NodeId registry, const char* reason) {
-  const auto it = registries_.find(registry);
-  if (it == registries_.end()) return;
-  if (it->second.silence_timer != sim::kInvalidEventId) {
-    simulator().cancel(it->second.silence_timer);
+  RegistryState* state = registries_.find(registry);
+  if (state == nullptr) return;
+  if (state->silence_timer != sim::kInvalidEventId) {
+    simulator().cancel(state->silence_timer);
   }
-  for (auto& [service, per] : it->second.services) {
+  for (auto& [service, per] : state->services) {
     if (per.renew_timer != sim::kInvalidEventId) {
       simulator().cancel(per.renew_timer);
     }
   }
-  registries_.erase(it);
+  registries_.erase(registry);
   trace(sim::TraceCategory::kDiscovery, "jini.registry.purged",
         std::string("registry=") + std::to_string(registry) +
             " reason=" + reason);
@@ -136,9 +136,9 @@ void JiniManager::register_service(NodeId registry, ServiceId service) {
 
 void JiniManager::handle_register_response(const Message& m) {
   const auto& resp = m.as<RegisterResponse>();
-  const auto it = registries_.find(m.src);
-  if (it == registries_.end() || !resp.ok) return;
-  auto& per = it->second.services[resp.service];
+  RegistryState* state = registries_.find(m.src);
+  if (state == nullptr || !resp.ok) return;
+  auto& per = state->services[resp.service];
   per.registered = true;
   const auto renew_after = static_cast<sim::SimDuration>(
       static_cast<double>(resp.lease) * config_.renew_fraction);
@@ -151,8 +151,7 @@ void JiniManager::handle_register_response(const Message& m) {
 }
 
 void JiniManager::renew_registration(NodeId registry, ServiceId service) {
-  const auto it = registries_.find(registry);
-  if (it == registries_.end()) return;
+  if (registries_.find(registry) == nullptr) return;
   Message m;
   m.src = id();
   m.dst = registry;
@@ -167,12 +166,12 @@ void JiniManager::renew_registration(NodeId registry, ServiceId service) {
 
 void JiniManager::handle_renew_response(const Message& m) {
   const auto& resp = m.as<RenewRegistrationResponse>();
-  const auto it = registries_.find(m.src);
-  if (it == registries_.end()) return;
+  RegistryState* state = registries_.find(m.src);
+  if (state == nullptr) return;
   const NodeId registry = m.src;
   const ServiceId service = resp.service;
   if (resp.ok) {
-    auto& per = it->second.services[service];
+    auto& per = state->services[service];
     const auto renew_after = static_cast<sim::SimDuration>(
         static_cast<double>(config_.registration_lease) *
         config_.renew_fraction);

@@ -185,7 +185,7 @@ void JiniRegistry::handle_event_register(const Message& m) {
   auto& entry = events_[req.user];
   entry.tmpl = req.tmpl;
   const NodeId user = req.user;
-  entry.grant(simulator(), config_.event_lease,
+  entry.grant(simulator(), config_.subscription_lease,
               [this, user] { purge_event(user); });
   if (observer_ != nullptr) {
     observer_->lease_granted(id(), user, entry.lease.expires_at(), now());
@@ -200,7 +200,7 @@ void JiniRegistry::handle_event_register(const Message& m) {
   reply.dst = req.user;
   reply.type = msg::kEventRegisterResponse;
   reply.klass = MessageClass::kControl;
-  reply.payload = EventRegisterResponse{true, config_.event_lease};
+  reply.payload = EventRegisterResponse{true, config_.subscription_lease};
   m.conn->send(std::move(reply));
 }
 
@@ -213,13 +213,11 @@ void JiniRegistry::handle_renew_event(const Message& m) {
   reply.type = msg::kRenewEventResponse;
   reply.klass = MessageClass::kControl;
 
-  const auto it = events_.find(renew.user);
-  if (it != events_.end()) {
+  if (EventRegistration* ev = events_.find(renew.user)) {
     const NodeId user = renew.user;
-    it->second.renew(simulator(), [this, user] { purge_event(user); });
+    ev->renew(simulator(), [this, user] { purge_event(user); });
     if (observer_ != nullptr) {
-      observer_->lease_granted(id(), user, it->second.lease.expires_at(),
-                               now());
+      observer_->lease_granted(id(), user, ev->lease.expires_at(), now());
     }
     reply.payload = RenewEventResponse{true};
   } else {
@@ -241,7 +239,7 @@ void JiniRegistry::purge_registration(ServiceId service) {
 }
 
 void JiniRegistry::purge_event(NodeId user) {
-  if (events_.erase(user) > 0) {
+  if (events_.erase(user)) {
     if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
     trace(sim::TraceCategory::kLease, "jini.event.purged",
           "user=" + std::to_string(user));

@@ -69,8 +69,8 @@ void JiniUser::on_message(const Message& m) {
 }
 
 void JiniUser::registry_heard(NodeId registry) {
-  auto [it, inserted] = registries_.try_emplace(registry);
-  RegistryState& state = it->second;
+  auto [entry, inserted] = registries_.try_emplace(registry);
+  RegistryState& state = *entry;
   simulator().reschedule_in(state.silence_timer, config_.announce_timeout,
                             [this, registry] {
                               purge_registry(registry, "silent");
@@ -92,7 +92,7 @@ void JiniUser::registry_heard(NodeId registry) {
 void JiniUser::depart() {
   trace(sim::TraceCategory::kDiscovery, "jini.user.depart");
   while (!registries_.empty()) {
-    purge_registry(registries_.begin()->first, "depart");
+    purge_registry(registries_.first_key(), "depart");
   }
   request_timer_.stop();
   poll_timer_.stop();
@@ -100,15 +100,15 @@ void JiniUser::depart() {
 }
 
 void JiniUser::purge_registry(NodeId registry, const char* reason) {
-  const auto it = registries_.find(registry);
-  if (it == registries_.end()) return;
-  if (it->second.silence_timer != sim::kInvalidEventId) {
-    simulator().cancel(it->second.silence_timer);
+  RegistryState* state = registries_.find(registry);
+  if (state == nullptr) return;
+  if (state->silence_timer != sim::kInvalidEventId) {
+    simulator().cancel(state->silence_timer);
   }
-  if (it->second.renew_timer != sim::kInvalidEventId) {
-    simulator().cancel(it->second.renew_timer);
+  if (state->renew_timer != sim::kInvalidEventId) {
+    simulator().cancel(state->renew_timer);
   }
-  registries_.erase(it);
+  registries_.erase(registry);
   trace(sim::TraceCategory::kDiscovery, "jini.registry.purged",
         std::string("registry=") + std::to_string(registry) +
             " reason=" + reason);
@@ -145,21 +145,20 @@ void JiniUser::send_lookup(NodeId registry) {
 
 void JiniUser::handle_event_response(const Message& m) {
   const auto& resp = m.as<EventRegisterResponse>();
-  const auto it = registries_.find(m.src);
-  if (it == registries_.end() || !resp.ok) return;
-  const bool first_confirmation = !it->second.event_registered;
-  it->second.event_registered = true;
+  RegistryState* state = registries_.find(m.src);
+  if (state == nullptr || !resp.ok) return;
+  const bool first_confirmation = !state->event_registered;
+  state->event_registered = true;
   if (first_confirmation) send_lookup(m.src);
   const auto renew_after = static_cast<sim::SimDuration>(
       static_cast<double>(resp.lease) * config_.renew_fraction);
   const NodeId registry = m.src;
-  simulator().reschedule_in(it->second.renew_timer, renew_after,
+  simulator().reschedule_in(state->renew_timer, renew_after,
                             [this, registry] { renew_event(registry); });
 }
 
 void JiniUser::renew_event(NodeId registry) {
-  const auto it = registries_.find(registry);
-  if (it == registries_.end()) return;
+  if (registries_.find(registry) == nullptr) return;
   Message m;
   m.src = id();
   m.dst = registry;
@@ -174,13 +173,13 @@ void JiniUser::renew_event(NodeId registry) {
 
 void JiniUser::handle_renew_event_response(const Message& m) {
   const auto& resp = m.as<RenewEventResponse>();
-  const auto it = registries_.find(m.src);
-  if (it == registries_.end()) return;
+  RegistryState* state = registries_.find(m.src);
+  if (state == nullptr) return;
   const NodeId registry = m.src;
   if (resp.ok) {
     const auto renew_after = static_cast<sim::SimDuration>(
-        static_cast<double>(config_.event_lease) * config_.renew_fraction);
-    simulator().reschedule_in(it->second.renew_timer, renew_after,
+        static_cast<double>(config_.subscription_lease) * config_.renew_fraction);
+    simulator().reschedule_in(state->renew_timer, renew_after,
                               [this, registry] { renew_event(registry); });
   } else {
     // PR3, Jini-style: bare error; purge and redo discovery / event

@@ -4,11 +4,40 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "sdcm/obs/instrument.hpp"
 
 namespace sdcm::net {
+
+namespace {
+
+std::string attach_error_message(AttachError::Kind kind, NodeId id) {
+  switch (kind) {
+    case AttachError::Kind::kReservedId:
+      return "node id 0 is reserved";
+    case AttachError::Kind::kDuplicateId:
+      return "duplicate node id " + std::to_string(id);
+  }
+  return "attach error";
+}
+
+/// Adapter for the Handler-based attach overload (tests, tools).
+class FunctionSink final : public MessageSink {
+ public:
+  explicit FunctionSink(Network::Handler handler)
+      : handler_(std::move(handler)) {}
+  void handle_message(const Message& msg) override { handler_(msg); }
+
+ private:
+  Network::Handler handler_;
+};
+
+/// The message type's spelling as a trace detail string.
+std::string type_detail(const Message& m) { return std::string(m.type.str()); }
+
+}  // namespace
 
 std::string_view to_string(MessageClass c) noexcept {
   switch (c) {
@@ -20,16 +49,39 @@ std::string_view to_string(MessageClass c) noexcept {
   return "unknown";
 }
 
+AttachError::AttachError(Kind kind, NodeId id)
+    : std::invalid_argument(attach_error_message(kind, id)),
+      kind_(kind),
+      id_(id) {}
+
 void MessageCounters::count(const Message& m) {
   ++by_class_[static_cast<std::size_t>(m.klass)];
   bytes_by_class_[static_cast<std::size_t>(m.klass)] +=
       m.bytes > 0 ? m.bytes : default_bytes(m.klass);
-  ++by_type_[m.type];
+  const auto index = static_cast<std::size_t>(m.type.id());
+  if (index >= by_type_.size()) by_type_.resize(index + 1, 0);
+  ++by_type_[index];
+}
+
+std::uint64_t MessageCounters::of_type(MessageType type) const noexcept {
+  const auto index = static_cast<std::size_t>(type.id());
+  return index < by_type_.size() ? by_type_[index] : 0;
 }
 
 std::uint64_t MessageCounters::of_type(std::string_view type) const {
-  const auto it = by_type_.find(type);
-  return it == by_type_.end() ? 0 : it->second;
+  const auto atom = MessageType::lookup(type);
+  return atom ? of_type(*atom) : 0;
+}
+
+std::map<std::string, std::uint64_t, std::less<>> MessageCounters::by_type()
+    const {
+  std::map<std::string, std::uint64_t, std::less<>> out;
+  for (std::size_t id = 0; id < by_type_.size(); ++id) {
+    if (by_type_[id] == 0) continue;
+    const auto atom = MessageType::at(static_cast<MessageType::Id>(id));
+    out.emplace(std::string(atom.str()), by_type_[id]);
+  }
+  return out;
 }
 
 std::uint64_t MessageCounters::total() const noexcept {
@@ -74,24 +126,51 @@ Network::Network(sim::Simulator& simulator, sim::SimDuration min_delay,
 Network::Network(sim::Simulator& simulator)
     : Network(simulator, sim::microseconds(10), sim::microseconds(100)) {}
 
-void Network::attach(NodeId id, Handler handler) {
-  if (id == sim::kNoNode) throw std::invalid_argument("node id 0 is reserved");
-  const auto [it, inserted] = ports_.try_emplace(id);
-  if (!inserted) throw std::invalid_argument("duplicate node id");
-  it->second.handler = std::move(handler);
+void Network::reserve_nodes(NodeId max_id) {
+  table_.reserve(static_cast<std::size_t>(max_id) + 1);
+  order_.reserve(static_cast<std::size_t>(max_id));
+}
+
+void Network::attach(NodeId id, MessageSink& sink) {
+  if (id == sim::kNoNode) {
+    throw AttachError(AttachError::Kind::kReservedId, id);
+  }
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= table_.size()) table_.resize(index + 1);
+  Port& slot = table_[index];
+  if (slot.attached()) {
+    throw AttachError(AttachError::Kind::kDuplicateId, id);
+  }
+  slot.sink = &sink;
+  if (capacity_enabled()) {
+    slot.tokens = cap_burst_;
+    slot.tokens_at = sim_.now();
+  }
   order_.push_back(id);
 }
 
+void Network::attach(NodeId id, Handler handler) {
+  auto sink = std::make_unique<FunctionSink>(std::move(handler));
+  attach(id, *sink);
+  owned_sinks_.push_back(std::move(sink));
+}
+
 Network::Port& Network::port(NodeId id) {
-  const auto it = ports_.find(id);
-  if (it == ports_.end()) throw std::out_of_range("unknown node id");
-  return it->second;
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= table_.size() || !table_[index].attached()) {
+    throw std::out_of_range("unknown node id");
+  }
+  return table_[index];
+}
+
+const Network::Port& Network::port(NodeId id) const {
+  return const_cast<Network*>(this)->port(id);
 }
 
 InterfaceState& Network::interface(NodeId id) { return port(id).iface; }
 
 const InterfaceState& Network::interface(NodeId id) const {
-  return const_cast<Network*>(this)->port(id).iface;
+  return port(id).iface;
 }
 
 sim::SimDuration Network::draw_delay() {
@@ -123,7 +202,8 @@ void Network::set_link_capacity(double rate_hz, double burst,
   cap_queue_limit_ = queue_limit;
   // Buckets start full so steady-state traffic below the rate is never
   // shaped; only bursts overdraw.
-  for (auto& [id, p] : ports_) {
+  for (Port& p : table_) {
+    if (!p.attached()) continue;
     p.tokens = cap_burst_;
     p.tokens_at = sim_.now();
   }
@@ -169,7 +249,7 @@ void Network::multicast(const Message& msg, int redundant_copies) {
       ++kstats.udp_dropped;
       sim_.trace().record_child(cause, sim_.now(), msg.src,
                                 sim::TraceCategory::kTransport, "net.drop.tx",
-                                msg.type);
+                                type_detail(msg));
       continue;
     }
     sim::SimDuration shaping = 0;
@@ -181,7 +261,7 @@ void Network::multicast(const Message& msg, int redundant_copies) {
         SDCM_OBS_ONLY(sim_.obs().counter("net.capacity.dropped").inc());
         sim_.trace().record_child(cause, sim_.now(), msg.src,
                                   sim::TraceCategory::kTransport,
-                                  "net.drop.capacity", msg.type);
+                                  "net.drop.capacity", type_detail(msg));
         continue;
       }
       shaping = *admitted;
@@ -205,11 +285,11 @@ void Network::multicast(const Message& msg, int redundant_copies) {
           ++sim_.kernel_stats().udp_dropped;
           sim_.trace().record_child(m.span, sim_.now(), m.dst,
                                     sim::TraceCategory::kTransport,
-                                    "net.drop.rx", m.type);
+                                    "net.drop.rx", type_detail(m));
           return;
         }
         sim::SpanScope scope(sim_.trace(), m.span);
-        dport.handler(m);
+        dport.sink->handle_message(m);
       });
     }
   }
@@ -229,7 +309,7 @@ bool Network::transmit(Message msg, bool deliver,
     ++(tcp ? kstats.tcp_dropped : kstats.udp_dropped);
     sim_.trace().record_child(msg.span, sim_.now(), msg.src,
                               sim::TraceCategory::kTransport, "net.drop.tx",
-                              msg.type);
+                              type_detail(msg));
     if (on_result) {
       sim_.schedule_in(delay, [this, span = msg.span,
                                cb = std::move(on_result)]() {
@@ -250,7 +330,7 @@ bool Network::transmit(Message msg, bool deliver,
       SDCM_OBS_ONLY(sim_.obs().counter("net.capacity.dropped").inc());
       sim_.trace().record_child(msg.span, sim_.now(), msg.src,
                                 sim::TraceCategory::kTransport,
-                                "net.drop.capacity", msg.type);
+                                "net.drop.capacity", type_detail(msg));
       if (on_result) {
         sim_.schedule_in(delay, [this, span = msg.span,
                                  cb = std::move(on_result)]() {
@@ -279,9 +359,9 @@ bool Network::transmit(Message msg, bool deliver,
       ++(tcp ? ks.tcp_dropped : ks.udp_dropped);
       sim_.trace().record_child(m.span, sim_.now(), m.dst,
                                 sim::TraceCategory::kTransport, "net.drop.rx",
-                                m.type);
+                                type_detail(m));
     } else if (deliver) {
-      dport.handler(m);
+      dport.sink->handle_message(m);
     }
     if (cb) cb(ok);
   });
@@ -293,7 +373,7 @@ void Network::deliver_local(const Message& msg) {
   const sim::SpanId span =
       msg.span != sim::kNoSpan ? msg.span : trace.ambient();
   sim::SpanScope scope(trace, span);
-  port(msg.dst).handler(msg);
+  port(msg.dst).sink->handle_message(msg);
 }
 
 }  // namespace sdcm::net

@@ -8,14 +8,27 @@
 namespace sdcm::net {
 
 namespace {
-Message transport_segment(NodeId src, NodeId dst, std::string type) {
+
+const MessageType kSyn = MessageType::intern("tcp.syn");
+const MessageType kSynAck = MessageType::intern("tcp.synack");
+const MessageType kAck = MessageType::intern("tcp.ack");
+
+Message transport_segment(NodeId src, NodeId dst, MessageType type) {
   Message seg;
   seg.src = src;
   seg.dst = dst;
-  seg.type = std::move(type);
+  seg.type = type;
   seg.klass = MessageClass::kTransport;
   return seg;
 }
+
+/// The ".retx" variant of an app message type. Interning is idempotent
+/// and retransmissions are rare (a healthy network has none), so the
+/// string build + mutex here is off the hot path by construction.
+MessageType retx_type(MessageType app) {
+  return MessageType::intern(std::string(app.str()) + ".retx");
+}
+
 }  // namespace
 
 TcpConnection::TcpConnection(Network& network, NodeId initiator,
@@ -91,7 +104,7 @@ void TcpConnection::attempt_handshake(std::size_t attempt) {
   if (opened_ || rexed_ || closed_) return;
   auto self = shared_from_this();
 
-  Message syn = transport_segment(initiator_, responder_, "tcp.syn");
+  Message syn = transport_segment(initiator_, responder_, kSyn);
   syn.span = span_;
   net_.transmit(
       std::move(syn),
@@ -100,7 +113,7 @@ void TcpConnection::attempt_handshake(std::size_t attempt) {
           return;
         }
         Message synack = transport_segment(self->responder_, self->initiator_,
-                                           "tcp.synack");
+                                           kSynAck);
         synack.span = self->span_;
         self->net_.transmit(
             std::move(synack),
@@ -164,7 +177,7 @@ void TcpConnection::transfer_attempt(const std::shared_ptr<Transfer>& t) {
     // accounted as the application message (Figure 6's discovery-layer
     // message counts must not inflate with TCP retries).
     segment.klass = MessageClass::kTransport;
-    segment.type = t->msg.type + ".retx";
+    segment.type = retx_type(t->msg.type);
     SDCM_OBS_ONLY(
         net_.simulator().obs().counter("tcp.retransmissions").inc());
   }
@@ -180,7 +193,7 @@ void TcpConnection::transfer_attempt(const std::shared_ptr<Transfer>& t) {
           self->net_.deliver_local(app);
         }
         // Pure transport-level acknowledgement back to the sender.
-        Message ack = transport_segment(t->msg.dst, t->msg.src, "tcp.ack");
+        Message ack = transport_segment(t->msg.dst, t->msg.src, kAck);
         ack.span = t->msg.span;
         self->net_.transmit(
             std::move(ack),

@@ -27,8 +27,8 @@ void DirectoryAgent::start() {
     network().multicast(m, 1);
   };
   advertise();
-  advert_timer_.start(simulator(), config_.advert_period,
-                      config_.advert_period, advertise);
+  advert_timer_.start(simulator(), config_.announce_period,
+                      config_.announce_period, advertise);
 }
 
 void DirectoryAgent::on_message(const Message& m) {

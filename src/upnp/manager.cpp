@@ -162,10 +162,10 @@ void UpnpManager::purge_subscriber(ServiceId service, NodeId user,
                                    const char* reason) {
   const auto it = subs_.find(service);
   if (it == subs_.end()) return;
-  const auto sub = it->second.find(user);
-  if (sub == it->second.end()) return;
-  sub->second.cancel(simulator());
-  it->second.erase(sub);
+  Subscription* sub = it->second.find(user);
+  if (sub == nullptr) return;
+  sub->cancel(simulator());
+  it->second.erase(user);
   if (observer_ != nullptr) observer_->lease_dropped(id(), user, now());
   trace(sim::TraceCategory::kSubscription, "upnp.subscriber.purged",
         "user=" + std::to_string(user) + " reason=" + reason);

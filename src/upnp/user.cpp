@@ -294,7 +294,7 @@ void UpnpUser::handle_byebye(const Message& m) {
 }
 
 void UpnpUser::refresh_cache_lease() {
-  simulator().reschedule_in(cache_expiry_, config_.cache_lease, [this] {
+  simulator().reschedule_in(cache_expiry_, config_.registration_lease, [this] {
     cache_expiry_ = sim::kInvalidEventId;
     if (config_.enable_pr5) purge_manager("cache-expired");
   });

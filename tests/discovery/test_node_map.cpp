@@ -1,0 +1,174 @@
+// NodeMap slab semantics: the std::map replacement behind every
+// per-node session table. The contract under test is the one the
+// protocol entities rely on - std::map-compatible call sites, ascending
+// iteration order (trace-fingerprint stability), and slot stability
+// across erase/insert churn.
+
+#include "sdcm/discovery/node_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sdcm::discovery {
+namespace {
+
+using Map = NodeMap<std::uint32_t, std::string>;
+
+TEST(NodeMap, StartsEmpty) {
+  const Map map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_FALSE(map.contains(0));
+  EXPECT_EQ(map.find(3), nullptr);
+}
+
+TEST(NodeMap, OperatorIndexCreatesAndFinds) {
+  Map map;
+  map[4] = "four";
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_TRUE(map.contains(4));
+  ASSERT_NE(map.find(4), nullptr);
+  EXPECT_EQ(*map.find(4), "four");
+  EXPECT_EQ(map.at(4), "four");
+  // operator[] on an existing key does not double-count.
+  map[4] = "FOUR";
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(4), "FOUR");
+}
+
+TEST(NodeMap, TryEmplaceReportsInsertion) {
+  Map map;
+  auto [first, inserted] = map.try_emplace(2);
+  EXPECT_TRUE(inserted);
+  *first = "two";
+  auto [again, reinserted] = map.try_emplace(2);
+  EXPECT_FALSE(reinserted);
+  EXPECT_EQ(*again, "two");
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(NodeMap, InsertOrAssignOverwrites) {
+  Map map;
+  map.insert_or_assign(7, "a");
+  map.insert_or_assign(7, "b");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(7), "b");
+}
+
+TEST(NodeMap, EraseKeepsSlotAndReturnsPresence) {
+  Map map;
+  map[5] = "five";
+  EXPECT_TRUE(map.erase(5));
+  EXPECT_FALSE(map.erase(5));
+  EXPECT_FALSE(map.erase(99));  // past the slab end
+  EXPECT_TRUE(map.empty());
+  map[5] = "again";
+  EXPECT_EQ(map.at(5), "again");
+}
+
+TEST(NodeMap, IterationIsAscendingByKeyWithGaps) {
+  Map map;
+  map[9] = "nine";
+  map[1] = "one";
+  map[5] = "five";
+  std::vector<std::pair<std::uint32_t, std::string>> seen;
+  for (const auto& [key, value] : map) {
+    seen.emplace_back(key, value);
+  }
+  const std::vector<std::pair<std::uint32_t, std::string>> expected{
+      {1, "one"}, {5, "five"}, {9, "nine"}};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(NodeMap, MutationThroughIteration) {
+  Map map;
+  map[2] = "a";
+  map[4] = "b";
+  for (auto& [key, value] : map) {
+    value += std::to_string(key);
+  }
+  EXPECT_EQ(map.at(2), "a2");
+  EXPECT_EQ(map.at(4), "b4");
+}
+
+TEST(NodeMap, IteratorCopyRebindsItsProxy) {
+  // Regression: the cached Entry proxy must not travel with the
+  // iterator, or a copied iterator would keep dereferencing the source's
+  // slot.
+  Map map;
+  map[1] = "one";
+  map[3] = "three";
+  auto it = map.begin();
+  EXPECT_EQ(it->second, "one");
+  auto copy = it;
+  ++copy;
+  EXPECT_EQ(copy->second, "three");
+  EXPECT_EQ(it->second, "one");
+  it = copy;
+  EXPECT_EQ(it->second, "three");
+}
+
+TEST(NodeMap, FirstKeyIsSmallestLive) {
+  Map map;
+  map[6] = "six";
+  map[2] = "two";
+  EXPECT_EQ(map.first_key(), 2u);
+  map.erase(2);
+  EXPECT_EQ(map.first_key(), 6u);
+}
+
+TEST(NodeMap, ClearRemovesEverything) {
+  Map map;
+  map[1] = "a";
+  map[2] = "b";
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(NodeMap, ChurnDoesNotMoveOtherEntries) {
+  // Erase keeps the slot, so churn on one key never invalidates
+  // pointers to the others - the property that makes renew/notify
+  // steady-state allocation-free.
+  Map map;
+  map[3] = "stable";
+  map[5] = "churn";
+  const std::string* stable = map.find(3);
+  for (int round = 0; round < 8; ++round) {
+    map.erase(5);
+    map[5] = "churn";
+  }
+  EXPECT_EQ(map.find(3), stable);
+  EXPECT_EQ(*stable, "stable");
+}
+
+TEST(NodeMap, ConstIterationAndLookup) {
+  Map map;
+  map[1] = "one";
+  const Map& view = map;
+  ASSERT_NE(view.find(1), nullptr);
+  EXPECT_EQ(view.at(1), "one");
+  std::size_t count = 0;
+  for (const auto& [key, value] : view) {
+    EXPECT_EQ(key, 1u);
+    EXPECT_EQ(value, "one");
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(NodeMap, ReservePresizesWithoutCreatingEntries) {
+  Map map;
+  map.reserve(64);
+  EXPECT_TRUE(map.empty());
+  map[64] = "edge";
+  EXPECT_EQ(map.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdcm::discovery

@@ -20,7 +20,7 @@ TEST(Cli, DefaultsMatchThePaperDesign) {
   EXPECT_EQ(options->sweep.models.size(), std::size(kAllModels));
   EXPECT_EQ(options->sweep.lambdas.size(), 19u);
   EXPECT_EQ(options->sweep.runs, 30);
-  EXPECT_EQ(options->sweep.users, 5);
+  EXPECT_EQ(options->sweep.topology.users, 5);
   EXPECT_TRUE(options->sweep.ablation.frodo_pr1);
   EXPECT_FALSE(options->sweep.shard.is_sharded());
   EXPECT_TRUE(options->jsonl.empty());
@@ -71,7 +71,7 @@ TEST(Cli, NumericFlags) {
       {"--runs=50", "--users=7", "--threads=4", "--seed=99", "--episodes=2"});
   ASSERT_TRUE(options.has_value());
   EXPECT_EQ(options->sweep.runs, 50);
-  EXPECT_EQ(options->sweep.users, 7);
+  EXPECT_EQ(options->sweep.topology.users, 7);
   EXPECT_EQ(options->sweep.threads, 4u);
   EXPECT_EQ(options->sweep.master_seed, 99u);
   EXPECT_EQ(options->sweep.ablation.episodes, 2);

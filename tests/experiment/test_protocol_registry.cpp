@@ -45,7 +45,8 @@ TEST(ProtocolRegistry, DescriptorsAreComplete) {
   for (const auto& descriptor : all_protocols()) {
     EXPECT_NE(descriptor.minimum_update_messages, nullptr);
     EXPECT_NE(descriptor.build, nullptr);
-    EXPECT_GT(descriptor.minimum_update_messages(5), 0u);
+    EXPECT_GT(descriptor.minimum_update_messages(5, descriptor.registry_nodes),
+              0u);
     EXPECT_GE(descriptor.registry_nodes, 0);
     EXPECT_LE(descriptor.registry_nodes, 2);
     // The log tools' node-id layout follows the descriptor.

@@ -113,7 +113,7 @@ TEST(Sink, JsonlRoundTripsRunsExactly) {
   EXPECT_EQ(header->models, config.models);
   EXPECT_EQ(header->lambdas, config.lambdas);
   EXPECT_EQ(header->runs, config.runs);
-  EXPECT_EQ(header->users, config.users);
+  EXPECT_EQ(header->users, config.topology.users);
   EXPECT_EQ(header->seed, config.master_seed);
   EXPECT_EQ(header->shard_count, 1u);
 

@@ -118,7 +118,7 @@ TEST(Sweep, StreamingSummariesMatchBatchBitForBit) {
   for (const auto& p : result.points) {
     const auto batch = metrics::update_metrics::summarize(
         p.records, metrics::update_metrics::kPaperGlobalMinimumMessages,
-        minimum_update_messages(p.model, config.users));
+        minimum_update_messages(p.model, config.topology.users));
     EXPECT_EQ(p.metrics.responsiveness, batch.responsiveness);
     EXPECT_EQ(p.metrics.effectiveness, batch.effectiveness);
     EXPECT_EQ(p.metrics.efficiency, batch.efficiency);
@@ -143,7 +143,7 @@ TEST(Sweep, StreamingMatchesBatchWithMultiEpisodePlansAndLoss) {
   for (const auto& p : result.points) {
     const auto batch = metrics::update_metrics::summarize(
         p.records, metrics::update_metrics::kPaperGlobalMinimumMessages,
-        minimum_update_messages(p.model, config.users));
+        minimum_update_messages(p.model, config.topology.users));
     EXPECT_EQ(p.metrics.responsiveness, batch.responsiveness);
     EXPECT_EQ(p.metrics.effectiveness, batch.effectiveness);
     EXPECT_EQ(p.metrics.efficiency, batch.efficiency);

@@ -72,7 +72,7 @@ TEST(TraceSink, StreamsEveryRunOfASweepWithExactFingerprints) {
         standalone.model = model;
         standalone.lambda = config.lambdas[li];
         standalone.seed = run_seed(config.master_seed, model, li, run);
-        standalone.users = config.users;
+        standalone.topology = config.topology;
         standalone.record_trace = true;
         config.ablation.apply(standalone);
         const auto record = run_experiment(standalone);

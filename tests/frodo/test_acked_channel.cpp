@@ -18,11 +18,11 @@ struct AckedChannelFixture : ::testing::Test {
     network.attach(2, [this](const net::Message&) { ++received; });
   }
 
-  net::Message make(std::string type = "frodo.test") {
+  net::Message make(std::string_view type = "frodo.test") {
     net::Message m;
     m.src = 1;
     m.dst = 2;
-    m.type = std::move(type);
+    m.type = net::MessageType::intern(type);
     m.klass = net::MessageClass::kUpdate;
     return m;
   }

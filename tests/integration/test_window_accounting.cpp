@@ -66,7 +66,7 @@ TEST(WindowAccounting, UserCountScalesTheMinimum) {
     config.model = SystemModel::kFrodoThreeParty;
     config.lambda = 0.0;
     config.seed = 3;
-    config.users = users;
+    config.topology.users = users;
     const auto record = run_experiment(config);
     EXPECT_EQ(record.window_messages,
               static_cast<std::uint64_t>(users) + 2)
@@ -82,7 +82,7 @@ TEST(WindowAccounting, UpnpScalesAsThreeN) {
     config.model = SystemModel::kUpnp;
     config.lambda = 0.0;
     config.seed = 5;
-    config.users = users;
+    config.topology.users = users;
     const auto record = run_experiment(config);
     EXPECT_EQ(record.window_messages,
               static_cast<std::uint64_t>(3 * users));

@@ -32,7 +32,7 @@ struct CapacityFixture : ::testing::Test {
     Message m;
     m.src = src;
     m.dst = dst;
-    m.type = "t";
+    m.type = sdcm::net::MessageType::intern("t");
     return m;
   }
 };

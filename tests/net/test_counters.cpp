@@ -5,11 +5,11 @@
 namespace sdcm::net {
 namespace {
 
-Message make(std::string type, MessageClass klass) {
+Message make(std::string_view type, MessageClass klass) {
   Message m;
   m.src = 1;
   m.dst = 2;
-  m.type = std::move(type);
+  m.type = MessageType::intern(type);
   m.klass = klass;
   return m;
 }

@@ -1,0 +1,148 @@
+// MessageType atom table and Payload storage-mode semantics - the
+// envelope half of the node/message API redesign. The atom table is
+// process-global and append-only, so every test interns names under a
+// test-local prefix instead of asserting absolute counts.
+
+#include "sdcm/net/message_type.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <typeinfo>
+#include <unordered_set>
+#include <vector>
+
+#include "sdcm/net/payload.hpp"
+
+namespace sdcm::net {
+namespace {
+
+TEST(MessageType, DefaultIsTheEmptyAtom) {
+  const MessageType t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.id(), 0u);
+  EXPECT_EQ(t.str(), "");
+  EXPECT_EQ(t, MessageType::intern(""));
+}
+
+TEST(MessageType, InternIsIdempotentAndRoundTrips) {
+  const auto a = MessageType::intern("test.atoms.alpha");
+  const auto b = MessageType::intern("test.atoms.alpha");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.str(), "test.atoms.alpha");
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(MessageType, LookupNeverCreates) {
+  const auto before = MessageType::count();
+  EXPECT_EQ(MessageType::lookup("test.atoms.never-interned"), std::nullopt);
+  EXPECT_EQ(MessageType::count(), before);
+  const auto minted = MessageType::intern("test.atoms.minted");
+  const auto found = MessageType::lookup("test.atoms.minted");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, minted);
+}
+
+TEST(MessageType, AtReconstructsEveryDenseId) {
+  const auto minted = MessageType::intern("test.atoms.at");
+  ASSERT_LT(minted.id(), MessageType::count());
+  EXPECT_EQ(MessageType::at(minted.id()), minted);
+  // Every id below count() is a valid atom with a stable spelling.
+  std::unordered_set<std::string_view> spellings;
+  for (MessageType::Id id = 0; id < MessageType::count(); ++id) {
+    EXPECT_TRUE(spellings.insert(MessageType::at(id).str()).second);
+  }
+}
+
+TEST(MessageType, OrdersByInternOrderNotSpelling) {
+  const auto zed = MessageType::intern("test.atoms.zzz-first");
+  const auto ant = MessageType::intern("test.atoms.aaa-second");
+  EXPECT_LT(zed, ant);  // interned first, despite sorting later by name
+}
+
+TEST(MessageType, SpellingComparisonsWork) {
+  const auto t = MessageType::intern("test.atoms.spelling");
+  EXPECT_TRUE(t == "test.atoms.spelling");
+  EXPECT_TRUE("test.atoms.spelling" == t);
+  EXPECT_TRUE(t != "test.atoms.other");
+  EXPECT_TRUE("test.atoms.other" != t);
+}
+
+TEST(MessageType, HashableAsUnorderedKey) {
+  std::unordered_set<MessageType> set;
+  set.insert(MessageType::intern("test.atoms.hash"));
+  set.insert(MessageType::intern("test.atoms.hash"));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.contains(MessageType::intern("test.atoms.hash")));
+}
+
+struct SmallPod {
+  std::uint64_t a = 0;
+  std::uint32_t b = 0;
+};
+static_assert(Payload::stored_inline<SmallPod>);
+
+struct BigPod {
+  unsigned char bytes[Payload::kInlineCapacity + 8] = {};
+};
+static_assert(!Payload::stored_inline<BigPod>);
+static_assert(!Payload::stored_inline<std::string>);
+
+TEST(Payload, EmptyHasNoValueAndThrowsOnRead) {
+  const Payload p;
+  EXPECT_FALSE(p.has_value());
+  EXPECT_THROW(static_cast<void>(p.as<int>()), std::bad_cast);
+}
+
+TEST(Payload, InlinePodRoundTrips) {
+  Payload p = SmallPod{7, 9};
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p.as<SmallPod>().a, 7u);
+  EXPECT_EQ(p.as<SmallPod>().b, 9u);
+}
+
+TEST(Payload, InlineCopiesAreIndependent) {
+  const Payload a = SmallPod{1, 2};
+  const Payload b = a;  // memcpy of the inline buffer
+  EXPECT_NE(&a.as<SmallPod>(), &b.as<SmallPod>());
+  EXPECT_EQ(b.as<SmallPod>().a, 1u);
+}
+
+TEST(Payload, LargeOrNonTrivialPayloadsShareStorage) {
+  const Payload a = std::string(200, 'x');
+  const Payload b = a;  // refcount bump, not a deep copy
+  EXPECT_EQ(&a.as<std::string>(), &b.as<std::string>());
+  EXPECT_EQ(b.as<std::string>().size(), 200u);
+
+  const Payload big = BigPod{};
+  const Payload big2 = big;
+  EXPECT_EQ(&big.as<BigPod>(), &big2.as<BigPod>());
+}
+
+TEST(Payload, TypeMismatchThrowsBadCast) {
+  const Payload p = SmallPod{1, 2};
+  EXPECT_THROW(static_cast<void>(p.as<int>()), std::bad_cast);
+  EXPECT_THROW(static_cast<void>(p.as<std::string>()), std::bad_cast);
+}
+
+TEST(Payload, ReassignmentSwitchesStorageModes) {
+  Payload p = std::string("shared first");
+  p = SmallPod{3, 4};  // shared -> inline must drop the shared_ptr
+  EXPECT_EQ(p.as<SmallPod>().a, 3u);
+  EXPECT_THROW(static_cast<void>(p.as<std::string>()), std::bad_cast);
+  p = std::string("shared again");  // inline -> shared
+  EXPECT_EQ(p.as<std::string>(), "shared again");
+  EXPECT_THROW(static_cast<void>(p.as<SmallPod>()), std::bad_cast);
+}
+
+TEST(Payload, ResetClearsTheValue) {
+  Payload p = SmallPod{1, 2};
+  p.reset();
+  EXPECT_FALSE(p.has_value());
+  EXPECT_THROW(static_cast<void>(p.as<SmallPod>()), std::bad_cast);
+}
+
+}  // namespace
+}  // namespace sdcm::net

@@ -20,12 +20,12 @@ struct NetworkFixture : ::testing::Test {
     network.attach(3, [this](const Message& m) { inbox3.push_back(m); });
   }
 
-  static Message msg(NodeId src, NodeId dst, std::string type,
+  static Message msg(NodeId src, NodeId dst, std::string_view type,
                      MessageClass klass = MessageClass::kControl) {
     Message m;
     m.src = src;
     m.dst = dst;
-    m.type = std::move(type);
+    m.type = MessageType::intern(type);
     m.klass = klass;
     return m;
   }
@@ -35,7 +35,7 @@ TEST_F(NetworkFixture, UnicastDelivers) {
   network.send(msg(1, 2, "hello"));
   simulator.run_until(seconds(1));
   ASSERT_EQ(inbox2.size(), 1u);
-  EXPECT_EQ(inbox2[0].type, "hello");
+  EXPECT_EQ(inbox2[0].type_name(), "hello");
   EXPECT_EQ(inbox2[0].src, 1u);
   EXPECT_TRUE(inbox1.empty());
   EXPECT_TRUE(inbox3.empty());
@@ -52,7 +52,7 @@ TEST_F(NetworkFixture, DelayWithinTableThreeBounds) {
     Message m;
     m.src = 1;
     m.dst = 2;
-    m.type = "t";
+    m.type = sdcm::net::MessageType::intern("t");
     n.send(m);
     s.run_until(seconds(1));
     ASSERT_GE(arrival, sim::microseconds(10));
@@ -164,6 +164,23 @@ TEST_F(NetworkFixture, ReservedIdThrows) {
                std::invalid_argument);
 }
 
+TEST_F(NetworkFixture, AttachErrorCarriesKindAndId) {
+  try {
+    network.attach(2, [](const Message&) {});
+    FAIL() << "duplicate attach must throw";
+  } catch (const AttachError& e) {
+    EXPECT_EQ(e.kind(), AttachError::Kind::kDuplicateId);
+    EXPECT_EQ(e.id(), NodeId{2});
+  }
+  try {
+    network.attach(sim::kNoNode, [](const Message&) {});
+    FAIL() << "reserved id must throw";
+  } catch (const AttachError& e) {
+    EXPECT_EQ(e.kind(), AttachError::Kind::kReservedId);
+    EXPECT_EQ(e.id(), sim::kNoNode);
+  }
+}
+
 TEST_F(NetworkFixture, UnknownInterfaceThrows) {
   EXPECT_THROW(static_cast<void>(network.interface(99)), std::out_of_range);
 }
@@ -180,7 +197,7 @@ TEST_F(NetworkFixture, InterfaceRecoveryRestoresDelivery) {
   network.send(msg(1, 2, "delivered"));
   simulator.run_until(seconds(2));
   ASSERT_EQ(inbox2.size(), 1u);
-  EXPECT_EQ(inbox2[0].type, "delivered");
+  EXPECT_EQ(inbox2[0].type_name(), "delivered");
 }
 
 TEST_F(NetworkFixture, MessageLossDropsApproximatelyTheConfiguredShare) {
@@ -225,7 +242,7 @@ TEST_F(NetworkFixture, MessageLossIsDeterministicPerSeed) {
       Message m;
       m.src = 1;
       m.dst = 2;
-      m.type = "x";
+      m.type = sdcm::net::MessageType::intern("x");
       n.send(m);
     }
     s.run_until(seconds(1));

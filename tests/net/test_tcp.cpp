@@ -19,11 +19,11 @@ struct TcpFixture : ::testing::Test {
     network.attach(2, [this](const Message& m) { inbox2.push_back(m); });
   }
 
-  static Message app_msg(NodeId src, NodeId dst, std::string type) {
+  static Message app_msg(NodeId src, NodeId dst, std::string_view type) {
     Message m;
     m.src = src;
     m.dst = dst;
-    m.type = std::move(type);
+    m.type = MessageType::intern(type);
     m.klass = MessageClass::kUpdate;
     return m;
   }
@@ -75,7 +75,7 @@ TEST(TcpRequestResponse, ResponderCanReplyOnSameConnection) {
       Message reply;
       reply.src = 2;
       reply.dst = 1;
-      reply.type = "response";
+      reply.type = sdcm::net::MessageType::intern("response");
       reply.klass = MessageClass::kUpdate;
       m.conn->send(reply);
     }
@@ -84,7 +84,7 @@ TEST(TcpRequestResponse, ResponderCanReplyOnSameConnection) {
   Message request;
   request.src = 1;
   request.dst = 2;
-  request.type = "request";
+  request.type = sdcm::net::MessageType::intern("request");
   request.klass = MessageClass::kUpdate;
   TcpConnection::open_and_send(network, request, {}, {});
   simulator.run_until(sim::seconds(1));
@@ -251,7 +251,7 @@ TEST(TcpLifetime, ConnectionSurvivesViaPendingEventsOnly) {
   Message m;
   m.src = 1;
   m.dst = 2;
-  m.type = "oneshot";
+  m.type = sdcm::net::MessageType::intern("oneshot");
   m.klass = MessageClass::kControl;
   TcpConnection::open_and_send(network, m, {}, {});
   simulator.run_until(sim::seconds(1));

@@ -220,6 +220,60 @@ ChurnResult run_lease_churn(const ChurnShape& shape, Setup setup) {
   return result;
 }
 
+// --- simulator-loop throughput --------------------------------------
+
+// Drives events through Simulator::run_until itself - the dispatch path
+// that carries the (compile-time-gated) profiler hooks - rather than
+// the bare queue. The CI gate compares sim_loop.events_per_sec of a
+// profiler-off build against the parent commit's to prove the hooks
+// cost nothing when SDCM_PROFILE is off; `profile_compiled` records
+// which configuration produced the artifact.
+struct LoopResult {
+  std::uint64_t events = 0;
+  double best_seconds = 0.0;
+};
+
+LoopResult run_sim_loop(bool smoke) {
+  const std::uint64_t limit = smoke ? 50000 : 2000000;
+  const int reps = smoke ? 2 : 5;
+
+  struct Chain {
+    sim::Simulator* simulator = nullptr;
+    std::uint64_t* fired = nullptr;
+    std::uint64_t limit = 0;
+
+    void arm(sim::SimTime at) {
+      simulator->schedule_at(at, [this] {
+        ++*fired;
+        if (*fired < limit) arm(simulator->now() + 10);
+      });
+    }
+  };
+
+  LoopResult result;
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::Simulator simulator(7);
+    simulator.trace().set_recording(false);
+    std::uint64_t fired = 0;
+    constexpr std::size_t kChains = 16;
+    std::vector<Chain> chains(kChains);
+    for (std::size_t c = 0; c < kChains; ++c) {
+      chains[c] = Chain{&simulator, &fired, limit};
+      chains[c].arm(static_cast<sim::SimTime>(c + 1));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    simulator.run_all();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    result.events = fired;
+    if (rep == 0 || seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+    }
+  }
+  return result;
+}
+
 void emit_queue(bench::JsonWriter& json, const char* key,
                 const ChurnResult& r) {
   const double ns_per_op =
@@ -288,6 +342,23 @@ int run_lease_churn_comparison(bool smoke) {
       .end();
   emit_queue(json, "seed_queue", seed);
   emit_queue(json, "indexed_queue", indexed);
+  const LoopResult loop = run_sim_loop(smoke);
+  {
+    const double ns_per_event =
+        loop.best_seconds * 1e9 / static_cast<double>(loop.events);
+    const double events_per_sec =
+        static_cast<double>(loop.events) / loop.best_seconds;
+    json.begin("sim_loop")
+        .field("events", loop.events)
+        .field("best_seconds", loop.best_seconds)
+        .field("ns_per_event", ns_per_event)
+        .field("events_per_sec", events_per_sec)
+        .field("profile_compiled", SDCM_PROFILE_ENABLED != 0)
+        .end();
+    std::printf("  %-14s %10.1f ns/op  %12.0f events/sec  (profiler %s)\n",
+                "sim_loop", ns_per_event, events_per_sec,
+                SDCM_PROFILE_ENABLED != 0 ? "compiled in" : "off");
+  }
   json.begin("kernel_counters")
       .field("events_scheduled", totals.events_scheduled)
       .field("events_cancelled", totals.events_cancelled)

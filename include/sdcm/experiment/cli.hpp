@@ -28,6 +28,12 @@ struct Options {
   /// Run the consistency oracle on every run (CheckSink); the process
   /// exits 1 when any invariant is violated.
   bool check = false;
+  /// Profile every run's wall clock (ProfileSink) and write the
+  /// campaign profile JSONL. Default path (when `profile_path` is
+  /// empty): "<jsonl>.profile.jsonl" next to the campaign log, or
+  /// "profile.jsonl" when no --jsonl was given.
+  bool profile = false;
+  std::string profile_path;
   /// Live progress on stderr (--no-progress disables).
   bool progress = true;
   bool help = false;
@@ -46,6 +52,7 @@ struct Options {
 ///   --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5
 ///   --placement=fit|truncated  --episodes=N  --loss=P
 ///   --check        run the consistency oracle on every run
+///   --profile[=FILE]  profile every run; write the campaign profile JSONL
 ///   --no-progress
 ///   --help
 std::optional<Options> parse(int argc, const char* const* argv,

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sdcm/obs/profiler.hpp"
+
+namespace sdcm::experiment {
+
+/// A campaign's aggregated wall-clock profile: one merged RunProfile
+/// per system model, keyed by the model's campaign name ("UPnP",
+/// "FRODO-3party", ...). Models are kept bytewise-sorted by name so the
+/// JSONL export is canonical: two shards of the same campaign merge to
+/// the byte-identical unsharded file.
+struct CampaignProfile {
+  /// The shared per-event histogram bucket bounds (ns); copied from
+  /// obs::profile_ns_bounds() on write, validated on read so profiles
+  /// from different binaries never merge bucket-for-bucket silently.
+  std::vector<std::uint64_t> bounds;
+  /// (model name, merged profile), bytewise-ascending by name.
+  std::vector<std::pair<std::string, obs::RunProfile>> models;
+
+  [[nodiscard]] bool empty() const noexcept { return models.empty(); }
+  /// Folds one run's profile into the model's aggregate.
+  void add(std::string_view model, const obs::RunProfile& profile);
+  /// Folds a whole campaign profile in (shard merge). Bounds must match
+  /// (or one side be empty); returns false and leaves *this unchanged
+  /// on a bounds mismatch.
+  [[nodiscard]] bool merge(const CampaignProfile& other);
+};
+
+/// Writes the campaign profile as JSONL: a header line
+///   {"sdcm_profile":1,"bounds":[...]}
+/// then, per model in sorted order, one model line (runs, loop totals),
+/// one line per event type and one line per phase, each sorted bytewise
+/// by name. All integers print in full decimal, so write -> read ->
+/// write reproduces the input byte-for-byte.
+void write_profile_jsonl(std::ostream& out, const CampaignProfile& profile);
+
+/// Parses a profile JSONL stream back. Returns false with a message on
+/// `error` for malformed input (bad header, unknown line shape, events
+/// before their model line).
+[[nodiscard]] bool read_profile_jsonl(std::istream& in,
+                                      CampaignProfile& profile,
+                                      std::string& error);
+
+/// Renders the human-readable top-N table per model: event type, count,
+/// total ms, ns/event, share of the run loop - plus the phase timers
+/// and memory watermarks. `top_n` caps the event rows per model
+/// (0 = all).
+void write_profile_table(std::ostream& out, const CampaignProfile& profile,
+                         std::size_t top_n);
+
+/// Renders a side-by-side diff of two campaign profiles (e.g. before /
+/// after an optimisation): per model and event type, ns/event in each
+/// profile and the relative change. Rows are matched by (model, event)
+/// name; entries present on one side only are marked. Returns the
+/// number of matched rows whose ns/event moved by more than
+/// `threshold` (fraction, e.g. 0.10), so callers can gate on drift.
+std::size_t write_profile_diff(std::ostream& out, const CampaignProfile& a,
+                               const CampaignProfile& b, double threshold);
+
+}  // namespace sdcm::experiment

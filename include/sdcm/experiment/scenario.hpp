@@ -9,6 +9,7 @@
 #include "sdcm/mdns/mdns.hpp"
 #include "sdcm/metrics/update_metrics.hpp"
 #include "sdcm/net/failure_model.hpp"
+#include "sdcm/obs/profiler.hpp"
 #include "sdcm/obs/registry.hpp"
 #include "sdcm/sim/trace.hpp"
 #include "sdcm/upnp/config.hpp"
@@ -115,6 +116,14 @@ struct ExperimentConfig {
   /// regression tests.
   net::FailureApplication failure_application =
       net::FailureApplication::kRefcounted;
+  /// Wall-clock profiler (sdcm/obs/profiler.hpp). When set, the run
+  /// attaches it to the simulator (per-event attribution needs a
+  /// -DSDCM_PROFILE=ON build; phase timers work in every build) and
+  /// records the setup/loop/extract phase hierarchy into it. Purely an
+  /// observer: golden trace fingerprints are unchanged. Not owned; must
+  /// outlive the run. One profiler per run - runs on the sweep's thread
+  /// pool must not share one (ProfileSink hands each run its own).
+  obs::Profiler* profiler = nullptr;
   /// Synthetic workload layered on top of the paper scenario: node churn,
   /// announcement storms, or link saturation (kStatic leaves the run
   /// untouched, bit-identical to the pre-workload traces). See

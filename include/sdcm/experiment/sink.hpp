@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sdcm/check/oracle.hpp"
+#include "sdcm/experiment/profile.hpp"
 #include "sdcm/experiment/sweep.hpp"
 #include "sdcm/obs/trace_jsonl.hpp"
 
@@ -173,6 +174,44 @@ class CheckSink final : public RunSink {
   std::vector<CampaignViolation> violations_;
   std::atomic<std::uint64_t> runs_checked_{0};
   std::atomic<std::uint64_t> violation_total_{0};
+};
+
+/// Aggregates every run's wall-clock profile (obs::Profiler) into a
+/// per-model CampaignProfile. Wire it via SweepConfig::profile_sink
+/// (NOT the regular `sink` chain - like TraceSink the engine drives it
+/// itself): the engine calls open_run on the worker thread before each
+/// run and installs the returned profiler as the run's
+/// ExperimentConfig::profiler; on_run - the engine calls it after every
+/// other sink so the engine-side phases are already recorded - then
+/// snapshots and folds the run into the campaign aggregate. Read
+/// campaign() only after run_sweep returns.
+class ProfileSink final : public RunSink {
+ public:
+  ProfileSink() = default;
+
+  /// Creates the run's profiler and returns it for installation as the
+  /// run's ExperimentConfig::profiler. Thread-safe; the profiler stays
+  /// valid until the matching on_run.
+  [[nodiscard]] obs::Profiler* open_run(SystemModel model,
+                                        std::size_t lambda_index, int run);
+
+  void on_run(const RunEvent& event) override;
+
+  [[nodiscard]] std::uint64_t runs_profiled() const noexcept {
+    return runs_profiled_.load(std::memory_order_relaxed);
+  }
+  /// The campaign aggregate; only read after run_sweep returns.
+  [[nodiscard]] const CampaignProfile& campaign() const noexcept {
+    return campaign_;
+  }
+
+ private:
+  using RunKey = std::tuple<SystemModel, std::size_t, int>;
+
+  std::mutex mutex_;  // guards open_
+  std::map<RunKey, std::unique_ptr<obs::Profiler>> open_;
+  CampaignProfile campaign_;  // mutated only under the engine's lock
+  std::atomic<std::uint64_t> runs_profiled_{0};
 };
 
 /// Live progress on a stream (stderr in sdcm_sweep): done/total,

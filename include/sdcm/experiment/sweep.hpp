@@ -14,9 +14,10 @@
 
 namespace sdcm::experiment {
 
-class RunSink;    // sink.hpp
-class TraceSink;  // sink.hpp
-class CheckSink;  // sink.hpp
+class RunSink;      // sink.hpp
+class TraceSink;    // sink.hpp
+class CheckSink;    // sink.hpp
+class ProfileSink;  // sink.hpp
 
 /// The declarative per-run overrides of the paper's ablation studies:
 /// every recovery-technique toggle (Table 4), the failure-episode
@@ -97,6 +98,14 @@ struct SweepConfig {
   /// run, callbacks after the regular `sink`'s. Composes with
   /// trace_sink - the oracle tees the trace stream downstream.
   CheckSink* check_sink = nullptr;
+  /// Profiles every run's wall clock (non-owning; may be null). Driven
+  /// by the engine like trace_sink: open_run hands each run its own
+  /// obs::Profiler (installed as ExperimentConfig::profiler), and the
+  /// engine's sink/oracle callbacks are themselves timed into the
+  /// run's phase.sink_flush / phase.oracle_check before the profile is
+  /// folded into the campaign aggregate. Per-event attribution needs a
+  /// -DSDCM_PROFILE=ON build; phase timers work in every build.
+  ProfileSink* profile_sink = nullptr;
 
   static std::vector<double> paper_lambda_grid();
 

@@ -4,9 +4,12 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace sdcm::obs {
@@ -64,6 +67,19 @@ class Histogram {
     const std::size_t i = index_of(value);
     if (i >= counts_.size()) counts_.resize(i + 1, 0);
     ++counts_[i];
+  }
+
+  /// Records `value` n times in O(1). Used by bulk importers (profiler
+  /// flush) rebuilding a histogram from pre-aggregated buckets.
+  void record_n(std::uint64_t value, std::uint64_t n) noexcept {
+    if (n == 0) return;
+    count_ += n;
+    sum_ += value * n;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    const std::size_t i = index_of(value);
+    if (i >= counts_.size()) counts_.resize(i + 1, 0);
+    counts_[i] += n;
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
@@ -158,26 +174,45 @@ class Histogram {
 /// paths may cache `&registry.counter("x")` across inserts.
 class Registry {
  public:
-  /// Finds or creates the named counter.
-  Counter& counter(const std::string& name) { return counters_[name]; }
+  /// Finds or creates the named counter. Heterogeneous lookup: the map
+  /// uses std::less<>, so a string_view probes without materializing a
+  /// std::string; one is constructed only on the insert path.
+  Counter& counter(std::string_view name) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+    return counters_.emplace(std::string(name), Counter{}).first->second;
+  }
 
   /// Finds or creates a named log-linear histogram.
-  Histogram& histogram(const std::string& name,
-                       std::uint32_t sub_buckets = 32) {
+  Histogram& histogram(std::string_view name, std::uint32_t sub_buckets = 32) {
     const auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second;
-    return histograms_.emplace(name, Histogram{sub_buckets}).first->second;
+    return histograms_.emplace(std::string(name), Histogram{sub_buckets})
+        .first->second;
   }
 
   /// Finds or creates a named fixed-bucket histogram. The bounds apply
   /// only on creation; a later call with different bounds returns the
   /// existing histogram unchanged.
-  Histogram& fixed_histogram(const std::string& name,
+  Histogram& fixed_histogram(std::string_view name,
                              std::vector<std::uint64_t> upper_bounds) {
     const auto it = histograms_.find(name);
     if (it != histograms_.end()) return it->second;
-    return histograms_.emplace(name, Histogram{std::move(upper_bounds)})
+    return histograms_
+        .emplace(std::string(name), Histogram{std::move(upper_bounds)})
         .first->second;
+  }
+
+  /// Stores a fully built histogram under `name`, replacing any existing
+  /// one. Used by bulk importers (the profiler flush) that build
+  /// histograms outside the registry.
+  void put_histogram(std::string_view name, Histogram histogram) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) {
+      it->second = std::move(histogram);
+      return;
+    }
+    histograms_.emplace(std::string(name), std::move(histogram));
   }
 
   [[nodiscard]] const std::map<std::string, Counter, std::less<>>&
@@ -189,12 +224,11 @@ class Registry {
     return histograms_;
   }
 
-  [[nodiscard]] const Counter* find_counter(const std::string& name) const {
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const {
     const auto it = counters_.find(name);
     return it == counters_.end() ? nullptr : &it->second;
   }
-  [[nodiscard]] const Histogram* find_histogram(
-      const std::string& name) const {
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const {
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
   }
@@ -212,5 +246,15 @@ class Registry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
+
+/// Renders every counter and histogram as text, one metric per line.
+///
+/// Ordering contract: metrics print in bytewise-ascending name order
+/// (std::map over std::string's operator<, i.e. unsigned char
+/// comparison, independent of locale and standard library), counters
+/// before histograms. Tools that diff registry dumps (`sdcm_logs
+/// --histograms`, `--profile-diff`, CI artifacts) rely on this being
+/// byte-stable across libstdc++ and libc++.
+void write_registry_text(std::ostream& out, const Registry& registry);
 
 }  // namespace sdcm::obs

@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "sdcm/obs/profiler.hpp"
 #include "sdcm/obs/registry.hpp"
 #include "sdcm/sim/event_queue.hpp"
 #include "sdcm/sim/kernel_stats.hpp"
@@ -100,6 +101,28 @@ class Simulator {
     return stats_;
   }
 
+  /// Attaches a wall-clock profiler (nullptr detaches). The member is
+  /// unconditional (same ODR policy as the registry) but the event
+  /// loop only reads it under SDCM_PROFILE=1 - a default build pays
+  /// nothing per event regardless of attachment.
+  void set_profiler(obs::Profiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] obs::Profiler* profiler() const noexcept {
+    return profiler_;
+  }
+
+  /// Attributes the currently dispatching event to `site` (an interned
+  /// net::MessageType atom id; see obs/profile_site.hpp). Compiled to
+  /// nothing unless SDCM_PROFILE=1.
+  void profile_attribute(std::uint32_t site) noexcept {
+#if SDCM_PROFILE_ENABLED
+    if (profiler_ != nullptr) profiler_->attribute(site);
+#else
+    static_cast<void>(site);
+#endif
+  }
+
  private:
   SimTime now_ = 0;
   bool stopped_ = false;
@@ -109,6 +132,7 @@ class Simulator {
   Random rng_;
   TraceLog trace_;
   obs::Registry obs_;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 /// RAII helper for periodic behaviour (announcements, lease renewals).
@@ -137,6 +161,13 @@ class PeriodicTimer {
   void stop() noexcept;
   [[nodiscard]] bool running() const noexcept { return sim_ != nullptr; }
 
+  /// Profiling label for this timer's ticks: every dispatched on_tick
+  /// is attributed to `site` (an interned atom id). Survives stop() /
+  /// restart; set it once via SDCM_PROFILE_TIMER (profile_site.hpp).
+  void set_profile_site(std::uint32_t site) noexcept {
+    profile_site_ = site;
+  }
+
  private:
   void arm(SimDuration delay);
 
@@ -144,6 +175,7 @@ class PeriodicTimer {
   EventId pending_ = kInvalidEventId;
   TickFn on_tick_;
   PeriodFn next_period_;
+  std::uint32_t profile_site_ = 0;
 };
 
 }  // namespace sdcm::sim

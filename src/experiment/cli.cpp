@@ -87,6 +87,14 @@ std::string usage() {
          "  --no-frodo-pr5 --no-upnp-pr4 --no-upnp-pr5   ablations\n"
          "  --check            run the consistency oracle on every run;\n"
          "                     exit 1 on any invariant violation\n"
+         "  --profile[=FILE]   attach a wall-clock profiler to every run\n"
+         "                     and write the per-model campaign profile as\n"
+         "                     JSONL (default FILE: '<jsonl>.profile.jsonl'\n"
+         "                     next to the campaign log, else\n"
+         "                     'profile.jsonl'); per-event attribution\n"
+         "                     needs a -DSDCM_PROFILE=ON build, phase\n"
+         "                     timers work in every build; render with\n"
+         "                     sdcm_logs --profile-table\n"
          "  --no-progress      disable the live stderr progress line\n"
          "  --help\n";
   return oss.str();
@@ -277,6 +285,9 @@ std::optional<Options> parse(int argc, const char* const* argv,
       options.sweep.ablation.upnp_pr5 = false;
     } else if (key == "--check") {
       options.check = true;
+    } else if (key == "--profile") {
+      options.profile = true;
+      options.profile_path = std::string(value);
     } else if (key == "--no-progress") {
       options.progress = false;
     } else {

@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -12,10 +13,27 @@
 #include "sdcm/experiment/workload.hpp"
 #include "sdcm/net/failure_model.hpp"
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::experiment {
 
 namespace {
+
+/// Phase-timer sites (see DESIGN.md section 13): interned once, shared
+/// by every run in the process. The engine-side phases
+/// (phase.oracle_check / phase.sink_flush) live in sweep.cpp.
+struct PhaseSites {
+  std::uint32_t topology_build = obs::profile_site_id("phase.topology_build");
+  std::uint32_t failure_plan = obs::profile_site_id("phase.failure_plan");
+  std::uint32_t workload_plan = obs::profile_site_id("phase.workload_plan");
+  std::uint32_t run_loop = obs::profile_site_id("phase.run_loop");
+  std::uint32_t extract = obs::profile_site_id("phase.extract");
+};
+
+const PhaseSites& phase_sites() {
+  static const PhaseSites sites;
+  return sites;
+}
 
 /// Shared body of run_experiment / run_experiment_traced. The simulator
 /// lives in the caller so the traced variant can move the trace log and
@@ -23,6 +41,10 @@ namespace {
 /// storage regardless of config.record_trace.
 metrics::RunRecord run_impl(const ExperimentConfig& config,
                             sim::Simulator& simulator, bool keep_records) {
+  obs::Profiler* const profiler = config.profiler;
+  if (profiler != nullptr) simulator.set_profiler(profiler);
+  std::optional<obs::PhaseScope> phase;
+  phase.emplace(profiler, phase_sites().topology_build);
   const bool store = config.record_trace || keep_records;
   simulator.trace().set_recording(store || config.trace_writer != nullptr ||
                                   config.oracle != nullptr);
@@ -56,6 +78,7 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
   for (auto& node : topo.nodes) node->start();
 
   // Failure plan (Section 5 Step 2): one episode per node at rate lambda.
+  phase.emplace(profiler, phase_sites().failure_plan);
   auto failure_rng = simulator.rng().fork("experiment.failures");
   net::FailurePlanConfig plan_config;
   plan_config.lambda = config.lambda;
@@ -67,7 +90,10 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
 
   // Workload plan: churn departures ride the same failure-episode
   // machinery (a leaver's interfaces go down for the whole absence), so
-  // the oracle's outage model covers them with no new concepts.
+  // the oracle's outage model covers them with no new concepts. The
+  // phase also covers arming the oracle, applying the failure plan and
+  // scheduling the lifecycle/change events - the whole pre-loop tail.
+  phase.emplace(profiler, phase_sites().workload_plan);
   WorkloadPlan workload_plan;
   if (config.workload.enabled()) {
     WorkloadTopology workload_topo;
@@ -110,13 +136,22 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
       discovery::Node* node = it->second;
       switch (event.action) {
         case WorkloadAction::kDepart:
-          simulator.schedule_at(event.at, [node] { node->depart(); });
+          simulator.schedule_at(event.at, [&simulator, node] {
+            SDCM_PROFILE_SITE(simulator, "timer.workload.depart");
+            node->depart();
+          });
           break;
         case WorkloadAction::kRejoin:
-          simulator.schedule_at(event.at, [node] { node->rejoin(); });
+          simulator.schedule_at(event.at, [&simulator, node] {
+            SDCM_PROFILE_SITE(simulator, "timer.workload.rejoin");
+            node->rejoin();
+          });
           break;
         case WorkloadAction::kAnnounce:
-          simulator.schedule_at(event.at, [node] { node->announce_now(); });
+          simulator.schedule_at(event.at, [&simulator, node] {
+            SDCM_PROFILE_SITE(simulator, "timer.workload.announce");
+            node->announce_now();
+          });
           break;
       }
     }
@@ -156,12 +191,15 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
     }
   };
   simulator.schedule_at(change_at, [&] {
+    SDCM_PROFILE_SITE(simulator, "timer.experiment.change");
     count_at_change = chatter_total();
     topo.change_service();
   });
 
+  phase.emplace(profiler, phase_sites().run_loop);
   simulator.run_until(config.duration);
 
+  phase.emplace(profiler, phase_sites().extract);
   metrics::RunRecord record;
   record.change_time = change_at;
   record.deadline = config.duration;
@@ -176,6 +214,13 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
   record.kernel = simulator.kernel_stats();
   if (simulator.trace().recording()) {
     record.trace_fingerprint = simulator.trace().fingerprint();
+  }
+  phase.reset();
+  if (profiler != nullptr) {
+    // Surface the profile through the run's registry too, so traced
+    // tools (--histograms, the future metrics endpoint) see it.
+    profiler->flush_to(simulator.obs());
+    simulator.set_profiler(nullptr);
   }
   return record;
 }

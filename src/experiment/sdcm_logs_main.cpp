@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sdcm/experiment/cli.hpp"
+#include "sdcm/experiment/profile.hpp"
 #include "sdcm/experiment/protocol_registry.hpp"
 #include "sdcm/experiment/scenario.hpp"
 #include "sdcm/net/failure_model.hpp"
@@ -68,14 +69,26 @@ int usage() {
       stderr,
       "usage: sdcm_logs <system> <lambda> <seed> [flags]\n"
       "       sdcm_logs --diff <a.jsonl> <b.jsonl>\n"
+      "       sdcm_logs --profile-table <profile.jsonl>\n"
+      "       sdcm_logs --profile-diff <a.jsonl> <b.jsonl>\n"
       "  systems: %s\n"
       "  --full           print the full event log\n"
       "  --tree[=SPAN]    print the causal propagation tree rooted at SPAN\n"
       "                   (default: the run's service-change record)\n"
-      "  --histograms     print the metrics registry (needs -DSDCM_OBS=ON)\n"
+      "  --histograms     print the metrics registry, in bytewise-ascending\n"
+      "                   name order, counters before histograms - stable\n"
+      "                   across platforms and standard libraries, so the\n"
+      "                   output diffs cleanly in CI (needs -DSDCM_OBS=ON)\n"
+      "  --profile        attach the wall-clock profiler to the run and\n"
+      "                   print the top-N attribution table (per-event\n"
+      "                   rows need a -DSDCM_PROFILE=ON build)\n"
       "  --export=FILE    write the run's trace as JSONL ('-' = stdout)\n"
       "  --diff A B       compare two exported traces: fingerprints and\n"
-      "                   the first diverging record (no simulation)\n",
+      "                   the first diverging record (no simulation)\n"
+      "  --profile-table F  render a campaign profile JSONL (sdcm_sweep\n"
+      "                   --profile) as the top-N table (no simulation)\n"
+      "  --profile-diff A B  compare two campaign profiles: ns/event side\n"
+      "                   by side with relative change (no simulation)\n",
       experiment::model_name_list().c_str());
   return 2;
 }
@@ -138,25 +151,45 @@ void print_registry(const obs::Registry& registry) {
                 "hot paths)\n");
     return;
   }
-  for (const auto& [name, counter] : registry.counters()) {
-    std::printf("  %-36s %llu\n", name.c_str(),
-                static_cast<unsigned long long>(counter.value()));
+  // The shared emitter pins the ordering contract (bytewise-ascending
+  // names, counters before histograms) in one place.
+  std::fflush(stdout);
+  obs::write_registry_text(std::cout, registry);
+  std::cout.flush();
+}
+
+int load_profile(const char* path, experiment::CampaignProfile& profile) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path);
+    return 1;
   }
-  for (const auto& [name, histogram] : registry.histograms()) {
-    std::printf("  %-36s n=%llu min=%llu mean=%.1f p99<=%llu max=%llu\n",
-                name.c_str(),
-                static_cast<unsigned long long>(histogram.count()),
-                static_cast<unsigned long long>(histogram.min()),
-                histogram.mean(),
-                static_cast<unsigned long long>(
-                    histogram.quantile_upper(0.99)),
-                static_cast<unsigned long long>(histogram.max()));
-    for (const auto& bucket : histogram.buckets()) {
-      std::printf("    <= %-12llu %llu\n",
-                  static_cast<unsigned long long>(bucket.upper),
-                  static_cast<unsigned long long>(bucket.count));
-    }
+  std::string error;
+  if (!experiment::read_profile_jsonl(in, profile, error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path, error.c_str());
+    return 1;
   }
+  return 0;
+}
+
+int profile_table(const char* path) {
+  experiment::CampaignProfile profile;
+  if (const int rc = load_profile(path, profile); rc != 0) return rc;
+  experiment::write_profile_table(std::cout, profile, 20);
+  std::cout.flush();
+  return 0;
+}
+
+int profile_diff(const char* path_a, const char* path_b) {
+  experiment::CampaignProfile a;
+  experiment::CampaignProfile b;
+  if (const int rc = load_profile(path_a, a); rc != 0) return rc;
+  if (const int rc = load_profile(path_b, b); rc != 0) return rc;
+  const std::size_t drifted =
+      experiment::write_profile_diff(std::cout, a, b, 0.10);
+  std::printf("%zu row(s) moved by more than 10%%\n", drifted);
+  std::cout.flush();
+  return 0;
 }
 
 }  // namespace
@@ -165,6 +198,14 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::string_view(argv[1]) == "--diff") {
     if (argc != 4) return usage();
     return diff_traces(argv[2], argv[3]);
+  }
+  if (argc >= 2 && std::string_view(argv[1]) == "--profile-table") {
+    if (argc != 3) return usage();
+    return profile_table(argv[2]);
+  }
+  if (argc >= 2 && std::string_view(argv[1]) == "--profile-diff") {
+    if (argc != 4) return usage();
+    return profile_diff(argv[2], argv[3]);
   }
   if (argc < 4) return usage();
   const auto model = experiment::cli::model_from_name(argv[1]);
@@ -178,6 +219,7 @@ int main(int argc, char** argv) {
   bool full = false;
   bool tree = false;
   bool histograms = false;
+  bool profile = false;
   sim::SpanId tree_root = sim::kNoSpan;
   std::string export_path;
   for (int i = 4; i < argc; ++i) {
@@ -192,6 +234,8 @@ int main(int argc, char** argv) {
           std::strtoull(arg.data() + 7, nullptr, 10));
     } else if (arg == "--histograms") {
       histograms = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg.rfind("--export=", 0) == 0) {
       export_path = std::string(arg.substr(9));
     } else {
@@ -205,6 +249,8 @@ int main(int argc, char** argv) {
   config.lambda = lambda;
   config.seed = seed;
   config.record_trace = true;
+  sdcm::obs::Profiler profiler;
+  if (profile) config.profiler = &profiler;
 
   // The failure plan is printed from a separate reproduction: identical
   // forked streams draw the identical plan run_experiment_traced applies.
@@ -297,6 +343,19 @@ int main(int argc, char** argv) {
   if (histograms) {
     std::printf("\nmetrics registry:\n");
     print_registry(traced.obs);
+  }
+
+  if (profile) {
+    std::printf("\nwall-clock profile:\n");
+#if !SDCM_PROFILE_ENABLED
+    std::printf("  (phase timers only - rebuild with -DSDCM_PROFILE=ON for "
+                "per-event attribution)\n");
+#endif
+    experiment::CampaignProfile campaign;
+    campaign.add(experiment::to_string(*model), profiler.snapshot());
+    std::fflush(stdout);
+    experiment::write_profile_table(std::cout, campaign, 20);
+    std::cout.flush();
   }
 
   if (!export_path.empty()) {

@@ -136,6 +136,16 @@ int main(int argc, char** argv) {
     checks.emplace();
     config.check_sink = &*checks;
   }
+  std::optional<ProfileSink> profiles;
+  if (options->profile) {
+    profiles.emplace();
+    config.profile_sink = &*profiles;
+#if !SDCM_PROFILE_ENABLED
+    std::cerr << "note: per-event attribution is compiled out; the profile "
+                 "will carry phase timers only (rebuild with "
+                 "-DSDCM_PROFILE=ON)\n";
+#endif
+  }
   config.sink = &sinks;
 
   if (config.shard.is_sharded()) {
@@ -164,6 +174,23 @@ int main(int argc, char** argv) {
                  traces->directory().c_str(),
                  static_cast<unsigned long long>(traces->records_written()),
                  static_cast<double>(traces->bytes_flushed()) / 1e6);
+  }
+  if (profiles) {
+    std::string path = options->profile_path;
+    if (path.empty()) {
+      path = (!options->jsonl.empty() && options->jsonl != "-")
+                 ? options->jsonl + ".profile.jsonl"
+                 : "profile.jsonl";
+    }
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) {
+      std::cerr << "error: cannot write " << path << '\n';
+      return 1;
+    }
+    write_profile_jsonl(file, profiles->campaign());
+    std::fprintf(stderr, "wrote %s: wall-clock profile of %llu runs\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(profiles->runs_profiled()));
   }
   report(result, *options);
   if (checks) {

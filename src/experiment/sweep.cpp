@@ -8,6 +8,7 @@
 #include "sdcm/experiment/protocol_registry.hpp"
 #include "sdcm/experiment/sink.hpp"
 #include "sdcm/experiment/thread_pool.hpp"
+#include "sdcm/obs/profile_site.hpp"
 #include "sdcm/sim/random.hpp"
 
 namespace sdcm::experiment {
@@ -194,9 +195,17 @@ SweepResult run_sweep(const SweepConfig& config) {
   RunSink* const sink = config.sink;
   TraceSink* const trace_sink = config.trace_sink;
   CheckSink* const check_sink = config.check_sink;
+  ProfileSink* const profile_sink = config.profile_sink;
   if (sink != nullptr) sink->on_campaign_begin(config, jobs.size());
   if (trace_sink != nullptr) trace_sink->on_campaign_begin(config, jobs.size());
   if (check_sink != nullptr) check_sink->on_campaign_begin(config, jobs.size());
+  if (profile_sink != nullptr) {
+    profile_sink->on_campaign_begin(config, jobs.size());
+  }
+  // Engine-side phase sites; the run-side phases live in scenario.cpp.
+  const std::uint32_t sink_flush_site = obs::profile_site_id("phase.sink_flush");
+  const std::uint32_t oracle_check_site =
+      obs::profile_site_id("phase.oracle_check");
 
   // One lock serializes the streaming reduction and the sink callbacks;
   // runs take milliseconds to seconds each, so contention is noise.
@@ -224,6 +233,10 @@ SweepResult run_sweep(const SweepConfig& config) {
       run_config.oracle =
           check_sink->open_run(point.model, point.lambda_index, job.run);
     }
+    if (profile_sink != nullptr) {
+      run_config.profiler =
+          profile_sink->open_run(point.model, point.lambda_index, job.run);
+    }
 
     const auto run_start = std::chrono::steady_clock::now();
     metrics::RunRecord record = run_experiment(run_config);
@@ -238,7 +251,8 @@ SweepResult run_sweep(const SweepConfig& config) {
     result.summary.run_wall_ns_total += wall_ns;
     result.summary.sim_seconds_total += sim::to_seconds(record.deadline);
     sim::accumulate(result.summary.kernel, record.kernel);
-    if (sink != nullptr || trace_sink != nullptr || check_sink != nullptr) {
+    if (sink != nullptr || trace_sink != nullptr || check_sink != nullptr ||
+        profile_sink != nullptr) {
       RunEvent event;
       event.model = point.model;
       event.lambda = point.lambda;
@@ -248,9 +262,19 @@ SweepResult run_sweep(const SweepConfig& config) {
       event.seed = run_config.seed;
       event.wall_ns = wall_ns;
       event.record = &record;
-      if (sink != nullptr) sink->on_run(event);
-      if (trace_sink != nullptr) trace_sink->on_run(event);
-      if (check_sink != nullptr) check_sink->on_run(event);
+      // The engine-side sinks are themselves charged to the run's
+      // profile (null-safe scopes); profile_sink goes last so its
+      // snapshot sees those phases.
+      if (sink != nullptr || trace_sink != nullptr) {
+        const obs::PhaseScope flush(run_config.profiler, sink_flush_site);
+        if (sink != nullptr) sink->on_run(event);
+        if (trace_sink != nullptr) trace_sink->on_run(event);
+      }
+      if (check_sink != nullptr) {
+        const obs::PhaseScope check(run_config.profiler, oracle_check_site);
+        check_sink->on_run(event);
+      }
+      if (profile_sink != nullptr) profile_sink->on_run(event);
     }
     if (config.keep_records) {
       point.records[static_cast<std::size_t>(job.run)] = std::move(record);
@@ -269,6 +293,7 @@ SweepResult run_sweep(const SweepConfig& config) {
   if (sink != nullptr) sink->on_campaign_end(result.summary);
   if (trace_sink != nullptr) trace_sink->on_campaign_end(result.summary);
   if (check_sink != nullptr) check_sink->on_campaign_end(result.summary);
+  if (profile_sink != nullptr) profile_sink->on_campaign_end(result.summary);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::frodo {
 
@@ -46,6 +47,7 @@ void AckedChannel::transmit(Token token) {
   if (!unlimited && pending.sent > pending.options.max_retries) {
     // Final copy sent; fail if no ack arrives within one more spacing.
     pending.timer = sim_.schedule_in(pending.options.spacing, [this, token] {
+      SDCM_PROFILE_SITE(sim_, "timer.frodo.channel_fail");
       const auto fit = pending_.find(token);
       if (fit == pending_.end()) return;
       auto on_failed = std::move(fit->second.on_failed);
@@ -61,7 +63,11 @@ void AckedChannel::transmit(Token token) {
     return;
   }
   pending.timer = sim_.schedule_in(pending.options.spacing,
-                                   [this, token] { transmit(token); });
+                                   [this, token] {
+                                     SDCM_PROFILE_SITE(
+                                         sim_, "timer.frodo.channel_retx");
+                                     transmit(token);
+                                   });
 }
 
 bool AckedChannel::acknowledge(Token token) {

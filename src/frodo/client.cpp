@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sdcm/obs/profile_site.hpp"
+
 namespace sdcm::frodo {
 
 using net::Message;
@@ -17,6 +19,7 @@ FrodoClient::FrodoClient(sim::Simulator& simulator, net::Network& network,
 
 void FrodoClient::start_client() {
   send_node_announce();
+  SDCM_PROFILE_TIMER(announce_timer_, "timer.frodo.node_announce");
   announce_timer_.start(simulator(), config_.node_announce_period,
                         config_.node_announce_period, [this] {
                           if (!has_central()) send_node_announce();
@@ -96,6 +99,7 @@ void FrodoClient::central_evidence(NodeId from) {
 void FrodoClient::arm_silence_timer() {
   if (silence_timer_ != sim::kInvalidEventId) simulator().cancel(silence_timer_);
   silence_timer_ = simulator().schedule_in(config_.central_timeout, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.frodo.central_silence");
     silence_timer_ = sim::kInvalidEventId;
     lose_central();
   });
@@ -109,6 +113,7 @@ void FrodoClient::lose_central() {
   on_central_lost();
   // Resume announcing until a (possibly new) Central is found.
   send_node_announce();
+  SDCM_PROFILE_TIMER(announce_timer_, "timer.frodo.node_announce");
   announce_timer_.start(simulator(), config_.node_announce_period,
                         config_.node_announce_period, [this] {
                           if (!has_central()) send_node_announce();

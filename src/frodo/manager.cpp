@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::frodo {
 
@@ -139,7 +140,12 @@ void FrodoManager::handle_register_ack(const Message& m) {
       static_cast<double>(ack.lease) * config().renew_fraction);
   const ServiceId service = ack.service;
   simulator().reschedule_in(state.renew_timer, renew_after,
-                            [this, service] { renew_registration(service); });
+                            [this, service] {
+                              SDCM_PROFILE_SITE(
+                                  simulator(),
+                                  "timer.frodo.registration_renew");
+                              renew_registration(service);
+                            });
 }
 
 void FrodoManager::renew_registration(ServiceId service) {
@@ -163,7 +169,11 @@ void FrodoManager::renew_registration(ServiceId service) {
             static_cast<double>(config().registration_lease) *
             config().renew_fraction);
         st.renew_timer = simulator().schedule_in(
-            renew_after, [this, service] { renew_registration(service); });
+            renew_after, [this, service] {
+              SDCM_PROFILE_SITE(simulator(),
+                                "timer.frodo.registration_renew");
+              renew_registration(service);
+            });
         // The renewal proves the Central is reachable again: deliver the
         // update it missed.
         if (st.central_stale && st.pending_central_update == 0) {
@@ -180,8 +190,11 @@ void FrodoManager::renew_registration(ServiceId service) {
         // purges it (announcing then resumes and PR1 re-registers).
         auto& st = services_.at(service);
         st.renew_timer = simulator().schedule_in(
-            config().node_announce_period,
-            [this, service] { renew_registration(service); });
+            config().node_announce_period, [this, service] {
+              SDCM_PROFILE_SITE(simulator(),
+                                "timer.frodo.registration_renew");
+              renew_registration(service);
+            });
       });
 }
 

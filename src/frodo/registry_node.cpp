@@ -6,6 +6,7 @@
 
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::frodo {
 
@@ -61,6 +62,7 @@ void FrodoRegistryNode::start() {
   network().multicast(m, 1);
 
   election_timer_ = simulator().schedule_in(config_.election_window, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.frodo.election");
     election_timer_ = sim::kInvalidEventId;
     conclude_election();
   });
@@ -121,6 +123,7 @@ void FrodoRegistryNode::become_central(std::uint64_t epoch) {
   }
 
   announce_central();
+  SDCM_PROFILE_TIMER(announce_timer_, "timer.frodo.central_announce");
   announce_timer_.start(simulator(), config_.announce_period,
                         config_.announce_period,
                         [this] { announce_central(); });
@@ -141,6 +144,7 @@ void FrodoRegistryNode::announce_central() {
 void FrodoRegistryNode::become_standby() {
   role_ = Role::kStandby;
   announce_timer_.stop();
+  SDCM_PROFILE_TIMER(monitor_timer_, "timer.frodo.monitor");
   monitor_timer_.start(
       simulator(), config_.announce_period,
       config_.announce_period, [this] { monitor_tick(); });
@@ -336,6 +340,7 @@ void FrodoRegistryNode::handle_backup_assign(const Message& m) {
   last_central_heard_ = now();
   trace(sim::TraceCategory::kElection, "frodo.backup.accepted",
         "central=" + std::to_string(assign.central));
+  SDCM_PROFILE_TIMER(monitor_timer_, "timer.frodo.monitor");
   monitor_timer_.start(
       simulator(), config_.announce_period,
       config_.announce_period, [this] { monitor_tick(); });

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sdcm/obs/profile_site.hpp"
+
 namespace sdcm::frodo {
 
 using discovery::ServiceDescription;
@@ -23,6 +25,7 @@ void FrodoUser::start() {
   if (config().poll_period > 0) {
     // CM2: periodic unicast query of the Central; the ServiceFound reply
     // carries the Central's current version of the description.
+    SDCM_PROFILE_TIMER(poll_timer_, "timer.frodo.poll");
     poll_timer_.start(simulator(), config().poll_period,
                       config().poll_period, [this] {
                         if (!has_central() || !sd_.has_value()) return;
@@ -105,7 +108,10 @@ void FrodoUser::search_attempt() {
     m.payload = ServiceSearch{id(), requirement_};
     network().send(m);
     search_timer_ = simulator().schedule_in(
-        config().search_response_timeout, [this] { search_attempt(); });
+        config().search_response_timeout, [this] {
+          SDCM_PROFILE_SITE(simulator(), "timer.frodo.search");
+          search_attempt();
+        });
   } else {
     // Registry unknown or not responding: multicast query (PR5's
     // fallback; also the bootstrap path before a Central is elected).
@@ -116,8 +122,10 @@ void FrodoUser::search_attempt() {
     m.payload = MulticastSearch{id(), requirement_};
     network().multicast(m, 1);
     search_attempts_ = 0;
-    search_timer_ = simulator().schedule_in(config().search_retry,
-                                            [this] { search_attempt(); });
+    search_timer_ = simulator().schedule_in(config().search_retry, [this] {
+      SDCM_PROFILE_SITE(simulator(), "timer.frodo.search");
+      search_attempt();
+    });
   }
 }
 
@@ -183,6 +191,7 @@ void FrodoUser::on_message(const Message& m) {
         if (!fetch_scheduled_) {
           fetch_scheduled_ = true;
           simulator().schedule_in(config().invalidation_fetch_delay, [this] {
+            SDCM_PROFILE_SITE(simulator(), "timer.frodo.invalidation_fetch");
             fetch_scheduled_ = false;
             fetch_invalidated_version();
           });
@@ -316,6 +325,8 @@ void FrodoUser::subscribe() {
                    // Retry later; PR5 (search) or Central rediscovery
                    // will also re-trigger subscription.
                    simulator().schedule_in(config().search_retry, [this] {
+                     SDCM_PROFILE_SITE(simulator(),
+                                       "timer.frodo.subscribe_retry");
                      if (!subscribed_ && !subscribe_in_flight_ &&
                          sd_.has_value()) {
                        subscribe();
@@ -326,6 +337,7 @@ void FrodoUser::subscribe() {
 
 void FrodoUser::schedule_renewal(sim::SimDuration delay) {
   simulator().reschedule_in(renew_timer_, delay, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.frodo.lease_renew");
     renew_timer_ = sim::kInvalidEventId;
     send_renewal();
   });

@@ -4,6 +4,7 @@
 
 #include "sdcm/net/tcp.hpp"
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::jini {
 
@@ -33,6 +34,7 @@ const ServiceDescription& JiniManager::service(ServiceId service) const {
 
 void JiniManager::start() {
   send_discovery_request();
+  SDCM_PROFILE_TIMER(request_timer_, "timer.jini.discovery_request");
   request_timer_.start(simulator(), config_.discovery_request_period,
                        config_.discovery_request_period, [this] {
                          if (requests_sent_ >= config_.max_discovery_requests ||
@@ -72,6 +74,8 @@ void JiniManager::registry_heard(NodeId registry) {
   state.last_heard = now();
   simulator().reschedule_in(state.silence_timer, config_.announce_timeout,
                             [this, registry] {
+                              SDCM_PROFILE_SITE(simulator(),
+                                                "timer.jini.registry_silent");
                               purge_registry(registry, "silent");
                             });
 
@@ -146,6 +150,7 @@ void JiniManager::handle_register_response(const Message& m) {
   const ServiceId service = resp.service;
   simulator().reschedule_in(per.renew_timer, renew_after,
                             [this, registry, service] {
+        SDCM_PROFILE_SITE(simulator(), "timer.jini.registration_renew");
         renew_registration(registry, service);
       });
 }
@@ -177,6 +182,7 @@ void JiniManager::handle_renew_response(const Message& m) {
         config_.renew_fraction);
     simulator().reschedule_in(per.renew_timer, renew_after,
                               [this, registry, service] {
+          SDCM_PROFILE_SITE(simulator(), "timer.jini.registration_renew");
           renew_registration(registry, service);
         });
   } else {

@@ -5,6 +5,7 @@
 #include "sdcm/discovery/observer.hpp"
 #include "sdcm/net/tcp.hpp"
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::jini {
 
@@ -21,6 +22,7 @@ JiniRegistry::JiniRegistry(sim::Simulator& simulator, net::Network& network,
 
 void JiniRegistry::start() {
   announce();
+  SDCM_PROFILE_TIMER(announce_timer_, "timer.jini.announce");
   announce_timer_.start(simulator(), config_.announce_period,
                         config_.announce_period, [this] { announce(); });
 }

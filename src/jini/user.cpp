@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sdcm/net/tcp.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::jini {
 
@@ -22,6 +23,7 @@ JiniUser::JiniUser(sim::Simulator& simulator, net::Network& network, NodeId id,
 
 void JiniUser::start() {
   send_discovery_request();
+  SDCM_PROFILE_TIMER(request_timer_, "timer.jini.discovery_request");
   request_timer_.start(simulator(), config_.discovery_request_period,
                        config_.discovery_request_period, [this] {
                          if (requests_sent_ >= config_.max_discovery_requests ||
@@ -33,6 +35,7 @@ void JiniUser::start() {
                        });
   if (config_.poll_period > 0) {
     // CM2: periodic lookup against every known lookup service.
+    SDCM_PROFILE_TIMER(poll_timer_, "timer.jini.poll");
     poll_timer_.start(simulator(), config_.poll_period, config_.poll_period,
                       [this] {
                         for (const auto& [registry, state] : registries_) {
@@ -73,6 +76,8 @@ void JiniUser::registry_heard(NodeId registry) {
   RegistryState& state = *entry;
   simulator().reschedule_in(state.silence_timer, config_.announce_timeout,
                             [this, registry] {
+                              SDCM_PROFILE_SITE(simulator(),
+                                                "timer.jini.registry_silent");
                               purge_registry(registry, "silent");
                             });
 
@@ -154,7 +159,11 @@ void JiniUser::handle_event_response(const Message& m) {
       static_cast<double>(resp.lease) * config_.renew_fraction);
   const NodeId registry = m.src;
   simulator().reschedule_in(state->renew_timer, renew_after,
-                            [this, registry] { renew_event(registry); });
+                            [this, registry] {
+                              SDCM_PROFILE_SITE(simulator(),
+                                                "timer.jini.event_renew");
+                              renew_event(registry);
+                            });
 }
 
 void JiniUser::renew_event(NodeId registry) {
@@ -180,7 +189,11 @@ void JiniUser::handle_renew_event_response(const Message& m) {
     const auto renew_after = static_cast<sim::SimDuration>(
         static_cast<double>(config_.subscription_lease) * config_.renew_fraction);
     simulator().reschedule_in(state->renew_timer, renew_after,
-                              [this, registry] { renew_event(registry); });
+                              [this, registry] {
+                                SDCM_PROFILE_SITE(simulator(),
+                                                  "timer.jini.event_renew");
+                                renew_event(registry);
+                              });
   } else {
     // PR3, Jini-style: bare error; purge and redo discovery / event
     // registration / lookup. Announcements (every 120 s) bring the

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sdcm/obs/profile_site.hpp"
+
 namespace sdcm::mdns {
 
 using discovery::ServiceDescription;
@@ -37,6 +39,7 @@ void MdnsResponder::add_service(ServiceDescription sd) {
 void MdnsResponder::start() {
   running_ = true;
   announce_all();
+  SDCM_PROFILE_TIMER(announce_timer_, "timer.mdns.announce");
   announce_timer_.start(
       simulator(), jitter(), [this] { announce_all(); },
       [this] { return jitter(); });
@@ -150,6 +153,7 @@ MdnsListener::MdnsListener(sim::Simulator& simulator, net::Network& network,
 
 void MdnsListener::start() {
   send_query();
+  SDCM_PROFILE_TIMER(query_timer_, "timer.mdns.query");
   query_timer_.start(simulator(), config_.query_period, config_.query_period,
                      [this] {
                        if (!has_record()) send_query();
@@ -209,6 +213,7 @@ void MdnsListener::handle_announce(const Message& m) {
 
 void MdnsListener::refresh_ttl() {
   simulator().reschedule_in(ttl_expiry_, config_.cache_ttl, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.mdns.ttl_expiry");
     ttl_expiry_ = sim::kInvalidEventId;
     purge("ttl-expired");
   });

@@ -5,6 +5,8 @@
 #include <map>
 #include <memory>
 
+#include "sdcm/obs/profile_site.hpp"
+
 namespace sdcm::net {
 
 std::string_view to_string(FailureMode m) noexcept {
@@ -79,6 +81,7 @@ void apply_failures(sim::Simulator& simulator, Network& network,
         ep.mode == FailureMode::kReceiver || ep.mode == FailureMode::kBoth;
     simulator.schedule_at(
         ep.start, [&simulator, &network, ep, tx, rx, depth]() {
+          SDCM_PROFILE_SITE(simulator, "timer.net.interface_down");
           auto& iface = network.interface(ep.node);
           auto& nesting = (*depth)[ep.node];
           if (tx) {
@@ -95,6 +98,7 @@ void apply_failures(sim::Simulator& simulator, Network& network,
         });
     simulator.schedule_at(
         ep.end(), [&simulator, &network, ep, tx, rx, depth, refcounted]() {
+          SDCM_PROFILE_SITE(simulator, "timer.net.interface_up");
           auto& iface = network.interface(ep.node);
           auto& nesting = (*depth)[ep.node];
           if (tx) {

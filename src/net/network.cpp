@@ -277,6 +277,7 @@ void Network::multicast(const Message& msg, int redundant_copies) {
       const auto delay = shaping + draw_delay();
       const bool lost = lost_in_transit();
       sim_.schedule_in(delay, [this, lost, m = std::move(delivered)]() {
+        SDCM_PROFILE_ONLY(sim_.profile_attribute(m.type.id()));
         Port& dport = port(m.dst);
         if (probe_ != nullptr) {
           probe_->on_arrival(m, dport.iface.rx_up(), lost, sim_.now());
@@ -312,7 +313,9 @@ bool Network::transmit(Message msg, bool deliver,
                               type_detail(msg));
     if (on_result) {
       sim_.schedule_in(delay, [this, span = msg.span,
+                               SDCM_PROFILE_ONLY(t = msg.type.id(), )
                                cb = std::move(on_result)]() {
+        SDCM_PROFILE_ONLY(sim_.profile_attribute(t));
         sim::SpanScope scope(sim_.trace(), span);
         cb(false);
       });
@@ -333,7 +336,9 @@ bool Network::transmit(Message msg, bool deliver,
                                 "net.drop.capacity", type_detail(msg));
       if (on_result) {
         sim_.schedule_in(delay, [this, span = msg.span,
+                                 SDCM_PROFILE_ONLY(t = msg.type.id(), )
                                  cb = std::move(on_result)]() {
+          SDCM_PROFILE_ONLY(sim_.profile_attribute(t));
           sim::SpanScope scope(sim_.trace(), span);
           cb(false);
         });
@@ -348,6 +353,7 @@ bool Network::transmit(Message msg, bool deliver,
   sim_.schedule_in(shaping + delay, [this, m = std::move(msg), deliver, lost,
                                      tcp,
                            cb = std::move(on_result)]() {
+    SDCM_PROFILE_ONLY(sim_.profile_attribute(m.type.id()));
     Port& dport = port(m.dst);
     if (probe_ != nullptr) {
       probe_->on_arrival(m, dport.iface.rx_up(), lost, sim_.now());

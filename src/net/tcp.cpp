@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::net {
 
@@ -61,6 +62,7 @@ void TcpConnection::open(Network& network, NodeId initiator, NodeId responder,
   }
   auto& simulator = network.simulator();
   conn->rex_timer_ = simulator.schedule_in(rex_after, [conn]() {
+    SDCM_PROFILE_SITE(conn->net_.simulator(), "timer.tcp.setup_rex");
     conn->rex_timer_ = sim::kInvalidEventId;
     if (conn->opened_ || conn->closed_) return;
     conn->rexed_ = true;
@@ -129,6 +131,7 @@ void TcpConnection::attempt_handshake(std::size_t attempt) {
   if (attempt < config_.setup_retry_delays.size()) {
     next_attempt_timer_ = net_.simulator().schedule_in(
         config_.setup_retry_delays[attempt], [self, attempt]() {
+          SDCM_PROFILE_SITE(self->net_.simulator(), "timer.tcp.syn_retry");
           self->next_attempt_timer_ = sim::kInvalidEventId;
           self->attempt_handshake(attempt + 1);
         });
@@ -211,6 +214,7 @@ void TcpConnection::transfer_attempt(const std::shared_ptr<Transfer>& t) {
 
   // Retransmit until success (Table 3): timeout grows 25 % per retry.
   t->retransmit_timer = net_.simulator().schedule_in(t->rto, [self, t]() {
+    SDCM_PROFILE_SITE(self->net_.simulator(), "timer.tcp.retransmit");
     t->retransmit_timer = sim::kInvalidEventId;
     t->rto = static_cast<sim::SimDuration>(
         static_cast<double>(t->rto) * self->config_.rto_backoff);

@@ -4,6 +4,26 @@ namespace sdcm::sim {
 
 void Simulator::run_until(SimTime until) {
   stopped_ = false;
+#if SDCM_PROFILE_ENABLED
+  // Attributed loop: one steady_clock reading per event. event_end()
+  // charges [previous reading, now) - the event's own queue pop plus
+  // its callback - to whatever site the callback claimed, so per-site
+  // totals sum exactly to the loop's wall time.
+  if (profiler_ != nullptr) {
+    profiler_->loop_begin();
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
+      auto fired = queue_.pop();
+      now_ = fired.at;
+      ++executed_;
+      profiler_->event_begin();
+      fired.cb();
+      profiler_->event_end();
+    }
+    profiler_->loop_end();
+    if (!stopped_ && now_ < until) now_ = until;
+    return;
+  }
+#endif
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
     auto fired = queue_.pop();
     now_ = fired.at;
@@ -15,6 +35,21 @@ void Simulator::run_until(SimTime until) {
 
 void Simulator::run_all() {
   stopped_ = false;
+#if SDCM_PROFILE_ENABLED
+  if (profiler_ != nullptr) {
+    profiler_->loop_begin();
+    while (!stopped_ && !queue_.empty()) {
+      auto fired = queue_.pop();
+      now_ = fired.at;
+      ++executed_;
+      profiler_->event_begin();
+      fired.cb();
+      profiler_->event_end();
+    }
+    profiler_->loop_end();
+    return;
+  }
+#endif
   while (!stopped_ && !queue_.empty()) {
     auto fired = queue_.pop();
     now_ = fired.at;
@@ -53,6 +88,7 @@ void PeriodicTimer::arm(SimDuration delay) {
   }
   pending_ = sim_->schedule_in(delay, [this]() {
     pending_ = kInvalidEventId;
+    SDCM_PROFILE_ONLY(sim_->profile_attribute(profile_site_));
     // Compute the next period before ticking: the tick may call stop().
     const SimDuration next = next_period_();
     on_tick_();

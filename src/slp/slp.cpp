@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sdcm/obs/profile_site.hpp"
+
 namespace sdcm::slp {
 
 using discovery::ServiceDescription;
@@ -27,6 +29,7 @@ void DirectoryAgent::start() {
     network().multicast(m, 1);
   };
   advertise();
+  SDCM_PROFILE_TIMER(advert_timer_, "timer.slp.da_advert");
   advert_timer_.start(simulator(), config_.announce_period,
                       config_.announce_period, advertise);
 }
@@ -38,7 +41,11 @@ void DirectoryAgent::on_message(const Message& m) {
     entry.sd = reg.sd;
     const ServiceId service = reg.sd.id;
     simulator().reschedule_in(entry.expiry, config_.registration_lease,
-                              [this, service] { purge(service); });
+                              [this, service] {
+                                SDCM_PROFILE_SITE(simulator(),
+                                                  "timer.slp.lease_expiry");
+                                purge(service);
+                              });
 
     Message ack;
     ack.src = id();
@@ -98,6 +105,7 @@ void ServiceAgent::add_service(ServiceDescription sd) {
 void ServiceAgent::start() {
   // Re-registration doubles as the lease renewal (RFC 2608 SAs simply
   // re-register before the lifetime expires).
+  SDCM_PROFILE_TIMER(renew_timer_, "timer.slp.reregister");
   renew_timer_.start(
       simulator(),
       static_cast<sim::SimDuration>(
@@ -141,8 +149,10 @@ void ServiceAgent::change_service(ServiceId service) {
 void ServiceAgent::da_heard(NodeId da) {
   const bool fresh = da_ == sim::kNoNode;
   da_ = da;
-  simulator().reschedule_in(da_timeout_, config_.advert_timeout,
-                            [this] { drop_da(); });
+  simulator().reschedule_in(da_timeout_, config_.advert_timeout, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.slp.da_timeout");
+    drop_da();
+  });
   if (fresh) {
     trace(sim::TraceCategory::kDiscovery, "slp.da.discovered",
           "da=" + std::to_string(da));
@@ -195,6 +205,7 @@ UserAgent::UserAgent(sim::Simulator& simulator, net::Network& network,
 
 void UserAgent::start() {
   poll();
+  SDCM_PROFILE_TIMER(poll_timer_, "timer.slp.poll");
   poll_timer_.start(simulator(), config_.poll_period, config_.poll_period,
                     [this] { poll(); });
 }
@@ -221,8 +232,10 @@ void UserAgent::poll() {
 void UserAgent::da_heard(NodeId da) {
   const bool fresh = da_ == sim::kNoNode;
   da_ = da;
-  simulator().reschedule_in(da_timeout_, config_.advert_timeout,
-                            [this] { drop_da(); });
+  simulator().reschedule_in(da_timeout_, config_.advert_timeout, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.slp.da_timeout");
+    drop_da();
+  });
   if (fresh) {
     trace(sim::TraceCategory::kDiscovery, "slp.da.discovered",
           "da=" + std::to_string(da));

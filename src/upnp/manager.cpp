@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sdcm/net/tcp.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::upnp {
 
@@ -28,6 +29,7 @@ void UpnpManager::add_service(ServiceDescription sd) {
 void UpnpManager::start() {
   running_ = true;
   announce_all();
+  SDCM_PROFILE_TIMER(announce_timer_, "timer.upnp.announce");
   announce_timer_.start(simulator(), config_.announce_period,
                         config_.announce_period, [this] { announce_all(); });
 }

@@ -4,6 +4,7 @@
 
 #include "sdcm/net/tcp.hpp"
 #include "sdcm/obs/instrument.hpp"
+#include "sdcm/obs/profile_site.hpp"
 
 namespace sdcm::upnp {
 
@@ -22,6 +23,7 @@ UpnpUser::UpnpUser(sim::Simulator& simulator, net::Network& network, NodeId id,
 
 void UpnpUser::start() {
   send_msearch();
+  SDCM_PROFILE_TIMER(search_timer_, "timer.upnp.search");
   search_timer_.start(simulator(), config_.search_period,
                       config_.search_period, [this] {
                         if (!has_manager()) send_msearch();
@@ -29,6 +31,7 @@ void UpnpUser::start() {
   if (config_.poll_period > 0) {
     // CM2: persistent polling - re-fetch the description on a fixed
     // period whenever a Manager is cached, regardless of past REXes.
+    SDCM_PROFILE_TIMER(poll_timer_, "timer.upnp.poll");
     poll_timer_.start(simulator(), config_.poll_period, config_.poll_period,
                       [this] {
                         if (has_manager() && !fetch_in_flight_) {
@@ -134,6 +137,7 @@ void UpnpUser::fetch_description() {
         if (retry_timer_ == sim::kInvalidEventId && has_manager()) {
           retry_timer_ =
               simulator().schedule_in(config_.retry_period, [this] {
+                SDCM_PROFILE_SITE(simulator(), "timer.upnp.fetch_retry");
                 retry_timer_ = sim::kInvalidEventId;
                 if (fetch_pending_ && has_manager() && !fetch_in_flight_) {
                   fetch_description();
@@ -177,6 +181,7 @@ void UpnpUser::subscribe() {
         if (retry_timer_ == sim::kInvalidEventId && has_manager()) {
           retry_timer_ =
               simulator().schedule_in(config_.retry_period, [this] {
+                SDCM_PROFILE_SITE(simulator(), "timer.upnp.subscribe_retry");
                 retry_timer_ = sim::kInvalidEventId;
                 if (has_manager() && !subscribed_ && !subscribe_in_flight_) {
                   subscribe();
@@ -199,11 +204,13 @@ void UpnpUser::handle_subscribe_response(const Message& m) {
   const auto renew_after = static_cast<sim::SimDuration>(
       static_cast<double>(resp.lease) * config_.renew_fraction);
   simulator().reschedule_in(renew_timer_, renew_after, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.upnp.lease_renew");
     renew_timer_ = sim::kInvalidEventId;
     renew();
   });
 
   simulator().reschedule_at(sub_expiry_, sub_lease_.expires_at(), [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.upnp.sub_expiry");
     sub_expiry_ = sim::kInvalidEventId;
     subscribed_ = false;
     trace(sim::TraceCategory::kSubscription, "upnp.subscription.expired");
@@ -227,6 +234,7 @@ void UpnpUser::renew() {
         // Keep trying while the local lease is alive; PR5 handles the rest.
         if (subscribed_ && renew_timer_ == sim::kInvalidEventId) {
           renew_timer_ = simulator().schedule_in(config_.retry_period, [this] {
+            SDCM_PROFILE_SITE(simulator(), "timer.upnp.renew_retry");
             renew_timer_ = sim::kInvalidEventId;
             renew();
           });
@@ -242,6 +250,7 @@ void UpnpUser::handle_renew_response(const Message& m) {
   if (resp.ok) {
     sub_lease_.renew(now());
     simulator().reschedule_at(sub_expiry_, sub_lease_.expires_at(), [this] {
+      SDCM_PROFILE_SITE(simulator(), "timer.upnp.sub_expiry");
       sub_expiry_ = sim::kInvalidEventId;
       subscribed_ = false;
       if (has_manager() && !subscribe_in_flight_) subscribe();
@@ -249,6 +258,7 @@ void UpnpUser::handle_renew_response(const Message& m) {
     const auto renew_after = static_cast<sim::SimDuration>(
         static_cast<double>(sub_lease_.duration) * config_.renew_fraction);
     simulator().reschedule_in(renew_timer_, renew_after, [this] {
+      SDCM_PROFILE_SITE(simulator(), "timer.upnp.lease_renew");
       renew_timer_ = sim::kInvalidEventId;
       renew();
     });
@@ -295,6 +305,7 @@ void UpnpUser::handle_byebye(const Message& m) {
 
 void UpnpUser::refresh_cache_lease() {
   simulator().reschedule_in(cache_expiry_, config_.registration_lease, [this] {
+    SDCM_PROFILE_SITE(simulator(), "timer.upnp.cache_expiry");
     cache_expiry_ = sim::kInvalidEventId;
     if (config_.enable_pr5) purge_manager("cache-expired");
   });
@@ -318,6 +329,7 @@ void UpnpUser::purge_manager(const char* reason) {
   }
   // PR5: rediscover via multicast queries and announcement listening.
   send_msearch();
+  SDCM_PROFILE_TIMER(search_timer_, "timer.upnp.search");
   search_timer_.start(simulator(), config_.search_period,
                       config_.search_period, [this] {
                         if (!has_manager()) send_msearch();

@@ -1,0 +1,224 @@
+#include "sdcm/experiment/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sdcm/experiment/scenario.hpp"
+#include "sdcm/experiment/sink.hpp"
+#include "sdcm/obs/profiler.hpp"
+
+namespace sdcm::experiment {
+namespace {
+
+obs::RunProfile synthetic_run(std::uint64_t scale) {
+  obs::RunProfile p;
+  p.runs = 1;
+  p.loop_ns = 12345 * scale;
+  p.loop_events = 100 * scale;
+  obs::ProfileEntry net;
+  net.name = "frodo.node_announce";
+  net.count = 40 * scale;
+  net.total_ns = 8000 * scale;
+  net.max_ns = 900 + scale;
+  net.buckets.push_back({250, 30 * scale});
+  net.buckets.push_back({1000, 10 * scale});
+  obs::ProfileEntry timer;
+  timer.name = "timer.frodo.lease_renew";
+  timer.count = 7 * scale;
+  timer.total_ns = 3000 * scale;
+  timer.max_ns = 700 + scale;
+  timer.buckets.push_back({1000, 7 * scale});
+  p.events.push_back(net);
+  p.events.push_back(timer);
+  obs::PhaseEntry phase;
+  phase.name = "phase.run_loop";
+  phase.count = scale;
+  phase.total_ns = 12000 * scale;
+  phase.peak_rss_kb = 5000 + scale;
+  phase.heap_bytes = 9000 + scale;
+  p.phases.push_back(phase);
+  return p;
+}
+
+TEST(CampaignProfile, JsonlRoundTripIsByteIdentical) {
+  CampaignProfile campaign;
+  campaign.add("FRODO-3party", synthetic_run(1));
+  campaign.add("FRODO-3party", synthetic_run(3));
+  campaign.add("UPnP", synthetic_run(2));
+
+  std::ostringstream first;
+  write_profile_jsonl(first, campaign);
+
+  CampaignProfile reread;
+  std::istringstream in(first.str());
+  std::string error;
+  ASSERT_TRUE(read_profile_jsonl(in, reread, error)) << error;
+
+  std::ostringstream second;
+  write_profile_jsonl(second, reread);
+  // The exact-decimal emitters and canonical ordering make the cycle
+  // byte-stable - the property --profile-diff and CI artifact diffs
+  // lean on.
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(CampaignProfile, ShardedMergeEqualsUnshardedAggregate) {
+  // Four runs across two models, split 2/2 the way a sharded campaign
+  // would; the merged shard files must reproduce the unsharded
+  // aggregate byte-for-byte.
+  CampaignProfile unsharded;
+  unsharded.add("FRODO-3party", synthetic_run(1));
+  unsharded.add("UPnP", synthetic_run(2));
+  unsharded.add("FRODO-3party", synthetic_run(3));
+  unsharded.add("UPnP", synthetic_run(4));
+
+  CampaignProfile shard_a;
+  shard_a.add("FRODO-3party", synthetic_run(1));
+  shard_a.add("UPnP", synthetic_run(4));
+  CampaignProfile shard_b;
+  shard_b.add("UPnP", synthetic_run(2));
+  shard_b.add("FRODO-3party", synthetic_run(3));
+
+  // Merge through the JSONL representation, as the CLI would.
+  CampaignProfile merged;
+  for (const CampaignProfile* shard : {&shard_a, &shard_b}) {
+    std::ostringstream text;
+    write_profile_jsonl(text, *shard);
+    std::istringstream in(text.str());
+    std::string error;
+    ASSERT_TRUE(read_profile_jsonl(in, merged, error)) << error;
+  }
+
+  std::ostringstream expect;
+  write_profile_jsonl(expect, unsharded);
+  std::ostringstream got;
+  write_profile_jsonl(got, merged);
+  EXPECT_EQ(expect.str(), got.str());
+}
+
+TEST(CampaignProfile, MergeRejectsMismatchedBucketBounds) {
+  CampaignProfile a;
+  a.add("UPnP", synthetic_run(1));
+  CampaignProfile b;
+  b.bounds = {1, 2, 3};
+  b.models.push_back({"UPnP", synthetic_run(1)});
+  EXPECT_FALSE(a.merge(b));
+  // A failed merge leaves the target untouched.
+  ASSERT_EQ(a.models.size(), 1u);
+  EXPECT_EQ(a.models[0].second.runs, 1u);
+}
+
+TEST(CampaignProfile, ReaderRejectsMalformedInput) {
+  CampaignProfile profile;
+  std::string error;
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(read_profile_jsonl(in, profile, error));
+  }
+  {
+    std::istringstream in("{\"not_a_header\":true}\n");
+    EXPECT_FALSE(read_profile_jsonl(in, profile, error));
+  }
+  {
+    // Event line with no preceding model line.
+    std::istringstream in(
+        "{\"sdcm_profile\":1,\"bounds\":[250]}\n"
+        "{\"model\":\"UPnP\",\"event\":\"x\",\"count\":1,\"total_ns\":1,"
+        "\"max_ns\":1,\"buckets\":[]}\n");
+    EXPECT_FALSE(read_profile_jsonl(in, profile, error));
+  }
+}
+
+TEST(CampaignProfile, TableRanksEventsByTotalTime) {
+  CampaignProfile campaign;
+  campaign.add("FRODO-3party", synthetic_run(1));
+  std::ostringstream out;
+  write_profile_table(out, campaign, 10);
+  const std::string text = out.str();
+  const auto announce = text.find("frodo.node_announce");
+  const auto lease = text.find("timer.frodo.lease_renew");
+  ASSERT_NE(announce, std::string::npos);
+  ASSERT_NE(lease, std::string::npos);
+  EXPECT_LT(announce, lease);  // 8000 ns total outranks 3000 ns
+  EXPECT_NE(text.find("phase.run_loop"), std::string::npos);
+}
+
+TEST(CampaignProfile, DiffCountsRowsOverThreshold) {
+  CampaignProfile a;
+  a.add("UPnP", synthetic_run(1));
+  CampaignProfile b;
+  obs::RunProfile slower = synthetic_run(1);
+  slower.events[0].total_ns *= 2;  // +100% ns/event on one site
+  b.add("UPnP", slower);
+  std::ostringstream out;
+  EXPECT_EQ(write_profile_diff(out, a, b, 0.10), 1u);
+  EXPECT_EQ(write_profile_diff(out, a, a, 0.10), 0u);
+}
+
+TEST(ProfileSink, AggregatesEveryRunWithEnginePhases) {
+  SweepConfig config;
+  config.models = {SystemModel::kUpnp, SystemModel::kFrodoThreeParty};
+  config.lambdas = {0.3};
+  config.runs = 2;
+  config.threads = 2;
+  ProfileSink profiles;
+  config.profile_sink = &profiles;
+  run_sweep(config);
+
+  EXPECT_EQ(profiles.runs_profiled(), 4u);
+  const CampaignProfile& campaign = profiles.campaign();
+  ASSERT_EQ(campaign.models.size(), 2u);
+  // Bytewise model order.
+  EXPECT_EQ(campaign.models[0].first, "FRODO-3party");
+  EXPECT_EQ(campaign.models[1].first, "UPnP");
+  for (const auto& [name, run] : campaign.models) {
+    EXPECT_EQ(run.runs, 2u) << name;
+    // Phase timers work in every build; the run-side hierarchy must be
+    // present (the engine-side sink phases only appear when a sink or
+    // oracle is wired).
+    bool saw_run_loop = false;
+    for (const auto& phase : run.phases) {
+      if (phase.name == "phase.run_loop") {
+        saw_run_loop = true;
+        EXPECT_EQ(phase.count, 2u);
+        EXPECT_GT(phase.total_ns, 0u);
+      }
+    }
+    EXPECT_TRUE(saw_run_loop) << name;
+#if SDCM_PROFILE_ENABLED
+    EXPECT_GT(run.loop_events, 0u) << name;
+    EXPECT_FALSE(run.events.empty()) << name;
+    // Acceptance invariant: per-event totals sum to the measured loop
+    // wall time (exact by construction; the chained timestamps leave
+    // only the loop_end tail unattributed).
+    EXPECT_LE(run.attributed_ns(), run.loop_ns) << name;
+    EXPECT_GE(run.attributed_ns(), run.loop_ns - run.loop_ns / 100) << name;
+#endif
+  }
+}
+
+TEST(Profiler, AttachedProfilerLeavesTraceFingerprintUnchanged) {
+  ExperimentConfig config;
+  config.model = SystemModel::kFrodoThreeParty;
+  config.lambda = 0.45;
+  config.seed = 11;
+  config.record_trace = true;
+
+  const auto baseline = run_experiment_traced(config);
+  obs::Profiler profiler;
+  config.profiler = &profiler;
+  const auto profiled = run_experiment_traced(config);
+  // The profiler is a pure observer: golden trace fingerprints are
+  // bit-identical with profiling on or off, in every build mode.
+  EXPECT_EQ(baseline.record.trace_fingerprint,
+            profiled.record.trace_fingerprint);
+  EXPECT_EQ(baseline.trace.appended(), profiled.trace.appended());
+  // And the run recorded its phase hierarchy.
+  EXPECT_FALSE(profiler.snapshot().phases.empty());
+}
+
+}  // namespace
+}  // namespace sdcm::experiment

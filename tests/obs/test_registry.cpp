@@ -139,5 +139,56 @@ TEST(Registry, FixedHistogramBoundsApplyOnlyOnCreation) {
   EXPECT_EQ(h.buckets()[0].upper, 20u);
 }
 
+TEST(Registry, HeterogeneousStringViewLookupAvoidsAllocationOnHit) {
+  Registry registry;
+  registry.counter("net.messages").inc(3);
+  registry.histogram("net.latency").record(7);
+  // Lookups take string_view directly - no std::string construction at
+  // the call site, and a miss on find_* stays read-only.
+  const std::string_view counter_name = "net.messages";
+  const std::string_view histogram_name = "net.latency";
+  const Counter* counter = registry.find_counter(counter_name);
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value(), 3u);
+  const Histogram* histogram = registry.find_histogram(histogram_name);
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count(), 1u);
+  EXPECT_EQ(registry.find_counter(std::string_view("absent")), nullptr);
+  // counter()/histogram() with a string_view reuse the existing entry.
+  EXPECT_EQ(&registry.counter(counter_name), counter);
+  EXPECT_EQ(&registry.histogram(histogram_name), histogram);
+}
+
+TEST(Histogram, RecordNBulkEquivalentToRepeatedRecords) {
+  Histogram a(std::vector<std::uint64_t>{10, 100});
+  Histogram b(std::vector<std::uint64_t>{10, 100});
+  for (int i = 0; i < 1000; ++i) a.record(42);
+  b.record_n(42, 1000);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  ASSERT_EQ(a.buckets().size(), b.buckets().size());
+  for (std::size_t i = 0; i < a.buckets().size(); ++i) {
+    EXPECT_EQ(a.buckets()[i].count, b.buckets()[i].count);
+  }
+}
+
+TEST(Registry, PutHistogramReplacesOrInserts) {
+  Registry registry;
+  Histogram prebuilt(std::vector<std::uint64_t>{250, 1000});
+  prebuilt.record_n(500, 4);
+  registry.put_histogram("profile.event.x", std::move(prebuilt));
+  const Histogram* found = registry.find_histogram("profile.event.x");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count(), 4u);
+  Histogram replacement(std::vector<std::uint64_t>{250, 1000});
+  replacement.record_n(100, 9);
+  registry.put_histogram("profile.event.x", std::move(replacement));
+  found = registry.find_histogram("profile.event.x");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count(), 9u);
+}
+
 }  // namespace
 }  // namespace sdcm::obs

@@ -3,13 +3,17 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json \
-        [--key indexed_queue.events_per_sec]... [--max-regression 0.02]
+        [--key indexed_queue.events_per_sec]... \
+        [--key-if-present sim_loop.events_per_sec]... [--max-regression 0.02]
 
 Both files are bench snapshots with the same shape (BENCH_sim_kernel.json,
 BENCH_workloads.json, ...). --key may repeat: every named metric is
 compared and the gate fails if ANY of them regresses past the tolerance.
 With no --key the gate defaults to the indexed event queue's
-events-per-second, the repo's headline kernel throughput. A regression is
+events-per-second, the repo's headline kernel throughput.
+--key-if-present behaves like --key but skips (with a notice) any metric
+absent from either snapshot - for gating metrics the baseline commit did
+not emit yet, without breaking the first CI run that introduces them. A regression is
 (baseline - current) / baseline; the script exits non-zero when it
 exceeds --max-regression. Improvements always pass.
 
@@ -39,6 +43,9 @@ def main():
     parser.add_argument("--key", action="append",
                         help="dotted path of a metric (higher = better); "
                              "repeatable, all named keys must hold")
+    parser.add_argument("--key-if-present", action="append", dest="key_if_present",
+                        help="like --key, but skipped with a notice when the "
+                             "metric is missing from either snapshot")
     parser.add_argument("--max-regression", type=float, default=0.02,
                         help="fraction of baseline allowed to regress")
     args = parser.parse_args()
@@ -48,6 +55,16 @@ def main():
         baseline_doc = json.load(f)
     with open(args.current, encoding="utf-8") as f:
         current_doc = json.load(f)
+
+    for key in args.key_if_present or []:
+        try:
+            lookup(baseline_doc, key)
+            lookup(current_doc, key)
+        except KeyError as missing:
+            print(f"bench_compare: skipping {key} "
+                  f"(key {missing} absent from a snapshot)")
+            continue
+        keys.append(key)
 
     failed = []
     for key in keys:

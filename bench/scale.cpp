@@ -8,6 +8,13 @@
 //    N grows decades (dense table slots, shared payloads - no per-node
 //    heap nodes), which is what unlocks 10^5-10^6-node topologies.
 //
+//  - fanout_scoped / fanout_scoped_rng: the interest-scoped series
+//    (DESIGN.md section 14). A fixed 16 of the N spokes subscribe to
+//    the published type; the rest declare a different interest. The
+//    claim under test: delivery work tracks the subscriber count, not
+//    N - in scoped-rng mode rounds/s stays roughly flat across decades
+//    while the broadcast-shaped cost would fall 10x per decade.
+//
 //  - topology: the real TopologySpec-driven build of the decentralized
 //    mDNS model (Manager + N Users) through the protocol registry,
 //    measuring construction throughput and bytes/node of full protocol
@@ -24,6 +31,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -155,6 +163,103 @@ FanoutMeasured measure_fanout(int n, int rounds) {
   return out;
 }
 
+/// A spoke with a declared interest set, for the interest-scoped
+/// series: most spokes subscribe to a type the hub never publishes, so
+/// scoped fan-out can skip them.
+class InterestedSpoke final : public net::MessageSink {
+ public:
+  void subscribe_to_ping() { wants_ping_ = true; }
+  void handle_message(const net::Message& msg) override {
+    last_round_ = msg.as<Ping>().round;
+    ++received_;
+  }
+  [[nodiscard]] std::uint64_t received() const noexcept { return received_; }
+
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override {
+    if (wants_ping_) {
+      return std::vector<net::MessageType>{
+          net::MessageType::intern("bench.scale.ping")};
+    }
+    return std::vector<net::MessageType>{
+        net::MessageType::intern("bench.scale.other")};
+  }
+
+ private:
+  bool wants_ping_ = false;
+  std::uint64_t received_ = 0;
+  std::uint64_t last_round_ = 0;
+};
+
+struct ScopedFanoutMeasured {
+  std::uint64_t nodes = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t subscribers = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t skipped = 0;
+  double events_per_sec = 0.0;
+  double rounds_per_sec = 0.0;
+};
+
+/// The O(N^2)-hot-path kill measured directly: N spokes, a fixed 16 of
+/// them interested in the published type. In `scoped` mode every round
+/// still walks all N (draw-preserving), but only 16 dispatch; in
+/// `scoped-rng` a round is O(subscribers) outright, so rounds/s should
+/// stay roughly flat across decades of N.
+ScopedFanoutMeasured measure_scoped_fanout(int n, int rounds,
+                                           net::MulticastScope scope) {
+  constexpr int kSubscribers = 16;
+  ScopedFanoutMeasured out;
+  out.nodes = static_cast<std::uint64_t>(n);
+  out.rounds = static_cast<std::uint64_t>(rounds);
+  out.subscribers = static_cast<std::uint64_t>(n < kSubscribers ? n : kSubscribers);
+
+  sim::Simulator simulator(/*seed=*/1);
+  simulator.trace().set_recording(false);
+  net::Network network(simulator);
+  network.set_multicast_scope(scope);
+
+  const sim::NodeId hub_id = 1;
+  network.reserve_nodes(static_cast<sim::NodeId>(n) + 1);
+  auto spokes = std::make_unique<std::vector<InterestedSpoke>>();
+  spokes->resize(static_cast<std::size_t>(n) + 1);
+  network.attach(hub_id, (*spokes)[0]);
+  for (int i = 1; i <= n; ++i) {
+    if (i <= kSubscribers) (*spokes)[static_cast<std::size_t>(i)].subscribe_to_ping();
+    network.attach(hub_id + static_cast<sim::NodeId>(i),
+                   (*spokes)[static_cast<std::size_t>(i)]);
+  }
+
+  for (int r = 0; r < rounds; ++r) {
+    simulator.schedule_at(sim::seconds(r + 1), [&network, r] {
+      net::Message m;
+      m.src = 1;
+      m.type = net::MessageType::intern("bench.scale.ping");
+      m.klass = net::MessageClass::kUpdate;
+      Ping ping;
+      ping.round = static_cast<std::uint64_t>(r) + 1;
+      m.payload = ping;
+      network.multicast(m, /*redundant_copies=*/1);
+    });
+  }
+  const std::uint64_t events_before = simulator.kernel_stats().events_fired;
+  const auto run_start = std::chrono::steady_clock::now();
+  simulator.run_until(sim::seconds(rounds + 2));
+  const double run_seconds = seconds_since(run_start);
+  const std::uint64_t events =
+      simulator.kernel_stats().events_fired - events_before;
+
+  for (std::size_t i = 1; i < spokes->size(); ++i) {
+    out.delivered += (*spokes)[i].received();
+  }
+  out.skipped = simulator.kernel_stats().udp_deliveries_skipped;
+  out.events_per_sec =
+      run_seconds > 0.0 ? static_cast<double>(events) / run_seconds : 0.0;
+  out.rounds_per_sec =
+      run_seconds > 0.0 ? static_cast<double>(out.rounds) / run_seconds : 0.0;
+  return out;
+}
+
 struct TopologyMeasured {
   std::uint64_t users = 0;
   std::uint64_t nodes = 0;
@@ -205,6 +310,31 @@ void print_fanout(const FanoutMeasured& m) {
               static_cast<unsigned long long>(m.nodes),
               static_cast<unsigned long long>(m.rounds), m.events_per_sec,
               m.deliveries_per_sec, m.bytes_per_node, m.attach_per_sec);
+}
+
+void print_scoped_fanout(const ScopedFanoutMeasured& m) {
+  std::printf("  N=%-8llu rounds=%-3llu subs=%-3llu %12.0f ev/s "
+              "%10.1f rounds/s  skipped %llu\n",
+              static_cast<unsigned long long>(m.nodes),
+              static_cast<unsigned long long>(m.rounds),
+              static_cast<unsigned long long>(m.subscribers),
+              m.events_per_sec, m.rounds_per_sec,
+              static_cast<unsigned long long>(m.skipped));
+}
+
+void emit_scoped_fanout(bench::JsonWriter& json,
+                        const ScopedFanoutMeasured& m) {
+  std::string key = "n_";
+  key += std::to_string(m.nodes);
+  json.begin(key)
+      .field("nodes", m.nodes)
+      .field("rounds", m.rounds)
+      .field("subscribers", m.subscribers)
+      .field("delivered", m.delivered)
+      .field("skipped", m.skipped)
+      .field("events_per_sec", m.events_per_sec)
+      .field("rounds_per_sec", m.rounds_per_sec)
+      .end();
 }
 
 void print_topology(const TopologyMeasured& m) {
@@ -278,6 +408,25 @@ int main() {
     print_fanout(fanout.back());
   }
 
+  bench::note("fanout_scoped / fanout_scoped_rng: 16 of N spokes "
+              "subscribe to the published type (DESIGN.md section 14)");
+  std::vector<ScopedFanoutMeasured> fanout_scoped;
+  std::vector<ScopedFanoutMeasured> fanout_scoped_rng;
+  for (const int n : fanout_decades) {
+    // Same per-decade budget discipline as the universal series, but
+    // the budgeted unit is the scoped mode's per-round O(N) draw walk.
+    const int budget = smoke ? 200000 : 2000000;
+    int rounds = budget / n;
+    if (rounds < 2) rounds = 2;
+    if (rounds > 50) rounds = 50;
+    fanout_scoped.push_back(
+        measure_scoped_fanout(n, rounds, net::MulticastScope::kScoped));
+    print_scoped_fanout(fanout_scoped.back());
+    fanout_scoped_rng.push_back(
+        measure_scoped_fanout(n, rounds, net::MulticastScope::kScopedRng));
+    print_scoped_fanout(fanout_scoped_rng.back());
+  }
+
   bench::note("topology: TopologySpec-driven mDNS build (Manager + U "
               "Users) via the protocol registry");
   std::vector<TopologyMeasured> topology;
@@ -307,6 +456,22 @@ int main() {
     }
   }
 
+  // Interest-scoping correctness under both modes: exactly the
+  // subscribers receive, and every other spoke is accounted as skipped.
+  bool scoped_exact = true;
+  for (const std::vector<ScopedFanoutMeasured>* series :
+       {&fanout_scoped, &fanout_scoped_rng}) {
+    for (const auto& m : *series) {
+      if (m.delivered != m.subscribers * m.rounds ||
+          m.skipped != (m.nodes - m.subscribers) * m.rounds) {
+        scoped_exact = false;
+      }
+    }
+  }
+  bench::check(scoped_exact,
+               "scoped fan-out delivers to exactly the subscribers and "
+               "accounts every skip");
+
   const char* json_path = std::getenv("SDCM_BENCH_JSON");
   const std::string path = (json_path != nullptr && *json_path != '\0')
                                ? json_path
@@ -320,15 +485,24 @@ int main() {
   json.begin("fanout");
   for (const auto& m : fanout) emit_fanout(json, m);
   json.end();
+  json.begin("fanout_scoped");
+  for (const auto& m : fanout_scoped) emit_scoped_fanout(json, m);
+  json.end();
+  json.begin("fanout_scoped_rng");
+  for (const auto& m : fanout_scoped_rng) emit_scoped_fanout(json, m);
+  json.end();
   json.begin("topology");
   for (const auto& m : topology) emit_topology(json, m);
   json.end();
-  json.begin("claims").field("bytes_per_node_flat", bytes_flat).end();
+  json.begin("claims")
+      .field("bytes_per_node_flat", bytes_flat)
+      .field("scoped_fanout_exact", scoped_exact)
+      .end();
   json.end();
   if (!json.write_file(path)) {
     std::fprintf(stderr, "failed to write %s\n", path.c_str());
     return 1;
   }
   std::printf("wrote %s\n", path.c_str());
-  return bytes_flat ? 0 : 1;
+  return (bytes_flat && scoped_exact) ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include "sdcm/mdns/mdns.hpp"
 #include "sdcm/metrics/update_metrics.hpp"
 #include "sdcm/net/failure_model.hpp"
+#include "sdcm/net/network.hpp"
 #include "sdcm/obs/profiler.hpp"
 #include "sdcm/obs/registry.hpp"
 #include "sdcm/sim/trace.hpp"
@@ -129,6 +130,13 @@ struct ExperimentConfig {
   /// untouched, bit-identical to the pre-workload traces). See
   /// sdcm/experiment/workload.hpp and DESIGN.md section 11.
   WorkloadSpec workload{};
+
+  /// Multicast fan-out mode (DESIGN.md section 14). The default kScoped
+  /// keeps traces bit-identical to the historical broadcast loop while
+  /// skipping uninterested dispatch; kScopedRng also skips their RNG
+  /// draws for the full asymptotic win (different, separately pinned
+  /// fingerprints).
+  net::MulticastScope multicast_scope = net::MulticastScope::kScoped;
 
   /// Per-protocol model parameters; edit for ablation experiments
   /// (e.g. frodo.enable_pr1 = false reproduces Figure 7's control).

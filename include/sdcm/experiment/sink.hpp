@@ -295,6 +295,10 @@ struct CampaignHeader {
   /// Workload generator the campaign ran under; logs predating the
   /// workload engine parse as kStatic.
   WorkloadKind workload = WorkloadKind::kStatic;
+  /// Multicast fan-out mode the campaign ran under; logs predating
+  /// interest scoping parse as kScoped, whose record stream is
+  /// bit-identical to the historical broadcast loop's.
+  net::MulticastScope multicast_scope = net::MulticastScope::kScoped;
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
 };

@@ -36,6 +36,13 @@ class FrodoClient : public discovery::Node {
   /// storm bursts).
   void announce_now() override;
 
+  /// Clients parse only the Central's multicast announcement; node
+  /// announces are registry-side traffic (interest-scoped fan-out,
+  /// DESIGN.md section 14). Subclasses that handle more multicast
+  /// types (FrodoManager's search) extend this.
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
+
   [[nodiscard]] bool has_central() const noexcept {
     return central_ != sim::kNoNode;
   }

@@ -64,6 +64,8 @@ class FrodoManager : public FrodoClient {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void register_service(ServiceId service);
   void renew_registration(ServiceId service);
   void send_update_to_central(ServiceId service);

@@ -74,6 +74,8 @@ class FrodoRegistryNode : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
 
   // --- election / role management ---
   void conclude_election();

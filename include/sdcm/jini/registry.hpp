@@ -63,6 +63,8 @@ class JiniRegistry : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void announce();
   void handle_discovery_request(const net::Message& msg);
   void handle_register(const net::Message& msg);

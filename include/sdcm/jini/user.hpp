@@ -50,6 +50,8 @@ class JiniUser : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void send_discovery_request();
   void registry_heard(NodeId registry);
   void purge_registry(NodeId registry, const char* reason);

@@ -123,6 +123,8 @@ class MdnsResponder : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void announce_all();
   void announce_service(const discovery::ServiceDescription& sd,
                         net::MessageClass klass, int copies);
@@ -155,6 +157,8 @@ class MdnsListener : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void handle_announce(const net::Message& m);
   void send_query();
   void refresh_ttl();

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "sdcm/net/interface.hpp"
@@ -37,7 +40,46 @@ class MessageSink {
  public:
   virtual ~MessageSink() = default;
   virtual void handle_message(const Message& msg) = 0;
+
+  /// The multicast message types this sink actually parses, for the
+  /// interest-scoped fan-out (DESIGN.md section 14). std::nullopt (the
+  /// default) means "universal": the sink sees every multicast, exactly
+  /// the pre-scoping behavior - tests and tools need no changes. An
+  /// engaged vector subscribes the sink to exactly those interned
+  /// atoms; an engaged *empty* vector receives no multicast at all.
+  /// Unicast and TCP delivery are never filtered.
+  ///
+  /// Resolution is lazy: the network reads this on the first multicast
+  /// after attach, never during attach itself, because protocol nodes
+  /// attach from their base-class constructor where a virtual call
+  /// would not reach the derived override.
+  [[nodiscard]] virtual std::optional<std::vector<MessageType>>
+  multicast_interests() const {
+    return std::nullopt;
+  }
 };
+
+/// How Network::multicast resolves its destination set. Determinism is
+/// the axis (DESIGN.md section 14):
+///  - kScoped (default): per-destination delay/loss RNG draws stay in
+///    attach order for *every* node, so golden trace fingerprints stay
+///    bit-identical to the historical broadcast loop; uninterested
+///    destinations skip only the Message copy and dispatch (their drop
+///    accounting still fires, which is what keeps traces identical).
+///  - kScopedRng: draws are skipped for uninterested destinations too -
+///    the full asymptotic win, with its own freshly pinned fingerprints.
+///  - kBroadcast: the legacy loop; every attached node is treated as
+///    interested. Same RNG/trace stream as kScoped.
+enum class MulticastScope : std::uint8_t {
+  kBroadcast,
+  kScoped,
+  kScopedRng,
+};
+
+[[nodiscard]] std::string_view to_string(MulticastScope scope) noexcept;
+/// Parses "broadcast" / "scoped" / "scoped-rng"; nullopt otherwise.
+[[nodiscard]] std::optional<MulticastScope> multicast_scope_from_name(
+    std::string_view name) noexcept;
 
 /// Typed attach failure: the id was reserved (0) or already taken.
 /// Derives std::invalid_argument so pre-existing catch sites keep
@@ -119,10 +161,36 @@ class Network {
   /// UDP unicast: fire and forget.
   void send(const Message& msg);
 
-  /// UDP multicast to every attached node except the source.
+  /// UDP multicast to every *interested* attached node except the
+  /// source (see MulticastScope for the three destination-set modes).
   /// `redundant_copies` models the "redundant 6 times transmission"
   /// UPnP and Jini use for multicast (Table 3); FRODO uses 1.
   void multicast(const Message& msg, int redundant_copies = 1);
+
+  /// Selects the fan-out mode. Must be set before the first multicast
+  /// of a run; switching mid-run would split one run across two RNG
+  /// consumption disciplines.
+  void set_multicast_scope(MulticastScope scope) noexcept { scope_ = scope; }
+  [[nodiscard]] MulticastScope multicast_scope() const noexcept {
+    return scope_;
+  }
+
+  /// Replaces `id`'s interest set (same semantics as
+  /// MessageSink::multicast_interests) and marks it resolved, so the
+  /// lazy resolution pass will not consult the sink again. Used by
+  /// tests and by sinks whose interests change after attach.
+  void set_multicast_interests(NodeId id,
+                               std::optional<std::vector<MessageType>> types);
+
+  /// Current subscribers of `type` in attach order (universal sinks
+  /// included). Forces resolution of any pending interests.
+  [[nodiscard]] std::vector<NodeId> multicast_subscribers(MessageType type);
+
+  /// Verifies the subscription index against a from-scratch rebuild off
+  /// the port table: every subscriber list sorted by attach sequence,
+  /// no stale or missing entries. Returns false (and never throws) on
+  /// any mismatch; the fuzzer calls this after churn workloads.
+  [[nodiscard]] bool check_subscription_index();
 
   /// Low-level single wire transmission used by the TCP model: counts the
   /// segment iff the transmitter is up, draws a delay, and invokes
@@ -182,6 +250,11 @@ class Network {
   }
 
  private:
+  /// Interest sentinel values stored in Port::interest; real interned
+  /// interest-set indices are below both.
+  static constexpr std::uint32_t kInterestUnresolved = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kInterestUniversal = 0xFFFFFFFEu;
+
   /// One NodeTable slot. Dispatch state is a bare interface pointer;
   /// the token-bucket fields are live only while capacity_enabled().
   struct Port {
@@ -189,13 +262,63 @@ class Network {
     InterfaceState iface;
     double tokens = 0.0;
     sim::SimTime tokens_at = 0;
+    /// Index into interest_sets_, or a kInterest* sentinel.
+    std::uint32_t interest = kInterestUnresolved;
+    /// Position in order_ at attach time; subscriber lists sort by this
+    /// so scoped delivery visits destinations in attach order.
+    std::uint32_t seq = 0;
 
     [[nodiscard]] bool attached() const noexcept { return sink != nullptr; }
+  };
+
+  /// One interned interest set: the sorted unique atom ids plus a
+  /// kMaxAtoms-wide membership bitmap for the O(1) test in the default
+  /// scoped mode's per-destination loop.
+  struct InterestSet {
+    std::vector<MessageType::Id> types;
+    std::vector<std::uint64_t> bits;  // kMaxAtoms / 64 words
+
+    [[nodiscard]] bool test(MessageType::Id id) const noexcept {
+      return (bits[static_cast<std::size_t>(id) >> 6] >>
+              (static_cast<std::size_t>(id) & 63)) &
+             1u;
+    }
+  };
+
+  /// A subscriber-list entry; lists stay sorted by seq (attach order).
+  struct Sub {
+    std::uint32_t seq;
+    NodeId id;
   };
 
   Port& port(NodeId id);
   [[nodiscard]] const Port& port(NodeId id) const;
   [[nodiscard]] bool lost_in_transit();
+
+  /// Consults multicast_interests() for every port attached since the
+  /// last pass (virtual dispatch is safe by now: nothing multicasts
+  /// during construction) and indexes the answers.
+  void resolve_pending_interests();
+  /// Installs `types` as `p`'s interest set, removing any previous
+  /// index entries first.
+  void apply_interests(NodeId id, Port& p,
+                       std::optional<std::vector<MessageType>> types);
+  void drop_index_entries(NodeId id, const Port& p);
+  [[nodiscard]] std::uint32_t intern_interest_set(
+      const std::vector<MessageType>& types);
+
+  /// Fire-time body of one multicast delivery: stack-copies the shared
+  /// wire copy (stamping dst), probes, applies rx/loss accounting, and
+  /// dispatches. The scheduling closure captures only {this, wire, dst,
+  /// lost} so it fits InlineCallback's buffer.
+  void deliver_multicast_copy(const std::shared_ptr<const Message>& wire,
+                              NodeId dst, bool lost);
+  /// Same, for a destination with no interest in the type (default
+  /// scoped mode): probe + drop accounting only, never a dispatch, and
+  /// the Message stack copy happens only when the probe or a drop
+  /// record actually needs dst stamped.
+  void audit_multicast_copy(const std::shared_ptr<const Message>& wire,
+                            NodeId dst, bool lost);
 
   /// Token-bucket admission for one wire copy leaving `src` now: the
   /// shaping delay to add to the copy's transit delay (0 when a token
@@ -224,6 +347,20 @@ class Network {
   /// Wrappers allocated by the Handler-based attach overload.
   std::vector<std::unique_ptr<MessageSink>> owned_sinks_;
   MessageCounters counters_;
+
+  // Interest-scoped fan-out state (DESIGN.md section 14).
+  MulticastScope scope_ = MulticastScope::kScoped;
+  /// Interned interest sets; ports with identical declarations share
+  /// one entry (and its 512-byte bitmap).
+  std::vector<InterestSet> interest_sets_;
+  std::map<std::vector<MessageType::Id>, std::uint32_t> interest_index_;
+  /// Per-atom subscriber lists, indexed by MessageType::Id, each sorted
+  /// by attach seq. Universal sinks live in universal_ instead.
+  std::vector<std::vector<Sub>> subs_by_type_;
+  std::vector<Sub> universal_;
+  /// How many order_ entries have had their interests resolved; attach
+  /// only appends, so the unresolved tail is order_[resolved_upto_..].
+  std::size_t resolved_upto_ = 0;
 };
 
 }  // namespace sdcm::net

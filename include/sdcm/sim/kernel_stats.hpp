@@ -25,13 +25,28 @@ struct KernelStats {
   std::uint64_t callback_heap_allocs = 0;
 
   // Network, per transport. "Sent" counts copies that reached the wire
-  // (transmitter up, once per redundant multicast copy); "dropped"
-  // counts copies lost at a dead transmitter, a dead receiver, or to
-  // the message-loss model - one increment per receiver that missed it.
+  // (transmitter up, once per redundant multicast copy). UDP drops are
+  // split by unit so rates stay comparable across failure directions:
+  //  - udp_copies_dropped_tx counts *wire copies* killed before leaving
+  //    the source (dead transmitter, or the capacity model's full
+  //    queue) - one increment per copy, regardless of how many
+  //    receivers it would have reached;
+  //  - udp_deliveries_dropped_rx counts *per-destination deliveries*
+  //    lost in flight or at a dead receiver - one increment per
+  //    destination that missed the copy.
+  // The legacy aggregate is still available as udp_dropped().
   std::uint64_t udp_sent = 0;
-  std::uint64_t udp_dropped = 0;
+  std::uint64_t udp_copies_dropped_tx = 0;
+  std::uint64_t udp_deliveries_dropped_rx = 0;
   std::uint64_t tcp_sent = 0;
   std::uint64_t tcp_dropped = 0;
+
+  /// Multicast deliveries the interest-scoped fan-out never performed
+  /// because the destination declared no interest in the message type
+  /// (DESIGN.md section 14). In the default `scoped` mode these skip
+  /// the Message copy and dispatch; in `scoped-rng` mode they skip the
+  /// event entirely.
+  std::uint64_t udp_deliveries_skipped = 0;
 
   // Link-capacity model (workload saturation): copies dropped at a full
   // token-bucket queue (also counted in udp/tcp_dropped), copies that
@@ -44,11 +59,17 @@ struct KernelStats {
   // Trace log records actually appended (recording enabled).
   std::uint64_t trace_records = 0;
 
+  /// Legacy aggregate over both UDP drop units; prefer the split
+  /// fields when comparing drop rates across failure directions.
+  [[nodiscard]] std::uint64_t udp_dropped() const noexcept {
+    return udp_copies_dropped_tx + udp_deliveries_dropped_rx;
+  }
+
   [[nodiscard]] std::uint64_t messages_sent() const noexcept {
     return udp_sent + tcp_sent;
   }
   [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
-    return udp_dropped + tcp_dropped;
+    return udp_dropped() + tcp_dropped;
   }
 
   void reset() noexcept { *this = KernelStats{}; }
@@ -64,7 +85,9 @@ inline void accumulate(KernelStats& total, const KernelStats& run) noexcept {
   total.peak_heap_size = std::max(total.peak_heap_size, run.peak_heap_size);
   total.callback_heap_allocs += run.callback_heap_allocs;
   total.udp_sent += run.udp_sent;
-  total.udp_dropped += run.udp_dropped;
+  total.udp_copies_dropped_tx += run.udp_copies_dropped_tx;
+  total.udp_deliveries_dropped_rx += run.udp_deliveries_dropped_rx;
+  total.udp_deliveries_skipped += run.udp_deliveries_skipped;
   total.tcp_sent += run.tcp_sent;
   total.tcp_dropped += run.tcp_dropped;
   total.capacity_dropped += run.capacity_dropped;

@@ -99,6 +99,8 @@ class DirectoryAgent : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void purge(ServiceId service);
 
   struct Registration {
@@ -125,6 +127,8 @@ class ServiceAgent : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void register_all();
   void register_service(ServiceId service);
   void da_heard(NodeId da);
@@ -154,6 +158,8 @@ class UserAgent : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void poll();
   void da_heard(NodeId da);
   void drop_da();

@@ -75,6 +75,8 @@ class UpnpManager : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void announce_all();
   void handle_msearch(const net::Message& msg);
   void handle_get(const net::Message& msg);

@@ -61,6 +61,8 @@ class UpnpUser : public discovery::Node {
 
  private:
   void on_message(const net::Message& msg) override;
+  [[nodiscard]] std::optional<std::vector<net::MessageType>>
+  multicast_interests() const override;
   void handle_presence(NodeId manager, discovery::ServiceId service,
                        const std::string& device_type,
                        const std::string& service_type);

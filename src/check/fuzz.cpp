@@ -42,6 +42,10 @@ std::string to_string(const FuzzPlan& plan) {
     out += " workload=";
     out += experiment::to_string(plan.workload);
   }
+  if (plan.multicast_scope != net::MulticastScope::kScoped) {
+    out += " scope=";
+    out += net::to_string(plan.multicast_scope);
+  }
   return out;
 }
 
@@ -83,6 +87,12 @@ FuzzPlan draw_fuzz_plan(experiment::SystemModel model, std::uint64_t seed,
     plan.workload =
         config.workload_choices[rng.index(config.workload_choices.size())];
   }
+  // Drawn after workload (FuzzPlan::multicast_scope): pre-scoping plans
+  // reproduce.
+  if (!config.scope_choices.empty()) {
+    plan.multicast_scope =
+        config.scope_choices[rng.index(config.scope_choices.size())];
+  }
   return plan;
 }
 
@@ -98,6 +108,7 @@ experiment::ExperimentConfig fuzz_experiment_config(
   out.message_loss_rate = fuzz_case.plan.message_loss_rate;
   out.failure_application = config.failure_application;
   out.workload.kind = fuzz_case.plan.workload;
+  out.multicast_scope = fuzz_case.plan.multicast_scope;
   if (fuzz_case.plan.converge_shape) {
     // Outages drawn over the first half, quiet second half: recovery
     // has a failure-free window at least as long as the paper's whole
@@ -140,6 +151,13 @@ FuzzCase shrink_fuzz_case(const FuzzCase& failing, const FuzzConfig& config,
     // Candidate simplifications, most drastic first; the pass restarts
     // after every accepted step, so the ladder reaches a fixpoint.
     std::vector<FuzzCase> candidates;
+    if (best.plan.multicast_scope != net::MulticastScope::kScoped) {
+      // Reset the newest plan dimension first: a failure that survives
+      // on the default scope is a protocol bug, not a fan-out bug.
+      FuzzCase candidate = best;
+      candidate.plan.multicast_scope = net::MulticastScope::kScoped;
+      candidates.push_back(candidate);
+    }
     if (best.plan.workload != experiment::WorkloadKind::kStatic) {
       FuzzCase candidate = best;
       candidate.plan.workload = experiment::WorkloadKind::kStatic;

@@ -41,7 +41,14 @@ std::string usage() {
          "  --workloads[=a,b,...]\n"
          "                     also draw a synthetic workload per plan;\n"
          "                     choices from static,churn,storm,saturation\n"
-         "                     (bare flag = all four, default: none)\n"
+         "                     (bare flag = all four, default: none).\n"
+         "                     Also draws a multicast scope per plan\n"
+         "                     unless --scopes overrides it, so churned\n"
+         "                     subscription tables are fuzzed in every\n"
+         "                     fan-out mode\n"
+         "  --scopes[=a,b,...] multicast fan-out choices per plan from\n"
+         "                     scoped,scoped-rng,broadcast (bare flag =\n"
+         "                     all three, default: scoped only)\n"
          "  --users=N          Users per run (default 5)\n"
          "  --legacy-failures  apply failure plans with the pre-fix plain\n"
          "                     boolean flips (overlap regression mode)\n"
@@ -95,6 +102,7 @@ std::vector<std::string> split(std::string_view text, char separator) {
 int main(int argc, char** argv) {
   check::FuzzConfig config;
   config.log = &std::cerr;
+  bool scopes_given = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -170,6 +178,24 @@ int main(int argc, char** argv) {
           config.workload_choices.push_back(*kind);
         }
       }
+    } else if (key == "--scopes") {
+      scopes_given = true;
+      config.scope_choices.clear();
+      if (value.empty()) {
+        config.scope_choices = {net::MulticastScope::kScoped,
+                                net::MulticastScope::kScopedRng,
+                                net::MulticastScope::kBroadcast};
+      } else {
+        for (const auto& name : split(value, ',')) {
+          const auto scope = net::multicast_scope_from_name(name);
+          if (!scope) {
+            std::cerr << "error: unknown multicast scope '" << name << "'\n\n"
+                      << usage();
+            return 2;
+          }
+          config.scope_choices.push_back(*scope);
+        }
+      }
     } else if (key == "--users") {
       std::uint64_t parsed = 0;
       if (!parse_u64(value, parsed) || parsed == 0 || parsed > 1000) {
@@ -200,6 +226,15 @@ int main(int argc, char** argv) {
   if (config.models.empty()) {
     std::cerr << "error: --models needs at least one name\n\n" << usage();
     return 2;
+  }
+
+  // The --workloads lane also fuzzes fan-out modes (churned
+  // subscription tables exercised under the oracle in every scope)
+  // unless --scopes pinned them explicitly.
+  if (!config.workload_choices.empty() && !scopes_given) {
+    config.scope_choices = {net::MulticastScope::kScoped,
+                            net::MulticastScope::kScopedRng,
+                            net::MulticastScope::kBroadcast};
   }
 
   const check::FuzzResult result = check::run_fuzz(config);

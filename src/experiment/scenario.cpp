@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,7 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
   }
   net::Network network(simulator);
   network.set_message_loss_rate(config.message_loss_rate);
+  network.set_multicast_scope(config.multicast_scope);
   discovery::ConsistencyObserver observer;
   if (config.oracle != nullptr) {
     config.oracle->begin_run(observer, network, config.duration);
@@ -200,6 +202,13 @@ metrics::RunRecord run_impl(const ExperimentConfig& config,
   simulator.run_until(config.duration);
 
   phase.emplace(profiler, phase_sites().extract);
+  // Every run doubles as a churn-correctness check of the interest
+  // index: after arbitrary depart/rejoin/announce traffic the dense
+  // per-type subscriber lists must still equal a from-scratch rebuild.
+  if (!network.check_subscription_index()) {
+    throw std::logic_error(
+        "net::Network subscription index diverged from a rebuild");
+  }
   metrics::RunRecord record;
   record.change_time = change_at;
   record.deadline = config.duration;

@@ -293,6 +293,21 @@ int main(int argc, char** argv) {
   std::printf("\nupdate messages: %llu   window messages (y): %llu\n",
               static_cast<unsigned long long>(record.update_messages),
               static_cast<unsigned long long>(record.window_messages));
+  // UDP drops are split by unit (see KernelStats): tx kills a wire
+  // copy, rx kills one per-destination delivery; skipped counts the
+  // deliveries interest scoping never performed.
+  std::printf("kernel: udp sent %llu, copies dropped tx %llu, deliveries "
+              "dropped rx %llu, deliveries skipped %llu; tcp sent %llu, "
+              "dropped %llu\n",
+              static_cast<unsigned long long>(record.kernel.udp_sent),
+              static_cast<unsigned long long>(
+                  record.kernel.udp_copies_dropped_tx),
+              static_cast<unsigned long long>(
+                  record.kernel.udp_deliveries_dropped_rx),
+              static_cast<unsigned long long>(
+                  record.kernel.udp_deliveries_skipped),
+              static_cast<unsigned long long>(record.kernel.tcp_sent),
+              static_cast<unsigned long long>(record.kernel.tcp_dropped));
   std::printf("trace: %llu records, fingerprint 0x%016llx\n",
               static_cast<unsigned long long>(traced.trace.appended()),
               static_cast<unsigned long long>(record.trace_fingerprint));

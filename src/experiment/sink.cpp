@@ -103,8 +103,16 @@ void append_kernel(std::string& out, const sim::KernelStats& k) {
   append_u64(out, k.callback_heap_allocs);
   out += ",\"udp_sent\":";
   append_u64(out, k.udp_sent);
+  // Legacy aggregate first (older readers), then the split units and
+  // the scoped-fan-out skip counter.
   out += ",\"udp_dropped\":";
-  append_u64(out, k.udp_dropped);
+  append_u64(out, k.udp_dropped());
+  out += ",\"udp_copies_dropped_tx\":";
+  append_u64(out, k.udp_copies_dropped_tx);
+  out += ",\"udp_deliveries_dropped_rx\":";
+  append_u64(out, k.udp_deliveries_dropped_rx);
+  out += ",\"udp_deliveries_skipped\":";
+  append_u64(out, k.udp_deliveries_skipped);
   out += ",\"tcp_sent\":";
   append_u64(out, k.tcp_sent);
   out += ",\"tcp_dropped\":";
@@ -147,6 +155,8 @@ void JsonlSink::on_campaign_begin(const SweepConfig& config, std::uint64_t) {
   append_u64(line, config.master_seed);
   line += ",\"workload\":";
   append_quoted(line, to_string(config.workload.kind));
+  line += ",\"multicast_scope\":";
+  append_quoted(line, to_string(config.multicast_scope));
   line += ",\"shard_index\":";
   append_u64(line, config.shard.index);
   line += ",\"shard_count\":";
@@ -434,21 +444,36 @@ std::optional<SystemModel> model_by_name(std::string_view name) {
 
 bool parse_kernel(const JsonValue& obj, sim::KernelStats& out,
                   std::string& error) {
-  return get_u64(obj, "events_scheduled", out.events_scheduled, error) &&
-         get_u64(obj, "events_cancelled", out.events_cancelled, error) &&
-         get_u64(obj, "events_fired", out.events_fired, error) &&
-         get_u64(obj, "peak_heap_size", out.peak_heap_size, error) &&
-         get_u64(obj, "callback_heap_allocs", out.callback_heap_allocs,
-                 error) &&
-         get_u64(obj, "udp_sent", out.udp_sent, error) &&
-         get_u64(obj, "udp_dropped", out.udp_dropped, error) &&
-         get_u64(obj, "tcp_sent", out.tcp_sent, error) &&
-         get_u64(obj, "tcp_dropped", out.tcp_dropped, error) &&
-         get_u64(obj, "capacity_dropped", out.capacity_dropped, error) &&
-         get_u64(obj, "capacity_delayed", out.capacity_delayed, error) &&
-         get_u64(obj, "capacity_queue_peak", out.capacity_queue_peak,
-                 error) &&
-         get_u64(obj, "trace_records", out.trace_records, error);
+  if (!(get_u64(obj, "events_scheduled", out.events_scheduled, error) &&
+        get_u64(obj, "events_cancelled", out.events_cancelled, error) &&
+        get_u64(obj, "events_fired", out.events_fired, error) &&
+        get_u64(obj, "peak_heap_size", out.peak_heap_size, error) &&
+        get_u64(obj, "callback_heap_allocs", out.callback_heap_allocs,
+                error) &&
+        get_u64(obj, "udp_sent", out.udp_sent, error) &&
+        get_u64(obj, "tcp_sent", out.tcp_sent, error) &&
+        get_u64(obj, "tcp_dropped", out.tcp_dropped, error) &&
+        get_u64(obj, "capacity_dropped", out.capacity_dropped, error) &&
+        get_u64(obj, "capacity_delayed", out.capacity_delayed, error) &&
+        get_u64(obj, "capacity_queue_peak", out.capacity_queue_peak, error) &&
+        get_u64(obj, "trace_records", out.trace_records, error))) {
+    return false;
+  }
+  // UDP drop units: logs written since the tx/rx split carry the split
+  // fields plus the scoped-fan-out skip counter; older logs carry only
+  // the aggregate, which folds into the rx bucket (multicast rx drops
+  // dominated it).
+  if (obj.find("udp_copies_dropped_tx") != nullptr) {
+    return get_u64(obj, "udp_copies_dropped_tx", out.udp_copies_dropped_tx,
+                   error) &&
+           get_u64(obj, "udp_deliveries_dropped_rx",
+                   out.udp_deliveries_dropped_rx, error) &&
+           get_u64(obj, "udp_deliveries_skipped", out.udp_deliveries_skipped,
+                   error);
+  }
+  out.udp_copies_dropped_tx = 0;
+  out.udp_deliveries_skipped = 0;
+  return get_u64(obj, "udp_dropped", out.udp_deliveries_dropped_rx, error);
 }
 
 }  // namespace
@@ -556,6 +581,21 @@ std::optional<CampaignHeader> parse_jsonl_header(std::string_view line,
     }
     header.workload = *kind;
   }
+  // Optional for compatibility with pre-scoping logs, whose broadcast
+  // record stream is bit-identical to the kScoped default.
+  if (const JsonValue* scope = root.find("multicast_scope");
+      scope != nullptr) {
+    if (scope->type != JsonValue::Type::kString) {
+      error = "field 'multicast_scope' must be a string";
+      return std::nullopt;
+    }
+    const auto mode = net::multicast_scope_from_name(scope->text);
+    if (!mode) {
+      error = "unknown multicast_scope '" + scope->text + "'";
+      return std::nullopt;
+    }
+    header.multicast_scope = *mode;
+  }
   return header;
 }
 
@@ -647,7 +687,7 @@ bool same_campaign(const CampaignHeader& a, const CampaignHeader& b) {
   return a.models == b.models && a.lambdas == b.lambdas && a.runs == b.runs &&
          a.users == b.users && a.managers == b.managers &&
          a.registries == b.registries && a.seed == b.seed &&
-         a.workload == b.workload;
+         a.workload == b.workload && a.multicast_scope == b.multicast_scope;
 }
 
 }  // namespace
@@ -700,8 +740,10 @@ std::optional<SweepResult> merge_jsonl(std::span<std::istream* const> shards,
                       static_cast<std::size_t>(campaign->runs),
                   0);
     } else if (!same_campaign(*campaign, *header)) {
-      error = where + ": header does not match the first shard's campaign "
-              "(models/lambdas/runs/topology/seed/workload must agree)";
+      error = where +
+              ": header does not match the first shard's campaign "
+              "(models/lambdas/runs/topology/seed/workload/multicast_scope "
+              "must agree)";
       return std::nullopt;
     }
 

@@ -41,6 +41,11 @@ void FrodoClient::depart() {
 
 void FrodoClient::announce_now() { send_node_announce(); }
 
+std::optional<std::vector<net::MessageType>> FrodoClient::multicast_interests()
+    const {
+  return std::vector<net::MessageType>{msg::kCentralAnnounce};
+}
+
 void FrodoClient::send_node_announce() {
   Message m;
   m.src = id();

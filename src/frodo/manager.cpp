@@ -375,6 +375,13 @@ void FrodoManager::send_update_to_user(ServiceId service, NodeId user) {
       });
 }
 
+std::optional<std::vector<net::MessageType>> FrodoManager::multicast_interests()
+    const {
+  // Central tracking plus the Users' registry-less multicast search.
+  return std::vector<net::MessageType>{msg::kCentralAnnounce,
+                                       msg::kMulticastSearch};
+}
+
 void FrodoManager::on_message(const Message& m) {
   if (handle_central_message(m)) return;
   if (m.type == msg::kRegisterAck) {

@@ -224,6 +224,16 @@ void FrodoRegistryNode::sync_backup() {
   network().send(m);
 }
 
+std::optional<std::vector<net::MessageType>>
+FrodoRegistryNode::multicast_interests() const {
+  // Registry-capable nodes track the Central and absorb the whole
+  // population's NodeAnnounce stream; searches arrive unicast once a
+  // Central exists, and the multicast fallback search is manager
+  // traffic handled there.
+  return std::vector<net::MessageType>{msg::kCentralAnnounce,
+                                       msg::kNodeAnnounce};
+}
+
 void FrodoRegistryNode::on_message(const Message& m) {
   if (m.type == msg::kCentralAnnounce) {
     handle_central_announce(m);

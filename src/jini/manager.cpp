@@ -56,6 +56,13 @@ void JiniManager::send_discovery_request() {
   network().multicast(m, config_.multicast_redundancy);
 }
 
+std::optional<std::vector<net::MessageType>> JiniManager::multicast_interests()
+    const {
+  // Registry announcements only; discovery requests are the other
+  // direction and everything else arrives unicast.
+  return std::vector<net::MessageType>{msg::kAnnounce};
+}
+
 void JiniManager::on_message(const Message& m) {
   if (m.type == msg::kAnnounce) {
     registry_heard(m.as<Announce>().registry);

@@ -39,6 +39,13 @@ void JiniRegistry::announce() {
   trace(sim::TraceCategory::kDiscovery, "jini.announce");
 }
 
+std::optional<std::vector<net::MessageType>>
+JiniRegistry::multicast_interests() const {
+  // Unicast discovery requests exist too, but the multicast path is the
+  // cold-start group discovery.
+  return std::vector<net::MessageType>{msg::kDiscoveryRequest};
+}
+
 void JiniRegistry::on_message(const Message& m) {
   if (m.type == msg::kDiscoveryRequest) {
     handle_discovery_request(m);

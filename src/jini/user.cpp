@@ -55,6 +55,11 @@ void JiniUser::send_discovery_request() {
   network().multicast(m, config_.multicast_redundancy);
 }
 
+std::optional<std::vector<net::MessageType>> JiniUser::multicast_interests()
+    const {
+  return std::vector<net::MessageType>{msg::kAnnounce};
+}
+
 void JiniUser::on_message(const Message& m) {
   if (m.type == msg::kAnnounce) {
     registry_heard(m.as<Announce>().registry);

@@ -126,6 +126,11 @@ void MdnsResponder::change_service(ServiceId service,
   announce_service(sd, MessageClass::kUpdate, config_.update_repeats);
 }
 
+std::optional<std::vector<net::MessageType>>
+MdnsResponder::multicast_interests() const {
+  return std::vector<net::MessageType>{msg::kQuery};
+}
+
 void MdnsResponder::on_message(const Message& m) {
   if (!running_) return;
   if (m.type != msg::kQuery) return;
@@ -175,6 +180,11 @@ void MdnsListener::send_query() {
   m.payload = Query{id(), interest_.device_type, interest_.service_type};
   trace(sim::TraceCategory::kDiscovery, "mdns.query.tx");
   send_multicast(m);
+}
+
+std::optional<std::vector<net::MessageType>>
+MdnsListener::multicast_interests() const {
+  return std::vector<net::MessageType>{msg::kAnnounce, msg::kGoodbye};
 }
 
 void MdnsListener::on_message(const Message& m) {

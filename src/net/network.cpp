@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -37,7 +38,50 @@ class FunctionSink final : public MessageSink {
 /// The message type's spelling as a trace detail string.
 std::string type_detail(const Message& m) { return std::string(m.type.str()); }
 
+/// Inserts a {seq, id} entry into a seq-sorted subscriber list. Attach
+/// hands out monotonically increasing seqs, so the common case is an
+/// append; the binary search only runs when interests are re-declared
+/// out of attach order.
+template <typename List, typename Entry>
+void insert_sorted_by_seq(List& list, Entry entry) {
+  if (list.empty() || list.back().seq < entry.seq) {
+    list.push_back(entry);
+    return;
+  }
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), entry.seq,
+      [](const Entry& a, std::uint32_t seq) { return a.seq < seq; });
+  list.insert(it, entry);
+}
+
+/// Removes the entry with `seq` from a seq-sorted list, if present.
+template <typename List>
+void erase_seq(List& list, std::uint32_t seq) {
+  using Entry = typename List::value_type;
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), seq,
+      [](const Entry& a, std::uint32_t q) { return a.seq < q; });
+  if (it != list.end() && it->seq == seq) list.erase(it);
+}
+
 }  // namespace
+
+std::string_view to_string(MulticastScope scope) noexcept {
+  switch (scope) {
+    case MulticastScope::kBroadcast: return "broadcast";
+    case MulticastScope::kScoped: return "scoped";
+    case MulticastScope::kScopedRng: return "scoped-rng";
+  }
+  return "unknown";
+}
+
+std::optional<MulticastScope> multicast_scope_from_name(
+    std::string_view name) noexcept {
+  if (name == "broadcast") return MulticastScope::kBroadcast;
+  if (name == "scoped") return MulticastScope::kScoped;
+  if (name == "scoped-rng") return MulticastScope::kScopedRng;
+  return std::nullopt;
+}
 
 std::string_view to_string(MessageClass c) noexcept {
   switch (c) {
@@ -127,8 +171,13 @@ Network::Network(sim::Simulator& simulator)
     : Network(simulator, sim::microseconds(10), sim::microseconds(100)) {}
 
 void Network::reserve_nodes(NodeId max_id) {
+  // Both vectors take the same capacity: the table is indexed by id (so
+  // slot 0, the reserved id, needs a slot too) and the attach order can
+  // hold at most one entry per table slot. Reserving max_id for order_
+  // used to force one guaranteed reallocation mid-build when ids were
+  // handed out contiguously from 1 through max_id.
   table_.reserve(static_cast<std::size_t>(max_id) + 1);
-  order_.reserve(static_cast<std::size_t>(max_id));
+  order_.reserve(static_cast<std::size_t>(max_id) + 1);
 }
 
 void Network::attach(NodeId id, MessageSink& sink) {
@@ -146,6 +195,11 @@ void Network::attach(NodeId id, MessageSink& sink) {
     slot.tokens = cap_burst_;
     slot.tokens_at = sim_.now();
   }
+  // Interests stay unresolved until the first multicast: protocol nodes
+  // attach from their base-class constructor, where a virtual
+  // multicast_interests() call could not reach the derived override.
+  slot.interest = kInterestUnresolved;
+  slot.seq = static_cast<std::uint32_t>(order_.size());
   order_.push_back(id);
 }
 
@@ -165,6 +219,135 @@ Network::Port& Network::port(NodeId id) {
 
 const Network::Port& Network::port(NodeId id) const {
   return const_cast<Network*>(this)->port(id);
+}
+
+std::uint32_t Network::intern_interest_set(
+    const std::vector<MessageType>& types) {
+  std::vector<MessageType::Id> ids;
+  ids.reserve(types.size());
+  for (const MessageType t : types) ids.push_back(t.id());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  const auto [it, inserted] = interest_index_.try_emplace(
+      std::move(ids), static_cast<std::uint32_t>(interest_sets_.size()));
+  if (inserted) {
+    InterestSet set;
+    set.types = it->first;
+    set.bits.assign(MessageType::kMaxAtoms / 64, 0);
+    for (const MessageType::Id tid : set.types) {
+      set.bits[tid >> 6] |= std::uint64_t{1} << (tid & 63);
+    }
+    interest_sets_.push_back(std::move(set));
+  }
+  return it->second;
+}
+
+void Network::drop_index_entries(NodeId id, const Port& p) {
+  (void)id;
+  if (p.interest == kInterestUniversal) {
+    erase_seq(universal_, p.seq);
+    return;
+  }
+  if (p.interest == kInterestUnresolved) return;
+  for (const MessageType::Id tid : interest_sets_[p.interest].types) {
+    if (static_cast<std::size_t>(tid) < subs_by_type_.size()) {
+      erase_seq(subs_by_type_[tid], p.seq);
+    }
+  }
+}
+
+void Network::apply_interests(NodeId id, Port& p,
+                              std::optional<std::vector<MessageType>> types) {
+  drop_index_entries(id, p);
+  if (!types.has_value()) {
+    p.interest = kInterestUniversal;
+    insert_sorted_by_seq(universal_, Sub{p.seq, id});
+    return;
+  }
+  const std::uint32_t set = intern_interest_set(*types);
+  p.interest = set;
+  for (const MessageType::Id tid : interest_sets_[set].types) {
+    if (static_cast<std::size_t>(tid) >= subs_by_type_.size()) {
+      subs_by_type_.resize(static_cast<std::size_t>(tid) + 1);
+    }
+    insert_sorted_by_seq(subs_by_type_[tid], Sub{p.seq, id});
+  }
+}
+
+void Network::resolve_pending_interests() {
+  while (resolved_upto_ < order_.size()) {
+    const NodeId id = order_[resolved_upto_];
+    Port& p = table_[static_cast<std::size_t>(id)];
+    if (p.interest == kInterestUnresolved) {
+      apply_interests(id, p, p.sink->multicast_interests());
+    }
+    ++resolved_upto_;
+  }
+}
+
+void Network::set_multicast_interests(
+    NodeId id, std::optional<std::vector<MessageType>> types) {
+  apply_interests(id, port(id), std::move(types));
+}
+
+std::vector<NodeId> Network::multicast_subscribers(MessageType type) {
+  resolve_pending_interests();
+  const auto tid = static_cast<std::size_t>(type.id());
+  static const std::vector<Sub> kEmpty;
+  const std::vector<Sub>& typed =
+      tid < subs_by_type_.size() ? subs_by_type_[tid] : kEmpty;
+  std::vector<NodeId> out;
+  out.reserve(universal_.size() + typed.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < universal_.size() || j < typed.size()) {
+    if (j >= typed.size() ||
+        (i < universal_.size() && universal_[i].seq < typed[j].seq)) {
+      out.push_back(universal_[i++].id);
+    } else {
+      out.push_back(typed[j++].id);
+    }
+  }
+  return out;
+}
+
+bool Network::check_subscription_index() {
+  resolve_pending_interests();
+  std::vector<Sub> want_universal;
+  std::vector<std::vector<Sub>> want_typed(subs_by_type_.size());
+  for (const NodeId id : order_) {
+    const Port& p = table_[static_cast<std::size_t>(id)];
+    if (p.interest == kInterestUnresolved) return false;
+    if (p.interest == kInterestUniversal) {
+      want_universal.push_back(Sub{p.seq, id});
+      continue;
+    }
+    if (static_cast<std::size_t>(p.interest) >= interest_sets_.size()) {
+      return false;
+    }
+    for (const MessageType::Id tid : interest_sets_[p.interest].types) {
+      if (static_cast<std::size_t>(tid) >= want_typed.size()) {
+        want_typed.resize(static_cast<std::size_t>(tid) + 1);
+      }
+      want_typed[tid].push_back(Sub{p.seq, id});
+    }
+  }
+  // order_ is attach order, so the rebuilt lists are seq-sorted already.
+  const auto same = [](const std::vector<Sub>& a, const std::vector<Sub>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a[k].seq != b[k].seq || a[k].id != b[k].id) return false;
+    }
+    return true;
+  };
+  if (!same(want_universal, universal_)) return false;
+  if (want_typed.size() > subs_by_type_.size()) return false;
+  for (std::size_t t = 0; t < subs_by_type_.size(); ++t) {
+    static const std::vector<Sub> kEmpty;
+    const std::vector<Sub>& want = t < want_typed.size() ? want_typed[t] : kEmpty;
+    if (!same(want, subs_by_type_[t])) return false;
+  }
+  return true;
 }
 
 InterfaceState& Network::interface(NodeId id) { return port(id).iface; }
@@ -235,18 +418,58 @@ void Network::send(const Message& msg) {
   transmit(msg, /*deliver=*/true, nullptr);
 }
 
+void Network::deliver_multicast_copy(
+    const std::shared_ptr<const Message>& wire, NodeId dst, bool lost) {
+  SDCM_PROFILE_ONLY(sim_.profile_attribute(wire->type.id()));
+  Message m = *wire;
+  m.dst = dst;
+  Port& dport = port(dst);
+  if (probe_ != nullptr) {
+    probe_->on_arrival(m, dport.iface.rx_up(), lost, sim_.now());
+  }
+  if (!dport.iface.rx_up() || lost) {
+    ++sim_.kernel_stats().udp_deliveries_dropped_rx;
+    sim_.trace().record_child(m.span, sim_.now(), m.dst,
+                              sim::TraceCategory::kTransport, "net.drop.rx",
+                              type_detail(m));
+    return;
+  }
+  sim::SpanScope scope(sim_.trace(), m.span);
+  dport.sink->handle_message(m);
+}
+
+void Network::audit_multicast_copy(const std::shared_ptr<const Message>& wire,
+                                   NodeId dst, bool lost) {
+  SDCM_PROFILE_ONLY(sim_.profile_attribute(wire->type.id()));
+  Port& dport = port(dst);
+  const bool rx_up = dport.iface.rx_up();
+  if (probe_ == nullptr && rx_up && !lost) return;
+  Message m = *wire;
+  m.dst = dst;
+  if (probe_ != nullptr) probe_->on_arrival(m, rx_up, lost, sim_.now());
+  if (!rx_up || lost) {
+    ++sim_.kernel_stats().udp_deliveries_dropped_rx;
+    sim_.trace().record_child(m.span, sim_.now(), m.dst,
+                              sim::TraceCategory::kTransport, "net.drop.rx",
+                              type_detail(m));
+  }
+}
+
 void Network::multicast(const Message& msg, int redundant_copies) {
   assert(redundant_copies >= 1);
   Port& src = port(msg.src);
   sim::KernelStats& kstats = sim_.kernel_stats();
   const sim::SpanId cause =
       msg.span != sim::kNoSpan ? msg.span : sim_.trace().ambient();
+  if (scope_ != MulticastScope::kBroadcast) resolve_pending_interests();
+  const MessageType::Id type_id = msg.type.id();
+  const auto typed_index = static_cast<std::size_t>(type_id);
   for (int copy = 0; copy < redundant_copies; ++copy) {
     if (probe_ != nullptr) {
       probe_->on_send(msg, src.iface.tx_up(), sim_.now());
     }
     if (!src.iface.tx_up()) {
-      ++kstats.udp_dropped;
+      ++kstats.udp_copies_dropped_tx;
       sim_.trace().record_child(cause, sim_.now(), msg.src,
                                 sim::TraceCategory::kTransport, "net.drop.tx",
                                 type_detail(msg));
@@ -256,7 +479,7 @@ void Network::multicast(const Message& msg, int redundant_copies) {
     if (capacity_enabled()) {
       const auto admitted = shape(src);
       if (!admitted) {
-        ++kstats.udp_dropped;
+        ++kstats.udp_copies_dropped_tx;
         ++kstats.capacity_dropped;
         SDCM_OBS_ONLY(sim_.obs().counter("net.capacity.dropped").inc());
         sim_.trace().record_child(cause, sim_.now(), msg.src,
@@ -268,30 +491,75 @@ void Network::multicast(const Message& msg, int redundant_copies) {
     }
     counters_.count(msg);
     ++kstats.udp_sent;
+    // One immutable wire copy shared by every destination's delivery
+    // event. The per-destination closures capture {this, wire, dst,
+    // lost} - 32 bytes, inside InlineCallback's 64-byte buffer - where
+    // the old by-value Message capture heap-allocated every delivery.
+    auto wire = std::make_shared<const Message>([&] {
+      Message w = msg;
+      w.dst = sim::kNoNode;
+      w.via_multicast = true;
+      w.span = cause;
+      return w;
+    }());
+    if (scope_ == MulticastScope::kScopedRng) {
+      // Full asymptotic win: iterate only the subscribers (universal +
+      // per-atom lists merged in attach order) and draw delay/loss RNG
+      // only for them. Different RNG consumption than the other modes,
+      // hence the separately pinned fingerprints.
+      static const std::vector<Sub> kEmpty;
+      const std::vector<Sub>& typed = typed_index < subs_by_type_.size()
+                                          ? subs_by_type_[typed_index]
+                                          : kEmpty;
+      std::uint64_t dispatched = 0;
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < universal_.size() || j < typed.size()) {
+        NodeId dst;
+        if (j >= typed.size() ||
+            (i < universal_.size() && universal_[i].seq < typed[j].seq)) {
+          dst = universal_[i++].id;
+        } else {
+          dst = typed[j++].id;
+        }
+        if (dst == msg.src) continue;
+        const auto delay = shaping + draw_delay();
+        const bool lost = lost_in_transit();
+        ++dispatched;
+        sim_.schedule_in(delay, [this, wire, dst, lost]() {
+          deliver_multicast_copy(wire, dst, lost);
+        });
+      }
+      kstats.udp_deliveries_skipped +=
+          static_cast<std::uint64_t>(order_.size() - 1) - dispatched;
+      continue;
+    }
+    // kScoped (default) and kBroadcast: iterate every attached node so
+    // the per-destination delay/loss draws consume the RNG streams in
+    // attach order - bit-identical traces across all three of legacy
+    // broadcast, kBroadcast, and kScoped. In kScoped an uninterested
+    // destination gets a lightweight audit event (probe + drop
+    // accounting keep the trace stream identical) instead of a
+    // dispatched delivery.
     for (const NodeId dst : order_) {
       if (dst == msg.src) continue;
-      Message delivered = msg;
-      delivered.dst = dst;
-      delivered.via_multicast = true;
-      delivered.span = cause;
       const auto delay = shaping + draw_delay();
       const bool lost = lost_in_transit();
-      sim_.schedule_in(delay, [this, lost, m = std::move(delivered)]() {
-        SDCM_PROFILE_ONLY(sim_.profile_attribute(m.type.id()));
-        Port& dport = port(m.dst);
-        if (probe_ != nullptr) {
-          probe_->on_arrival(m, dport.iface.rx_up(), lost, sim_.now());
-        }
-        if (!dport.iface.rx_up() || lost) {
-          ++sim_.kernel_stats().udp_dropped;
-          sim_.trace().record_child(m.span, sim_.now(), m.dst,
-                                    sim::TraceCategory::kTransport,
-                                    "net.drop.rx", type_detail(m));
-          return;
-        }
-        sim::SpanScope scope(sim_.trace(), m.span);
-        dport.sink->handle_message(m);
-      });
+      bool interested = true;
+      if (scope_ == MulticastScope::kScoped) {
+        const std::uint32_t in = table_[static_cast<std::size_t>(dst)].interest;
+        interested = in == kInterestUniversal || interest_sets_[in].test(type_id);
+      }
+      if (interested) {
+        sim_.schedule_in(delay, [this, wire, dst, lost]() {
+          deliver_multicast_copy(wire, dst, lost);
+        });
+      } else {
+        ++kstats.udp_deliveries_skipped;
+        sim_.schedule_in(delay, [this, wire, dst, lost]() {
+          audit_multicast_copy(wire, dst, lost);
+        });
+      }
     }
   }
 }
@@ -307,7 +575,7 @@ bool Network::transmit(Message msg, bool deliver,
     probe_->on_send(msg, src.iface.tx_up(), sim_.now());
   }
   if (!src.iface.tx_up()) {
-    ++(tcp ? kstats.tcp_dropped : kstats.udp_dropped);
+    ++(tcp ? kstats.tcp_dropped : kstats.udp_copies_dropped_tx);
     sim_.trace().record_child(msg.span, sim_.now(), msg.src,
                               sim::TraceCategory::kTransport, "net.drop.tx",
                               type_detail(msg));
@@ -328,7 +596,7 @@ bool Network::transmit(Message msg, bool deliver,
     if (!admitted) {
       // A capacity drop looks like any other in-flight loss to the
       // sender: TCP's retransmission machinery handles it via cb(false).
-      ++(tcp ? kstats.tcp_dropped : kstats.udp_dropped);
+      ++(tcp ? kstats.tcp_dropped : kstats.udp_copies_dropped_tx);
       ++kstats.capacity_dropped;
       SDCM_OBS_ONLY(sim_.obs().counter("net.capacity.dropped").inc());
       sim_.trace().record_child(msg.span, sim_.now(), msg.src,
@@ -362,7 +630,7 @@ bool Network::transmit(Message msg, bool deliver,
     sim::SpanScope scope(sim_.trace(), m.span);
     if (!ok) {
       sim::KernelStats& ks = sim_.kernel_stats();
-      ++(tcp ? ks.tcp_dropped : ks.udp_dropped);
+      ++(tcp ? ks.tcp_dropped : ks.udp_deliveries_dropped_rx);
       sim_.trace().record_child(m.span, sim_.now(), m.dst,
                                 sim::TraceCategory::kTransport, "net.drop.rx",
                                 type_detail(m));

@@ -34,6 +34,14 @@ void DirectoryAgent::start() {
                       config_.announce_period, advertise);
 }
 
+std::optional<std::vector<net::MessageType>>
+DirectoryAgent::multicast_interests() const {
+  // Everything a DA consumes (SrvReg, SrvRqst) arrives unicast; an
+  // engaged empty set means the scoped fan-out never delivers multicast
+  // here at all.
+  return std::vector<net::MessageType>{};
+}
+
 void DirectoryAgent::on_message(const Message& m) {
   if (m.type == msg::kSrvReg) {
     const auto& reg = m.as<SrvReg>();
@@ -166,6 +174,11 @@ void ServiceAgent::drop_da() {
   da_timeout_ = sim::kInvalidEventId;
 }
 
+std::optional<std::vector<net::MessageType>>
+ServiceAgent::multicast_interests() const {
+  return std::vector<net::MessageType>{msg::kDaAdvert, msg::kMulticastSrvRqst};
+}
+
 void ServiceAgent::on_message(const Message& m) {
   if (m.type == msg::kDaAdvert) {
     da_heard(m.as<DaAdvert>().da);
@@ -246,6 +259,11 @@ void UserAgent::drop_da() {
   trace(sim::TraceCategory::kDiscovery, "slp.da.dropped");
   da_ = sim::kNoNode;
   da_timeout_ = sim::kInvalidEventId;
+}
+
+std::optional<std::vector<net::MessageType>> UserAgent::multicast_interests()
+    const {
+  return std::vector<net::MessageType>{msg::kDaAdvert};
 }
 
 void UserAgent::on_message(const Message& m) {

@@ -173,6 +173,13 @@ void UpnpManager::purge_subscriber(ServiceId service, NodeId user,
         "user=" + std::to_string(user) + " reason=" + reason);
 }
 
+std::optional<std::vector<net::MessageType>> UpnpManager::multicast_interests()
+    const {
+  // Managers answer search probes; alive/byebye presence traffic is
+  // User-side.
+  return std::vector<net::MessageType>{msg::kMSearch};
+}
+
 void UpnpManager::on_message(const Message& m) {
   if (!running_) return;
   if (m.type == msg::kMSearch) {

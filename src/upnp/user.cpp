@@ -71,6 +71,11 @@ void UpnpUser::send_msearch() {
   trace(sim::TraceCategory::kDiscovery, "upnp.msearch.tx");
 }
 
+std::optional<std::vector<net::MessageType>> UpnpUser::multicast_interests()
+    const {
+  return std::vector<net::MessageType>{msg::kAlive, msg::kByeBye};
+}
+
 void UpnpUser::on_message(const Message& m) {
   if (m.type == msg::kAlive) {
     const auto& alive = m.as<Alive>();

@@ -84,6 +84,61 @@ TEST(FuzzPlanDraw, VariesAcrossSeedsAndModels) {
   EXPECT_TRUE(model_varies);
 }
 
+TEST(FuzzPlanDraw, ScopeIsDrawnLastSoExistingPlansReproduce) {
+  // Enabling scope fuzzing must not re-roll any other plan dimension:
+  // every pre-scoping (model, seed) repro stays bit-identical.
+  FuzzConfig plain;
+  FuzzConfig with_scopes;
+  with_scopes.scope_choices = {net::MulticastScope::kScoped,
+                               net::MulticastScope::kScopedRng,
+                               net::MulticastScope::kBroadcast};
+  bool scope_varies = false;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const FuzzPlan a = check::draw_fuzz_plan(SystemModel::kUpnp, seed, plain);
+    const FuzzPlan b =
+        check::draw_fuzz_plan(SystemModel::kUpnp, seed, with_scopes);
+    EXPECT_EQ(a.lambda, b.lambda);
+    EXPECT_EQ(a.episodes, b.episodes);
+    EXPECT_EQ(a.placement, b.placement);
+    EXPECT_EQ(a.message_loss_rate, b.message_loss_rate);
+    EXPECT_EQ(a.converge_shape, b.converge_shape);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.multicast_scope, net::MulticastScope::kScoped);
+    if (b.multicast_scope != net::MulticastScope::kScoped) scope_varies = true;
+  }
+  EXPECT_TRUE(scope_varies);
+}
+
+TEST(FuzzSweep, ScopeChoicesReachTheRunAndStayClean) {
+  FuzzConfig config;
+  config.models = {SystemModel::kFrodoThreeParty};
+  config.seed_begin = 1;
+  config.seed_end = 7;
+  config.workload_choices = {experiment::WorkloadKind::kChurn};
+  config.scope_choices = {net::MulticastScope::kScopedRng};
+  const FuzzResult result = check::run_fuzz(config);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.cases_run, 6u);
+  // The plan's scope lands in the experiment config verbatim.
+  FuzzCase fuzz_case;
+  fuzz_case.model = SystemModel::kFrodoThreeParty;
+  fuzz_case.seed = 1;
+  fuzz_case.plan = check::draw_fuzz_plan(fuzz_case.model, 1, config);
+  EXPECT_EQ(fuzz_case.plan.multicast_scope, net::MulticastScope::kScopedRng);
+  const auto run_config = check::fuzz_experiment_config(fuzz_case, config);
+  EXPECT_EQ(run_config.multicast_scope, net::MulticastScope::kScopedRng);
+}
+
+TEST(FuzzShrink, ScopeResetsBeforeEveryOtherDimension) {
+  // to_string surfaces the non-default scope so repro lines paste back.
+  FuzzPlan plan;
+  plan.multicast_scope = net::MulticastScope::kScopedRng;
+  plan.workload = experiment::WorkloadKind::kChurn;
+  EXPECT_NE(check::to_string(plan).find("scope=scoped-rng"),
+            std::string::npos);
+  EXPECT_EQ(check::to_string(FuzzPlan{}).find("scope="), std::string::npos);
+}
+
 TEST(FuzzRegression, LegacyBooleanFailuresViolateInterfaceInvariant) {
   FuzzConfig config;
   config.failure_application = net::FailureApplication::kLegacyBoolean;

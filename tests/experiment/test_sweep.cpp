@@ -342,6 +342,83 @@ TEST(Sweep, ShardedUnionReproducesUnshardedViaMerge) {
             whole.summary.kernel.events_fired);
 }
 
+TEST(Sweep, ScopedRngSweepIsShardInvariantUnderTheOracle) {
+  // scoped-rng changes RNG consumption inside a run, never across runs:
+  // a sharded campaign must reproduce the unsharded one bit for bit,
+  // with the consistency oracle clean on every run in both. This is the
+  // acceptance gate for flipping a campaign to --multicast-scope=scoped-rng.
+  SweepConfig config;
+  config.models = {SystemModel::kFrodoThreeParty, SystemModel::kUpnp};
+  config.lambdas = {0.15, 0.45};
+  config.runs = 4;
+  config.threads = 2;
+  config.multicast_scope = net::MulticastScope::kScopedRng;
+
+  CheckSink whole_checks;
+  config.check_sink = &whole_checks;
+  const auto whole = run_sweep(config);
+  EXPECT_EQ(whole_checks.runs_checked(), 16u);
+  EXPECT_EQ(whole_checks.violation_total(), 0u);
+
+  std::ostringstream log0, log1;
+  CheckSink shard_checks;
+  for (int s = 0; s < 2; ++s) {
+    SweepConfig shard = config;
+    shard.shard = {static_cast<std::size_t>(s), 2};
+    JsonlSink sink(s == 0 ? log0 : log1);
+    shard.sink = &sink;
+    shard.check_sink = &shard_checks;
+    (void)run_sweep(shard);
+  }
+  EXPECT_EQ(shard_checks.runs_checked(), 16u);
+  EXPECT_EQ(shard_checks.violation_total(), 0u);
+
+  std::istringstream in0(log0.str()), in1(log1.str());
+  std::istream* shards[] = {&in0, &in1};
+  std::string error;
+  const auto merged = merge_jsonl(shards, error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  ASSERT_EQ(merged->size(), whole.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    const auto& a = whole.points[i];
+    const auto& b = merged->points[i];
+    EXPECT_EQ(a.metrics.responsiveness, b.metrics.responsiveness);
+    EXPECT_EQ(a.metrics.effectiveness, b.metrics.effectiveness);
+    EXPECT_EQ(a.metrics.efficiency, b.metrics.efficiency);
+    EXPECT_EQ(a.metrics.degradation, b.metrics.degradation);
+  }
+  // The scope travels in the JSONL header and survives the merge.
+  EXPECT_EQ(merged->summary.kernel.udp_deliveries_skipped,
+            whole.summary.kernel.udp_deliveries_skipped);
+  EXPECT_GT(whole.summary.kernel.udp_deliveries_skipped, 0u);
+}
+
+TEST(Sweep, MergeRefusesMixedMulticastScopes) {
+  SweepConfig config;
+  config.models = {SystemModel::kUpnp};
+  config.lambdas = {0.15};
+  config.runs = 2;
+  std::ostringstream log0, log1;
+  {
+    JsonlSink sink(log0);
+    config.sink = &sink;
+    (void)run_sweep(config);
+  }
+  {
+    SweepConfig other = config;
+    other.multicast_scope = net::MulticastScope::kScopedRng;
+    JsonlSink sink(log1);
+    other.sink = &sink;
+    (void)run_sweep(other);
+  }
+  std::istringstream in0(log0.str()), in1(log1.str());
+  std::istream* shards[] = {&in0, &in1};
+  std::string error;
+  const auto merged = merge_jsonl(shards, error);
+  EXPECT_FALSE(merged.has_value());
+  EXPECT_NE(error.find("multicast_scope"), std::string::npos) << error;
+}
+
 TEST(Sweep, ShardedSweepRunsOnlyItsSlice) {
   SweepConfig config;
   config.models = {SystemModel::kUpnp};

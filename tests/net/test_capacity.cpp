@@ -78,8 +78,10 @@ TEST_F(CapacityFixture, OverflowBeyondQueueLimitDrops) {
   EXPECT_EQ(k.capacity_delayed, 2u);
   EXPECT_EQ(k.capacity_dropped, 7u);
   EXPECT_EQ(k.capacity_queue_peak, 2u);
-  // Capacity drops also land in the transport-level drop counter.
-  EXPECT_GE(k.udp_dropped, 7u);
+  // Capacity drops kill the copy before it leaves the source, so they
+  // land in the tx-unit drop counter (and the legacy aggregate).
+  EXPECT_GE(k.udp_copies_dropped_tx, 7u);
+  EXPECT_GE(k.udp_dropped(), 7u);
 }
 
 TEST_F(CapacityFixture, BucketsArePerSourceLink) {
